@@ -1,0 +1,434 @@
+//! Deterministic finite automata (dFAs).
+//!
+//! A dFA is an nFA whose transition relation is a function `K × Σ → K`
+//! (Section 2.1.2). The transition function here is allowed to be *partial*
+//! (missing transitions go to an implicit rejecting sink); [`Dfa::complete`]
+//! materialises the sink when a total function is needed (for complement).
+//!
+//! The module provides the subset construction ([`Dfa::from_nfa`]),
+//! completion, complementation, partition-refinement minimisation
+//! ([`Dfa::minimize`]) and pairwise product. Minimal DFAs are the input of
+//! the Brüggemann-Klein/Wood one-unambiguity test in [`crate::dre`].
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+use crate::nfa::{Nfa, StateId};
+use crate::symbol::{Alphabet, Symbol, Word};
+
+/// A deterministic finite automaton with a (possibly partial) transition
+/// function.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Dfa {
+    num_states: usize,
+    start: StateId,
+    finals: BTreeSet<StateId>,
+    trans: Vec<BTreeMap<Symbol, StateId>>,
+}
+
+impl Dfa {
+    /// Creates a DFA with `num_states` states, the given start state, no
+    /// transitions and no final states.
+    pub fn new(num_states: usize, start: StateId) -> Self {
+        assert!(start < num_states.max(1));
+        Dfa {
+            num_states: num_states.max(1),
+            start,
+            finals: BTreeSet::new(),
+            trans: vec![BTreeMap::new(); num_states.max(1)],
+        }
+    }
+
+    /// Adds a fresh state.
+    pub fn add_state(&mut self) -> StateId {
+        self.trans.push(BTreeMap::new());
+        self.num_states += 1;
+        self.num_states - 1
+    }
+
+    /// Sets the (unique) transition `from --sym--> to`, replacing any
+    /// existing transition on the same symbol.
+    pub fn set_transition(&mut self, from: StateId, sym: impl Into<Symbol>, to: StateId) {
+        assert!(from < self.num_states && to < self.num_states);
+        self.trans[from].insert(sym.into(), to);
+    }
+
+    /// Marks a state as final.
+    pub fn set_final(&mut self, state: StateId) {
+        assert!(state < self.num_states);
+        self.finals.insert(state);
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// The start state.
+    pub fn start(&self) -> StateId {
+        self.start
+    }
+
+    /// The final states.
+    pub fn finals(&self) -> &BTreeSet<StateId> {
+        &self.finals
+    }
+
+    /// Whether `state` is final.
+    pub fn is_final(&self, state: StateId) -> bool {
+        self.finals.contains(&state)
+    }
+
+    /// The (partial) transition `δ(q, a)`.
+    pub fn delta(&self, q: StateId, sym: &Symbol) -> Option<StateId> {
+        self.trans[q].get(sym).copied()
+    }
+
+    /// Iterates over the outgoing transitions of a state.
+    pub fn transitions_from(&self, q: StateId) -> impl Iterator<Item = (&Symbol, StateId)> + '_ {
+        self.trans[q].iter().map(|(s, &t)| (s, t))
+    }
+
+    /// Iterates over all transitions `(from, symbol, to)`.
+    pub fn transitions(&self) -> impl Iterator<Item = (StateId, &Symbol, StateId)> + '_ {
+        self.trans
+            .iter()
+            .enumerate()
+            .flat_map(|(q, m)| m.iter().map(move |(s, &t)| (q, s, t)))
+    }
+
+    /// The alphabet of symbols appearing on transitions.
+    pub fn alphabet(&self) -> Alphabet {
+        self.trans.iter().flat_map(|m| m.keys().cloned()).collect()
+    }
+
+    /// Runs the automaton on `word`, returning the reached state (or `None`
+    /// if a transition is missing).
+    pub fn run(&self, word: &[Symbol]) -> Option<StateId> {
+        let mut q = self.start;
+        for sym in word {
+            q = self.delta(q, sym)?;
+        }
+        Some(q)
+    }
+
+    /// Whether the automaton accepts `word`.
+    pub fn accepts(&self, word: &[Symbol]) -> bool {
+        self.run(word).map(|q| self.is_final(q)).unwrap_or(false)
+    }
+
+    /// Whether the language is empty.
+    pub fn is_empty(&self) -> bool {
+        self.to_nfa().is_empty()
+    }
+
+    /// A shortest accepted word, if any.
+    pub fn shortest_accepted(&self) -> Option<Word> {
+        self.to_nfa().shortest_accepted()
+    }
+
+    // ------------------------------------------------------------------
+    // Constructions
+    // ------------------------------------------------------------------
+
+    /// Subset construction: builds the DFA of reachable state sets of `nfa`.
+    pub fn from_nfa(nfa: &Nfa) -> Dfa {
+        let alphabet = nfa.alphabet();
+        let start_set = nfa.epsilon_closure(&BTreeSet::from([nfa.start()]));
+        let mut index: BTreeMap<BTreeSet<StateId>, StateId> = BTreeMap::new();
+        let mut dfa = Dfa::new(1, 0);
+        index.insert(start_set.clone(), 0);
+        let mut queue = VecDeque::from([start_set]);
+        while let Some(set) = queue.pop_front() {
+            let id = index[&set];
+            if set.iter().any(|q| nfa.is_final(*q)) {
+                dfa.set_final(id);
+            }
+            for sym in &alphabet {
+                let next = nfa.step(&set, sym);
+                if next.is_empty() {
+                    continue;
+                }
+                let next_id = match index.get(&next) {
+                    Some(&i) => i,
+                    None => {
+                        let i = dfa.add_state();
+                        index.insert(next.clone(), i);
+                        queue.push_back(next.clone());
+                        i
+                    }
+                };
+                dfa.set_transition(id, sym.clone(), next_id);
+            }
+        }
+        dfa
+    }
+
+    /// Completes the transition function over `alphabet` by adding a
+    /// rejecting sink state where needed. The result is total over
+    /// `alphabet ∪ alphabet(self)`.
+    pub fn complete(&self, alphabet: &Alphabet) -> Dfa {
+        let full = alphabet.union(&self.alphabet());
+        let mut out = self.clone();
+        let needs_sink = (0..out.num_states)
+            .any(|q| full.iter().any(|s| out.delta(q, s).is_none()));
+        if !needs_sink {
+            return out;
+        }
+        let sink = out.add_state();
+        for q in 0..out.num_states {
+            for sym in &full {
+                if out.delta(q, sym).is_none() {
+                    out.set_transition(q, sym.clone(), sink);
+                }
+            }
+        }
+        out
+    }
+
+    /// Complement of a *complete* DFA (flips final states). Use
+    /// [`Dfa::complete`] first if the automaton may be partial.
+    pub fn complement(&self) -> Dfa {
+        let mut out = self.clone();
+        out.finals = (0..out.num_states).filter(|q| !self.finals.contains(q)).collect();
+        out
+    }
+
+    /// Converts to an NFA.
+    pub fn to_nfa(&self) -> Nfa {
+        let mut nfa = Nfa::new(self.num_states, self.start);
+        for (q, sym, t) in self.transitions() {
+            nfa.add_transition(q, sym.clone(), t);
+        }
+        for &f in &self.finals {
+            nfa.set_final(f);
+        }
+        nfa
+    }
+
+    /// Restricts to states reachable from the start state.
+    pub fn trim_reachable(&self) -> Dfa {
+        let mut seen = BTreeSet::from([self.start]);
+        let mut stack = vec![self.start];
+        while let Some(q) = stack.pop() {
+            for (_, t) in self.transitions_from(q) {
+                if seen.insert(t) {
+                    stack.push(t);
+                }
+            }
+        }
+        let keep: Vec<StateId> = seen.into_iter().collect();
+        let index: BTreeMap<StateId, StateId> = keep.iter().enumerate().map(|(i, &q)| (q, i)).collect();
+        let mut out = Dfa::new(keep.len(), index[&self.start]);
+        for &q in &keep {
+            for (sym, t) in self.transitions_from(q) {
+                if let Some(&ti) = index.get(&t) {
+                    out.set_transition(index[&q], sym.clone(), ti);
+                }
+            }
+            if self.is_final(q) {
+                out.set_final(index[&q]);
+            }
+        }
+        out
+    }
+
+    /// Minimises the DFA by partition refinement (Moore's algorithm) after
+    /// completing it over its own alphabet and removing unreachable states.
+    ///
+    /// The result is the canonical minimal *complete* DFA of the language,
+    /// except that a useless sink is removed again at the end, so the minimal
+    /// automaton of a finite language has no sink state. This matches the
+    /// usual "minimal deterministic automaton" the Brüggemann-Klein/Wood
+    /// construction works with.
+    pub fn minimize(&self) -> Dfa {
+        let alphabet = self.alphabet();
+        let complete = self.complete(&alphabet).trim_reachable();
+        let n = complete.num_states;
+        // Initial partition: finals vs non-finals.
+        let mut class: Vec<usize> = (0..n).map(|q| usize::from(complete.is_final(q))).collect();
+        let mut num_classes = 2;
+        loop {
+            // Signature of each state: (class, sorted successor classes per symbol)
+            let mut signatures: BTreeMap<(usize, Vec<(Symbol, usize)>), usize> = BTreeMap::new();
+            let mut new_class = vec![0usize; n];
+            for q in 0..n {
+                let mut succ: Vec<(Symbol, usize)> = complete
+                    .transitions_from(q)
+                    .map(|(s, t)| (s.clone(), class[t]))
+                    .collect();
+                succ.sort();
+                let key = (class[q], succ);
+                let next_id = signatures.len();
+                let id = *signatures.entry(key).or_insert(next_id);
+                new_class[q] = id;
+            }
+            let new_num = signatures.len();
+            if new_num == num_classes {
+                class = new_class;
+                break;
+            }
+            class = new_class;
+            num_classes = new_num;
+        }
+        let mut out = Dfa::new(num_classes, class[complete.start]);
+        for q in 0..n {
+            for (sym, t) in complete.transitions_from(q) {
+                out.set_transition(class[q], sym.clone(), class[t]);
+            }
+            if complete.is_final(q) {
+                out.set_final(class[q]);
+            }
+        }
+        out.remove_useless_sink()
+    }
+
+    /// Removes a non-final state with no path to a final state (the sink
+    /// introduced by completion), if present, together with its transitions.
+    fn remove_useless_sink(&self) -> Dfa {
+        let nfa = self.to_nfa();
+        let coreach = nfa.coreachable_to(nfa.finals());
+        let keep: Vec<StateId> = (0..self.num_states)
+            .filter(|q| coreach.contains(q) || *q == self.start)
+            .collect();
+        if keep.len() == self.num_states {
+            return self.clone();
+        }
+        let index: BTreeMap<StateId, StateId> = keep.iter().enumerate().map(|(i, &q)| (q, i)).collect();
+        let mut out = Dfa::new(keep.len(), index[&self.start]);
+        for &q in &keep {
+            for (sym, t) in self.transitions_from(q) {
+                if let Some(&ti) = index.get(&t) {
+                    out.set_transition(index[&q], sym.clone(), ti);
+                }
+            }
+            if self.is_final(q) {
+                out.set_final(index[&q]);
+            }
+        }
+        out
+    }
+
+    /// Product automaton where acceptance is decided by `accept(f1, f2)`
+    /// applied to the two component acceptance flags (so `&&` gives the
+    /// intersection, `||` the union, `and not` the difference). Both DFAs are
+    /// completed over the union of the alphabets first.
+    pub fn product(&self, other: &Dfa, accept: impl Fn(bool, bool) -> bool) -> Dfa {
+        let alphabet = self.alphabet().union(&other.alphabet());
+        let a = self.complete(&alphabet);
+        let b = other.complete(&alphabet);
+        let mut index: BTreeMap<(StateId, StateId), StateId> = BTreeMap::new();
+        let mut out = Dfa::new(1, 0);
+        index.insert((a.start, b.start), 0);
+        let mut queue = VecDeque::from([(a.start, b.start)]);
+        while let Some((p, q)) = queue.pop_front() {
+            let id = index[&(p, q)];
+            if accept(a.is_final(p), b.is_final(q)) {
+                out.set_final(id);
+            }
+            for sym in &alphabet {
+                let (tp, tq) = match (a.delta(p, sym), b.delta(q, sym)) {
+                    (Some(tp), Some(tq)) => (tp, tq),
+                    _ => continue,
+                };
+                let tid = match index.get(&(tp, tq)) {
+                    Some(&i) => i,
+                    None => {
+                        let i = out.add_state();
+                        index.insert((tp, tq), i);
+                        queue.push_back((tp, tq));
+                        i
+                    }
+                };
+                out.set_transition(id, sym.clone(), tid);
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Dfa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Dfa(states={}, start={}, finals={:?})", self.num_states, self.start, self.finals)?;
+        for (q, s, t) in self.transitions() {
+            writeln!(f, "  {q} --{s}--> {t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::word_chars;
+
+    fn ab() -> Alphabet {
+        Alphabet::from_chars("ab")
+    }
+
+    #[test]
+    fn subset_construction_preserves_language() {
+        // (a|b)*abb — the classic example
+        let sigma = Nfa::any_of(["a", "b"]).star();
+        let tail = Nfa::literal(&word_chars("abb"));
+        let nfa = sigma.concat(&tail);
+        let dfa = Dfa::from_nfa(&nfa);
+        for w in ["abb", "aabb", "babb", "abab", "", "ab", "abba"] {
+            assert_eq!(nfa.accepts(&word_chars(w)), dfa.accepts(&word_chars(w)), "word {w}");
+        }
+    }
+
+    #[test]
+    fn minimize_produces_canonical_size() {
+        // (a|b)*abb has a 4-state minimal DFA (without sink).
+        let nfa = Nfa::any_of(["a", "b"]).star().concat(&Nfa::literal(&word_chars("abb")));
+        let min = Dfa::from_nfa(&nfa).minimize();
+        assert_eq!(min.num_states(), 4);
+        for w in ["abb", "aabb", "ababb", "", "ab", "ba"] {
+            assert_eq!(min.accepts(&word_chars(w)), nfa.accepts(&word_chars(w)), "word {w}");
+        }
+    }
+
+    #[test]
+    fn minimize_merges_equivalent_states() {
+        // a|b as two separate branches minimises to 2 states.
+        let nfa = Nfa::symbol("a").union(&Nfa::symbol("b"));
+        let min = Dfa::from_nfa(&nfa).minimize();
+        assert_eq!(min.num_states(), 2);
+    }
+
+    #[test]
+    fn complement_via_completion() {
+        let astar = Nfa::symbol("a").star();
+        let dfa = Dfa::from_nfa(&astar).complete(&ab());
+        let comp = dfa.complement();
+        assert!(!comp.accepts(&[]));
+        assert!(comp.accepts(&word_chars("b")));
+        assert!(comp.accepts(&word_chars("ab")));
+        assert!(!comp.accepts(&word_chars("aaa")));
+    }
+
+    #[test]
+    fn product_intersection_and_union() {
+        let astar_b = Dfa::from_nfa(&Nfa::symbol("a").star().concat(&Nfa::symbol("b")));
+        let a_bstar = Dfa::from_nfa(&Nfa::symbol("a").concat(&Nfa::symbol("b").star()));
+        let inter = astar_b.product(&a_bstar, |x, y| x && y);
+        assert!(inter.accepts(&word_chars("ab")));
+        assert!(!inter.accepts(&word_chars("aab")));
+        assert!(!inter.accepts(&word_chars("abb")));
+        let union = astar_b.product(&a_bstar, |x, y| x || y);
+        assert!(union.accepts(&word_chars("aab")));
+        assert!(union.accepts(&word_chars("abb")));
+        assert!(!union.accepts(&word_chars("ba")));
+    }
+
+    #[test]
+    fn run_and_partiality() {
+        let dfa = Dfa::from_nfa(&Nfa::literal(&word_chars("ab")));
+        assert!(dfa.accepts(&word_chars("ab")));
+        assert!(!dfa.accepts(&word_chars("ba")));
+        assert_eq!(dfa.run(&word_chars("ba")), None);
+        assert!(dfa.shortest_accepted().is_some());
+        assert!(!dfa.is_empty());
+    }
+}

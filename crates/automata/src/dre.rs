@@ -1,0 +1,385 @@
+//! Deterministic (one-unambiguous) regular expressions and languages.
+//!
+//! W3C DTDs and XML Schema require content models to be *deterministic*
+//! regular expressions (`dRE`s), called **one-unambiguous** by
+//! Brüggemann-Klein and Wood \[11\]. The paper's abstraction `dRE-DTD` /
+//! `dRE-SDTD` is the closest to the W3C standards (Table 1), and several of
+//! its results (Theorem 3.10 case 3, Corollary 3.7) reduce to the problem
+//! `one-unamb[R]` (Definition 2): *is a given regular language
+//! one-unambiguous?*
+//!
+//! This module implements:
+//!
+//! * [`one_unambiguous_expr`] — is an *expression* deterministic? (Glushkov
+//!   automaton determinism; linear-time syntactic test.)
+//! * [`one_unambiguous_language`] — is a *language* one-unambiguous, i.e. is
+//!   it denoted by some deterministic expression? This is the BKW decision
+//!   procedure on the minimal DFA, based on orbits (strongly connected
+//!   components), the orbit property and symbol-consistent cuts.
+//! * [`smallest_equivalent_dre_hint`] — a constructive helper returning a
+//!   deterministic expression for a few syntactic shapes; used by examples.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::dfa::Dfa;
+use crate::nfa::Nfa;
+use crate::regex::Regex;
+use crate::symbol::Symbol;
+
+/// Whether the expression itself is deterministic (one-unambiguous as
+/// written): its Glushkov automaton is deterministic.
+pub fn one_unambiguous_expr(re: &Regex) -> bool {
+    re.glushkov().is_deterministic()
+}
+
+/// Whether the *language* of `nfa` is one-unambiguous, i.e. definable by some
+/// deterministic regular expression.
+///
+/// This is the decision procedure `one-unamb[R]` of Definition 2, implemented
+/// with the Brüggemann-Klein/Wood characterisation on the minimal DFA:
+/// a minimal deterministic automaton recognises a one-unambiguous language
+/// iff, after *cutting* the transitions leaving final states on
+/// automaton-consistent symbols, the resulting automaton has the **orbit
+/// property** and all its orbit languages are recursively one-unambiguous.
+pub fn one_unambiguous_language(nfa: &Nfa) -> bool {
+    let dfa = Dfa::from_nfa(nfa).minimize();
+    bkw(&dfa)
+}
+
+/// Whether the language of a regular expression is one-unambiguous (even if
+/// the expression itself is not deterministic).
+pub fn one_unambiguous_regex_language(re: &Regex) -> bool {
+    one_unambiguous_language(&re.to_nfa())
+}
+
+// ----------------------------------------------------------------------
+// BKW decision procedure
+// ----------------------------------------------------------------------
+
+fn bkw(dfa: &Dfa) -> bool {
+    // Trivial languages (∅, {ε}, single-state loops) are one-unambiguous.
+    if dfa.num_states() <= 1 {
+        return true;
+    }
+    // S := all consistent symbols; cut their transitions out of final states.
+    let consistent = consistent_symbols(dfa);
+    let (cut, removed_any) = cut_transitions(dfa, &consistent);
+
+    let orbits = strongly_connected_components(&cut);
+    let single_covering_orbit =
+        orbits.len() == 1 && orbits[0].len() == cut.num_states() && orbit_is_nontrivial(&cut, &orbits[0]);
+    if single_covering_orbit && !removed_any {
+        // The cut made no progress and the automaton is one big non-trivial
+        // orbit: no deterministic expression exists.
+        return false;
+    }
+    if !has_orbit_property(&cut, &orbits) {
+        return false;
+    }
+    // Recurse on the orbit automata. Within an orbit, the orbit automata for
+    // different start states share states, transitions and gates; we check
+    // each start state (cheap for the sizes arising in schemas).
+    for orbit in &orbits {
+        if orbit.len() == cut.num_states() && !removed_any {
+            // Would recurse on an identical automaton; handled above.
+            continue;
+        }
+        for &q in orbit {
+            let sub = orbit_automaton(&cut, orbit, q);
+            if !bkw(&sub.minimize()) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The symbols `a` such that every final state has an `a`-transition and all
+/// of them lead to the same state (the "M-consistent" symbols of BKW).
+fn consistent_symbols(dfa: &Dfa) -> BTreeSet<Symbol> {
+    let finals: Vec<usize> = dfa.finals().iter().copied().collect();
+    if finals.is_empty() {
+        return BTreeSet::new();
+    }
+    let mut out = BTreeSet::new();
+    for sym in &dfa.alphabet() {
+        let mut target = None;
+        let mut ok = true;
+        for &f in &finals {
+            match dfa.delta(f, sym) {
+                Some(t) => match target {
+                    None => target = Some(t),
+                    Some(prev) if prev == t => {}
+                    Some(_) => {
+                        ok = false;
+                        break;
+                    }
+                },
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok && target.is_some() {
+            out.insert(sym.clone());
+        }
+    }
+    out
+}
+
+/// Removes, from every final state, the transitions labelled by symbols in
+/// `symbols`. Returns the cut automaton and whether anything was removed.
+fn cut_transitions(dfa: &Dfa, symbols: &BTreeSet<Symbol>) -> (Dfa, bool) {
+    let mut out = Dfa::new(dfa.num_states(), dfa.start());
+    let mut removed = false;
+    for q in 0..dfa.num_states() {
+        for (sym, t) in dfa.transitions_from(q) {
+            if dfa.is_final(q) && symbols.contains(sym) {
+                removed = true;
+                continue;
+            }
+            out.set_transition(q, sym.clone(), t);
+        }
+        if dfa.is_final(q) {
+            out.set_final(q);
+        }
+    }
+    (out, removed)
+}
+
+/// Strongly connected components of the transition graph (Kosaraju).
+/// Each component is returned as a sorted set of states; trivial components
+/// (single state without a self loop) are included.
+fn strongly_connected_components(dfa: &Dfa) -> Vec<BTreeSet<usize>> {
+    let n = dfa.num_states();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut radj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (q, _, t) in dfa.transitions() {
+        adj[q].push(t);
+        radj[t].push(q);
+    }
+    // First pass: order by finish time.
+    let mut visited = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    for s in 0..n {
+        if visited[s] {
+            continue;
+        }
+        // Iterative DFS with an explicit stack of (node, next-child-index).
+        let mut stack = vec![(s, 0usize)];
+        visited[s] = true;
+        while let Some(&mut (u, ref mut idx)) = stack.last_mut() {
+            if *idx < adj[u].len() {
+                let v = adj[u][*idx];
+                *idx += 1;
+                if !visited[v] {
+                    visited[v] = true;
+                    stack.push((v, 0));
+                }
+            } else {
+                order.push(u);
+                stack.pop();
+            }
+        }
+    }
+    // Second pass on the reverse graph in reverse finish order.
+    let mut component = vec![usize::MAX; n];
+    let mut components: Vec<BTreeSet<usize>> = Vec::new();
+    for &s in order.iter().rev() {
+        if component[s] != usize::MAX {
+            continue;
+        }
+        let id = components.len();
+        let mut comp = BTreeSet::new();
+        let mut stack = vec![s];
+        component[s] = id;
+        while let Some(u) = stack.pop() {
+            comp.insert(u);
+            for &v in &radj[u] {
+                if component[v] == usize::MAX {
+                    component[v] = id;
+                    stack.push(v);
+                }
+            }
+        }
+        components.push(comp);
+    }
+    components
+}
+
+/// Whether an orbit is non-trivial: more than one state, or a single state
+/// with a self loop.
+fn orbit_is_nontrivial(dfa: &Dfa, orbit: &BTreeSet<usize>) -> bool {
+    if orbit.len() > 1 {
+        return true;
+    }
+    let q = *orbit.iter().next().unwrap();
+    dfa.transitions_from(q).any(|(_, t)| t == q)
+}
+
+/// The gates of an orbit: states that are final or have a transition leaving
+/// the orbit.
+fn gates(dfa: &Dfa, orbit: &BTreeSet<usize>) -> BTreeSet<usize> {
+    orbit
+        .iter()
+        .copied()
+        .filter(|&q| dfa.is_final(q) || dfa.transitions_from(q).any(|(_, t)| !orbit.contains(&t)))
+        .collect()
+}
+
+/// The orbit property: within each orbit, all gates agree on finality and on
+/// every transition that leaves the orbit.
+fn has_orbit_property(dfa: &Dfa, orbits: &[BTreeSet<usize>]) -> bool {
+    for orbit in orbits {
+        let gs: Vec<usize> = gates(dfa, orbit).into_iter().collect();
+        if gs.len() <= 1 {
+            continue;
+        }
+        let signature = |q: usize| -> (bool, BTreeMap<Symbol, usize>) {
+            let outside: BTreeMap<Symbol, usize> = dfa
+                .transitions_from(q)
+                .filter(|(_, t)| !orbit.contains(t))
+                .map(|(s, t)| (s.clone(), t))
+                .collect();
+            (dfa.is_final(q), outside)
+        };
+        let first = signature(gs[0]);
+        if gs.iter().skip(1).any(|&q| signature(q) != first) {
+            return false;
+        }
+    }
+    true
+}
+
+/// The orbit automaton `M_q`: the restriction of the automaton to the orbit
+/// of `q`, started at `q`, whose final states are the gates of the orbit.
+fn orbit_automaton(dfa: &Dfa, orbit: &BTreeSet<usize>, q: usize) -> Dfa {
+    let states: Vec<usize> = orbit.iter().copied().collect();
+    let index: BTreeMap<usize, usize> = states.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+    let mut out = Dfa::new(states.len(), index[&q]);
+    for &s in &states {
+        for (sym, t) in dfa.transitions_from(s) {
+            if let Some(&ti) = index.get(&t) {
+                out.set_transition(index[&s], sym.clone(), ti);
+            }
+        }
+    }
+    for g in gates(dfa, orbit) {
+        out.set_final(index[&g]);
+    }
+    out
+}
+
+// ----------------------------------------------------------------------
+// Constructive helper
+// ----------------------------------------------------------------------
+
+/// Returns a deterministic regular expression for the language of `re` for a
+/// few recognisable shapes; `None` when no equivalent deterministic
+/// expression is found by the heuristics (the language may still be
+/// one-unambiguous — use [`one_unambiguous_regex_language`] to decide).
+///
+/// The helper covers the shapes appearing in the paper's examples: already
+/// deterministic expressions are returned unchanged, and `(x|y)*x`-style
+/// "ends with" languages are rewritten to `(y*x)+` form.
+pub fn smallest_equivalent_dre_hint(re: &Regex) -> Option<Regex> {
+    if one_unambiguous_expr(re) {
+        return Some(re.clone());
+    }
+    // (a|b)* a  ⇒  (b* a)+   (only attempted for two-symbol alternations)
+    if let Regex::Concat(parts) = re {
+        if parts.len() == 2 {
+            if let (Regex::Star(body), Regex::Sym(x)) = (&parts[0], &parts[1]) {
+                if let Regex::Alt(alts) = body.as_ref() {
+                    let symbols: Vec<&Symbol> = alts
+                        .iter()
+                        .filter_map(|r| match r {
+                            Regex::Sym(s) => Some(s),
+                            _ => None,
+                        })
+                        .collect();
+                    if symbols.len() == alts.len() && symbols.contains(&x) {
+                        let others: Vec<Regex> = symbols
+                            .iter()
+                            .filter(|s| *s != &x)
+                            .map(|s| Regex::Sym((*s).clone()))
+                            .collect();
+                        let candidate = Regex::concat(vec![
+                            Regex::alt(others).star(),
+                            Regex::Sym(x.clone()),
+                        ])
+                        .plus();
+                        if one_unambiguous_expr(&candidate)
+                            && crate::equiv::is_equivalent(&candidate.to_nfa(), &re.to_nfa())
+                        {
+                            return Some(candidate);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn re(s: &str) -> Regex {
+        Regex::parse_chars(s).unwrap()
+    }
+
+    #[test]
+    fn deterministic_expressions() {
+        assert!(one_unambiguous_expr(&re("a*bc*")));
+        assert!(one_unambiguous_expr(&re("(ab)*")));
+        assert!(one_unambiguous_expr(&re("b*a(b*a)*")));
+        assert!(!one_unambiguous_expr(&re("(a|b)*a")));
+        assert!(!one_unambiguous_expr(&re("(a|b)*a(a|b)")));
+        // a? a — two positions with the same symbol follow the start.
+        assert!(!one_unambiguous_expr(&re("a?a")));
+    }
+
+    #[test]
+    fn one_unambiguous_languages_positive() {
+        // "ends with a" is one-unambiguous ((b*a)+ is a deterministic
+        // expression for it) even though (a|b)*a is not deterministic.
+        assert!(one_unambiguous_regex_language(&re("(a|b)*a")));
+        assert!(one_unambiguous_regex_language(&re("a*b*")));
+        assert!(one_unambiguous_regex_language(&re("(ab)*")));
+        assert!(one_unambiguous_regex_language(&re("(ab)+")));
+        assert!(one_unambiguous_regex_language(&re("a*bc*")));
+        // finite languages used in the paper's examples
+        assert!(one_unambiguous_regex_language(&re("ab + ba")));
+    }
+
+    #[test]
+    fn one_unambiguous_languages_negative() {
+        // The classic counterexample of Brüggemann-Klein & Wood:
+        // "the second-to-last symbol is an a".
+        assert!(!one_unambiguous_regex_language(&re("(a|b)*a(a|b)")));
+        assert!(!one_unambiguous_regex_language(&re("(a|b)*a(a|b)(a|b)")));
+    }
+
+    #[test]
+    fn dre_hint_constructions() {
+        let hinted = smallest_equivalent_dre_hint(&re("(a|b)*a")).expect("hint should apply");
+        assert!(one_unambiguous_expr(&hinted));
+        assert!(crate::equiv::is_equivalent(&hinted.to_nfa(), &re("(a|b)*a").to_nfa()));
+        assert!(smallest_equivalent_dre_hint(&re("(a|b)*a(a|b)")).is_none());
+        // Deterministic expressions are returned unchanged.
+        assert_eq!(smallest_equivalent_dre_hint(&re("a*b")), Some(re("a*b")));
+    }
+
+    #[test]
+    fn scc_helper_behaves() {
+        let dfa = Dfa::from_nfa(&re("(ab)*").to_nfa()).minimize();
+        let sccs = strongly_connected_components(&dfa);
+        // The minimal DFA of (ab)* is a 2-cycle: one non-trivial SCC.
+        assert_eq!(sccs.len(), 1);
+        assert_eq!(sccs[0].len(), 2);
+        assert!(orbit_is_nontrivial(&dfa, &sccs[0]));
+    }
+}

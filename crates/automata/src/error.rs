@@ -1,0 +1,40 @@
+//! Error type shared by the automata crate.
+
+use std::fmt;
+
+/// Errors produced while parsing regular expressions or manipulating
+/// automata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AutomataError {
+    /// A regular expression could not be parsed.
+    RegexParse {
+        /// Human readable description of the problem.
+        message: String,
+        /// Byte offset in the input at which the problem was detected.
+        position: usize,
+    },
+    /// A regular expression was required to be deterministic
+    /// (one-unambiguous) but is not.
+    NotDeterministic(String),
+    /// An operation referred to a state that does not exist in the automaton.
+    InvalidState(usize),
+    /// A symbol was used that is not part of the relevant alphabet.
+    UnknownSymbol(String),
+}
+
+impl fmt::Display for AutomataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AutomataError::RegexParse { message, position } => {
+                write!(f, "regex parse error at byte {position}: {message}")
+            }
+            AutomataError::NotDeterministic(re) => {
+                write!(f, "regular expression `{re}` is not deterministic (one-unambiguous)")
+            }
+            AutomataError::InvalidState(s) => write!(f, "invalid state id {s}"),
+            AutomataError::UnknownSymbol(s) => write!(f, "unknown symbol `{s}`"),
+        }
+    }
+}
+
+impl std::error::Error for AutomataError {}

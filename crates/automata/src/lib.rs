@@ -1,0 +1,49 @@
+//! Regular string languages substrate for distributed XML design.
+//!
+//! This crate implements the string-language machinery of Section 2.1.2 of
+//! *Distributed XML Design* (Abiteboul, Gottlob, Manna):
+//!
+//! * [`Symbol`] / [`Alphabet`] — interned element names and function symbols;
+//! * [`Nfa`] — nondeterministic finite automata with ε-transitions, together
+//!   with the boolean/rational operations the paper uses (`·`, `∪`, `∩`, `−`,
+//!   complement) and decision procedures (emptiness, universality, membership,
+//!   inclusion, equivalence);
+//! * [`Dfa`] — deterministic automata, subset construction, minimisation;
+//! * [`Regex`] — (possibly nondeterministic) regular expressions `nRE`, with a
+//!   parser for the textual syntax used throughout the paper and the Glushkov
+//!   (position) construction;
+//! * [`dre`] — deterministic (one-unambiguous) regular expressions: the
+//!   Brüggemann-Klein/Wood determinism test on expressions and the
+//!   orbit-property decision procedure on minimal DFAs (`one-unamb[R]`,
+//!   Definition 2 of the paper);
+//! * [`BoxLang`] — "boxes" `Σ1…Σn` (cartesian-product languages), used by the
+//!   box versions of the design problems in Section 7;
+//! * [`RSpec`] — a content model in any of the four formalisms
+//!   (`nFA`, `dFA`, `nRE`, `dRE`) behind a uniform API, mirroring the paper's
+//!   parameter `R`.
+//!
+//! The crate is self-contained (no third-party dependencies) and forms the
+//! bottom layer of the workspace: trees, schemas and the design algorithms are
+//! all built on top of it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod boxes;
+pub mod dfa;
+pub mod dre;
+pub mod equiv;
+pub mod error;
+pub mod nfa;
+pub mod regex;
+pub mod rspec;
+pub mod symbol;
+
+pub use boxes::BoxLang;
+pub use dfa::Dfa;
+pub use equiv::{equivalent, included, Counterexample};
+pub use error::AutomataError;
+pub use nfa::Nfa;
+pub use regex::Regex;
+pub use rspec::{RFormalism, RSpec};
+pub use symbol::{Alphabet, Symbol};

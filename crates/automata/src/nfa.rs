@@ -1,0 +1,785 @@
+//! Nondeterministic finite automata (nFAs) with ε-transitions.
+//!
+//! This follows Section 2.1.2 of the paper: an nFA is a quintuple
+//! `⟨K, Σ, Δ, qs, F⟩` with `Δ ⊆ K × (Σ ∪ {ε}) × K`. States are dense
+//! integers `0..num_states`. The module provides the combinators the paper
+//! relies on (`A1 · A2`, `A1 ∪ A2`, `A1 ∩ A2`, `A1 − A2`, complement) and the
+//! basic decision procedures (membership, emptiness, universality). The
+//! state-set reachability helpers (`delta_star_from`, `reachable_from`,
+//! `coreachable_to`, `transitions`) are exposed publicly because the perfect
+//! automaton construction of Section 6 manipulates the transition structure
+//! of the global type directly.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+use crate::dfa::Dfa;
+use crate::symbol::{Alphabet, Symbol, Word};
+
+/// A state identifier; states of an [`Nfa`] are `0..nfa.num_states()`.
+pub type StateId = usize;
+
+/// A nondeterministic finite automaton with ε-transitions.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Nfa {
+    num_states: usize,
+    start: StateId,
+    finals: BTreeSet<StateId>,
+    /// `trans[q]` maps `Some(a)` (or `None` for ε) to the set of successor
+    /// states.
+    trans: Vec<BTreeMap<Option<Symbol>, BTreeSet<StateId>>>,
+}
+
+impl Nfa {
+    // ------------------------------------------------------------------
+    // Construction
+    // ------------------------------------------------------------------
+
+    /// Creates an NFA with `num_states` states (no transitions, no final
+    /// states) and the given start state.
+    pub fn new(num_states: usize, start: StateId) -> Self {
+        assert!(start < num_states.max(1), "start state out of range");
+        Nfa {
+            num_states: num_states.max(1),
+            start,
+            finals: BTreeSet::new(),
+            trans: vec![BTreeMap::new(); num_states.max(1)],
+        }
+    }
+
+    /// The automaton recognising the empty language `∅`.
+    pub fn empty() -> Self {
+        Nfa::new(1, 0)
+    }
+
+    /// The automaton recognising only the empty word `{ε}`.
+    pub fn epsilon() -> Self {
+        let mut a = Nfa::new(1, 0);
+        a.set_final(0);
+        a
+    }
+
+    /// The automaton recognising the single-symbol word `{a}`.
+    pub fn symbol(sym: impl Into<Symbol>) -> Self {
+        let mut a = Nfa::new(2, 0);
+        a.add_transition(0, sym, 1);
+        a.set_final(1);
+        a
+    }
+
+    /// The automaton recognising exactly the given word.
+    pub fn literal(word: &[Symbol]) -> Self {
+        let mut a = Nfa::new(word.len() + 1, 0);
+        for (i, sym) in word.iter().enumerate() {
+            a.add_transition(i, sym.clone(), i + 1);
+        }
+        a.set_final(word.len());
+        a
+    }
+
+    /// The automaton recognising any *single* symbol from the given set
+    /// (the building block of boxes).
+    pub fn any_of<I, S>(symbols: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<Symbol>,
+    {
+        let mut a = Nfa::new(2, 0);
+        for s in symbols {
+            a.add_transition(0, s, 1);
+        }
+        a.set_final(1);
+        a
+    }
+
+    /// The automaton recognising `Σ*` for the given alphabet.
+    pub fn sigma_star(alphabet: &Alphabet) -> Self {
+        let mut a = Nfa::new(1, 0);
+        for s in alphabet {
+            a.add_transition(0, s.clone(), 0);
+        }
+        a.set_final(0);
+        a
+    }
+
+    /// The automaton recognising `Σ+` for the given alphabet.
+    pub fn sigma_plus(alphabet: &Alphabet) -> Self {
+        Nfa::sigma_star(alphabet).concat(&Nfa::any_of(alphabet.iter().cloned()))
+    }
+
+    /// Adds a fresh state and returns its id.
+    pub fn add_state(&mut self) -> StateId {
+        self.trans.push(BTreeMap::new());
+        self.num_states += 1;
+        self.num_states - 1
+    }
+
+    /// Adds a transition `from --sym--> to`.
+    pub fn add_transition(&mut self, from: StateId, sym: impl Into<Symbol>, to: StateId) {
+        assert!(from < self.num_states && to < self.num_states);
+        self.trans[from].entry(Some(sym.into())).or_default().insert(to);
+    }
+
+    /// Adds an ε-transition `from --ε--> to`.
+    pub fn add_epsilon(&mut self, from: StateId, to: StateId) {
+        assert!(from < self.num_states && to < self.num_states);
+        self.trans[from].entry(None).or_default().insert(to);
+    }
+
+    /// Marks a state as final.
+    pub fn set_final(&mut self, state: StateId) {
+        assert!(state < self.num_states);
+        self.finals.insert(state);
+    }
+
+    /// Unmarks a state as final.
+    pub fn unset_final(&mut self, state: StateId) {
+        self.finals.remove(&state);
+    }
+
+    /// Changes the start state.
+    pub fn set_start(&mut self, state: StateId) {
+        assert!(state < self.num_states);
+        self.start = state;
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Total number of transitions (counting each `(q, a, q')` triple once).
+    pub fn num_transitions(&self) -> usize {
+        self.trans.iter().map(|m| m.values().map(BTreeSet::len).sum::<usize>()).sum()
+    }
+
+    /// The start state.
+    pub fn start(&self) -> StateId {
+        self.start
+    }
+
+    /// The final states.
+    pub fn finals(&self) -> &BTreeSet<StateId> {
+        &self.finals
+    }
+
+    /// Whether `state` is final.
+    pub fn is_final(&self, state: StateId) -> bool {
+        self.finals.contains(&state)
+    }
+
+    /// Iterates over all transitions as `(from, label, to)` where a label of
+    /// `None` denotes ε.
+    pub fn transitions(&self) -> impl Iterator<Item = (StateId, Option<&Symbol>, StateId)> + '_ {
+        self.trans.iter().enumerate().flat_map(|(q, m)| {
+            m.iter().flat_map(move |(lbl, tos)| tos.iter().map(move |t| (q, lbl.as_ref(), *t)))
+        })
+    }
+
+    /// The successor set `Δ(q, a)`.
+    pub fn delta(&self, q: StateId, sym: &Symbol) -> BTreeSet<StateId> {
+        self.trans[q].get(&Some(sym.clone())).cloned().unwrap_or_default()
+    }
+
+    /// The alphabet of symbols actually appearing on transitions.
+    pub fn alphabet(&self) -> Alphabet {
+        self.trans
+            .iter()
+            .flat_map(|m| m.keys())
+            .filter_map(|k| k.clone())
+            .collect()
+    }
+
+    /// Whether the automaton has any ε-transition.
+    pub fn has_epsilon(&self) -> bool {
+        self.trans.iter().any(|m| m.contains_key(&None))
+    }
+
+    // ------------------------------------------------------------------
+    // Runs
+    // ------------------------------------------------------------------
+
+    /// The ε-closure of a set of states.
+    pub fn epsilon_closure(&self, set: &BTreeSet<StateId>) -> BTreeSet<StateId> {
+        let mut closure = set.clone();
+        let mut stack: Vec<StateId> = set.iter().copied().collect();
+        while let Some(q) = stack.pop() {
+            if let Some(next) = self.trans[q].get(&None) {
+                for &t in next {
+                    if closure.insert(t) {
+                        stack.push(t);
+                    }
+                }
+            }
+        }
+        closure
+    }
+
+    /// One symbol step on a (ε-closed) state set, returning the ε-closure of
+    /// the successor set.
+    pub fn step(&self, set: &BTreeSet<StateId>, sym: &Symbol) -> BTreeSet<StateId> {
+        let mut next = BTreeSet::new();
+        for &q in set {
+            if let Some(ts) = self.trans[q].get(&Some(sym.clone())) {
+                next.extend(ts.iter().copied());
+            }
+        }
+        self.epsilon_closure(&next)
+    }
+
+    /// The set of states reachable from `set` by reading `word`
+    /// (the extended transition relation `Δ*`).
+    pub fn delta_star(&self, set: &BTreeSet<StateId>, word: &[Symbol]) -> BTreeSet<StateId> {
+        let mut current = self.epsilon_closure(set);
+        for sym in word {
+            if current.is_empty() {
+                break;
+            }
+            current = self.step(&current, sym);
+        }
+        current
+    }
+
+    /// The set of states reachable from a single state `q` by reading `word`.
+    pub fn delta_star_from(&self, q: StateId, word: &[Symbol]) -> BTreeSet<StateId> {
+        self.delta_star(&BTreeSet::from([q]), word)
+    }
+
+    /// Whether the automaton accepts `word`.
+    pub fn accepts(&self, word: &[Symbol]) -> bool {
+        self.delta_star_from(self.start, word).iter().any(|q| self.finals.contains(q))
+    }
+
+    // ------------------------------------------------------------------
+    // Reachability & structure
+    // ------------------------------------------------------------------
+
+    /// The set of states reachable (by any transitions, including ε) from the
+    /// states in `from`.
+    pub fn reachable_from(&self, from: &BTreeSet<StateId>) -> BTreeSet<StateId> {
+        let mut seen = from.clone();
+        let mut stack: Vec<StateId> = from.iter().copied().collect();
+        while let Some(q) = stack.pop() {
+            for tos in self.trans[q].values() {
+                for &t in tos {
+                    if seen.insert(t) {
+                        stack.push(t);
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// The set of states from which some state in `to` is reachable.
+    pub fn coreachable_to(&self, to: &BTreeSet<StateId>) -> BTreeSet<StateId> {
+        // Build reverse adjacency.
+        let mut rev: Vec<Vec<StateId>> = vec![Vec::new(); self.num_states];
+        for (q, m) in self.trans.iter().enumerate() {
+            for tos in m.values() {
+                for &t in tos {
+                    rev[t].push(q);
+                }
+            }
+        }
+        let mut seen = to.clone();
+        let mut stack: Vec<StateId> = to.iter().copied().collect();
+        while let Some(q) = stack.pop() {
+            for &p in &rev[q] {
+                if seen.insert(p) {
+                    stack.push(p);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Whether the language of the automaton is empty.
+    pub fn is_empty(&self) -> bool {
+        let reach = self.reachable_from(&BTreeSet::from([self.start]));
+        reach.is_disjoint(&self.finals) || self.finals.is_empty()
+    }
+
+    /// Whether the language equals `Σ*` over the given alphabet.
+    pub fn is_universal(&self, alphabet: &Alphabet) -> bool {
+        self.complement(alphabet).is_empty()
+    }
+
+    /// A shortest accepted word, if any (breadth-first search over state
+    /// sets of the determinised automaton, so the result is genuinely
+    /// shortest).
+    pub fn shortest_accepted(&self) -> Option<Word> {
+        let alphabet = self.alphabet();
+        let start = self.epsilon_closure(&BTreeSet::from([self.start]));
+        let mut queue: VecDeque<(BTreeSet<StateId>, Word)> = VecDeque::new();
+        let mut seen: BTreeSet<BTreeSet<StateId>> = BTreeSet::new();
+        queue.push_back((start.clone(), Vec::new()));
+        seen.insert(start);
+        while let Some((set, word)) = queue.pop_front() {
+            if set.iter().any(|q| self.finals.contains(q)) {
+                return Some(word);
+            }
+            for sym in &alphabet {
+                let next = self.step(&set, sym);
+                if next.is_empty() {
+                    continue;
+                }
+                if seen.insert(next.clone()) {
+                    let mut w = word.clone();
+                    w.push(sym.clone());
+                    queue.push_back((next, w));
+                }
+            }
+        }
+        None
+    }
+
+    /// Enumerates accepted words of length at most `max_len`, up to `limit`
+    /// words, in length-lexicographic order. Intended for tests and examples.
+    pub fn enumerate_accepted(&self, max_len: usize, limit: usize) -> Vec<Word> {
+        let alphabet = self.alphabet();
+        let mut out = Vec::new();
+        let start = self.epsilon_closure(&BTreeSet::from([self.start]));
+        let mut frontier: Vec<(BTreeSet<StateId>, Word)> = vec![(start, Vec::new())];
+        for _len in 0..=max_len {
+            let mut next_frontier = Vec::new();
+            for (set, word) in &frontier {
+                if set.iter().any(|q| self.finals.contains(q)) {
+                    out.push(word.clone());
+                    if out.len() >= limit {
+                        return out;
+                    }
+                }
+            }
+            for (set, word) in frontier {
+                for sym in &alphabet {
+                    let next = self.step(&set, sym);
+                    if !next.is_empty() {
+                        let mut w = word.clone();
+                        w.push(sym.clone());
+                        next_frontier.push((next, w));
+                    }
+                }
+            }
+            frontier = next_frontier;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Restricts the automaton to states reachable from the start *and*
+    /// co-reachable from a final state (keeping the start state even if its
+    /// language is empty). The result accepts the same language.
+    pub fn trim(&self) -> Nfa {
+        let reach = self.reachable_from(&BTreeSet::from([self.start]));
+        let coreach = self.coreachable_to(&self.finals);
+        let mut keep: Vec<StateId> =
+            reach.intersection(&coreach).copied().collect();
+        if !keep.contains(&self.start) {
+            keep.push(self.start);
+        }
+        keep.sort_unstable();
+        let index: BTreeMap<StateId, StateId> =
+            keep.iter().enumerate().map(|(i, &q)| (q, i)).collect();
+        let mut out = Nfa::new(keep.len(), index[&self.start]);
+        for &q in &keep {
+            for (lbl, tos) in &self.trans[q] {
+                for t in tos {
+                    if let Some(&ti) = index.get(t) {
+                        match lbl {
+                            Some(sym) => out.add_transition(index[&q], sym.clone(), ti),
+                            None => out.add_epsilon(index[&q], ti),
+                        }
+                    }
+                }
+            }
+            if self.finals.contains(&q) {
+                out.set_final(index[&q]);
+            }
+        }
+        out
+    }
+
+    /// Returns an equivalent NFA without ε-transitions.
+    pub fn eps_free(&self) -> Nfa {
+        if !self.has_epsilon() {
+            return self.clone();
+        }
+        let mut out = Nfa::new(self.num_states, self.start);
+        for q in 0..self.num_states {
+            let closure = self.epsilon_closure(&BTreeSet::from([q]));
+            if closure.iter().any(|c| self.finals.contains(c)) {
+                out.set_final(q);
+            }
+            for &c in &closure {
+                for (lbl, tos) in &self.trans[c] {
+                    if let Some(sym) = lbl {
+                        for &t in tos {
+                            out.add_transition(q, sym.clone(), t);
+                        }
+                    }
+                }
+            }
+        }
+        out.trim()
+    }
+
+    /// Renames every symbol on every transition through `f` (used to apply
+    /// the specialisation-erasing morphism `µ` of SDTDs/EDTDs to content
+    /// models).
+    pub fn map_symbols(&self, mut f: impl FnMut(&Symbol) -> Symbol) -> Nfa {
+        let mut out = Nfa::new(self.num_states, self.start);
+        for q in 0..self.num_states {
+            for (lbl, tos) in &self.trans[q] {
+                for &t in tos {
+                    match lbl {
+                        Some(sym) => out.add_transition(q, f(sym), t),
+                        None => out.add_epsilon(q, t),
+                    }
+                }
+            }
+            if self.finals.contains(&q) {
+                out.set_final(q);
+            }
+        }
+        out
+    }
+
+    /// Keeps only transitions whose symbol satisfies the predicate
+    /// (ε-transitions are always kept).
+    pub fn filter_symbols(&self, mut keep: impl FnMut(&Symbol) -> bool) -> Nfa {
+        let mut out = Nfa::new(self.num_states, self.start);
+        for q in 0..self.num_states {
+            for (lbl, tos) in &self.trans[q] {
+                for &t in tos {
+                    match lbl {
+                        Some(sym) if keep(sym) => out.add_transition(q, sym.clone(), t),
+                        Some(_) => {}
+                        None => out.add_epsilon(q, t),
+                    }
+                }
+            }
+            if self.finals.contains(&q) {
+                out.set_final(q);
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Rational operations
+    // ------------------------------------------------------------------
+
+    /// Copies `other`'s states into `self` with an offset, returning the
+    /// offset. (Internal helper for the rational operations.)
+    fn absorb(&mut self, other: &Nfa) -> usize {
+        let offset = self.num_states;
+        self.num_states += other.num_states;
+        self.trans.extend(other.trans.iter().map(|m| {
+            m.iter()
+                .map(|(lbl, tos)| (lbl.clone(), tos.iter().map(|t| t + offset).collect()))
+                .collect()
+        }));
+        offset
+    }
+
+    /// Union `[self] ∪ [other]`.
+    pub fn union(&self, other: &Nfa) -> Nfa {
+        let mut out = Nfa::new(1, 0);
+        let o1 = out.absorb(self);
+        let o2 = out.absorb(other);
+        out.add_epsilon(0, self.start + o1);
+        out.add_epsilon(0, other.start + o2);
+        for &f in &self.finals {
+            out.set_final(f + o1);
+        }
+        for &f in &other.finals {
+            out.set_final(f + o2);
+        }
+        out
+    }
+
+    /// Union of many automata. Returns the empty language for an empty slice.
+    pub fn union_all<'a>(automata: impl IntoIterator<Item = &'a Nfa>) -> Nfa {
+        let mut iter = automata.into_iter();
+        match iter.next() {
+            None => Nfa::empty(),
+            Some(first) => iter.fold(first.clone(), |acc, a| acc.union(a)),
+        }
+    }
+
+    /// Concatenation `[self] ◦ [other]`.
+    pub fn concat(&self, other: &Nfa) -> Nfa {
+        let mut out = self.clone();
+        let o2 = out.absorb(other);
+        for &f in &self.finals {
+            out.add_epsilon(f, other.start + o2);
+        }
+        out.finals = other.finals.iter().map(|f| f + o2).collect();
+        out
+    }
+
+    /// Kleene star `[self]*`.
+    pub fn star(&self) -> Nfa {
+        let mut out = Nfa::new(1, 0);
+        let o = out.absorb(self);
+        out.add_epsilon(0, self.start + o);
+        out.set_final(0);
+        for &f in &self.finals {
+            out.add_epsilon(f + o, 0);
+            out.set_final(f + o);
+        }
+        out
+    }
+
+    /// Kleene plus `[self]+`.
+    pub fn plus(&self) -> Nfa {
+        self.concat(&self.star())
+    }
+
+    /// Option `[self]?` = `[self] ∪ {ε}`.
+    pub fn optional(&self) -> Nfa {
+        let mut out = self.clone();
+        if !out.finals.contains(&out.start) {
+            let new_start = out.add_state();
+            out.add_epsilon(new_start, out.start);
+            out.set_start(new_start);
+            out.set_final(new_start);
+        }
+        out
+    }
+
+    /// Intersection `[self] ∩ [other]` (product construction on the ε-free
+    /// versions).
+    pub fn intersect(&self, other: &Nfa) -> Nfa {
+        let a = self.eps_free();
+        let b = other.eps_free();
+        // Product over pairs, built lazily from the reachable part.
+        let mut index: BTreeMap<(StateId, StateId), StateId> = BTreeMap::new();
+        let mut out = Nfa::new(1, 0);
+        index.insert((a.start, b.start), 0);
+        let mut stack = vec![(a.start, b.start)];
+        while let Some((p, q)) = stack.pop() {
+            let pid = index[&(p, q)];
+            if a.is_final(p) && b.is_final(q) {
+                out.set_final(pid);
+            }
+            for (lbl, tos) in &a.trans[p] {
+                let sym = match lbl {
+                    Some(s) => s,
+                    None => continue,
+                };
+                let b_tos = match b.trans[q].get(&Some(sym.clone())) {
+                    Some(t) => t,
+                    None => continue,
+                };
+                for &ta in tos {
+                    for &tb in b_tos {
+                        let tid = *index.entry((ta, tb)).or_insert_with(|| {
+                            stack.push((ta, tb));
+                            out.add_state()
+                        });
+                        out.add_transition(pid, sym.clone(), tid);
+                    }
+                }
+            }
+        }
+        out.trim()
+    }
+
+    /// Intersection of many automata. Panics on an empty iterator (there is
+    /// no universal language without an alphabet).
+    pub fn intersect_all<'a>(automata: impl IntoIterator<Item = &'a Nfa>) -> Nfa {
+        let mut iter = automata.into_iter();
+        let first = iter.next().expect("intersect_all needs at least one automaton");
+        iter.fold(first.clone(), |acc, a| acc.intersect(a))
+    }
+
+    /// Complement `Σ* − [self]` with respect to the given alphabet.
+    pub fn complement(&self, alphabet: &Alphabet) -> Nfa {
+        Dfa::from_nfa(self).complete(alphabet).complement().to_nfa()
+    }
+
+    /// Difference `[self] − [other]` with respect to the given alphabet
+    /// (needed to complete `other` before complementing it).
+    pub fn difference(&self, other: &Nfa, alphabet: &Alphabet) -> Nfa {
+        self.intersect(&other.complement(alphabet))
+    }
+
+    /// Converts to a DFA (subset construction).
+    pub fn to_dfa(&self) -> Dfa {
+        Dfa::from_nfa(self)
+    }
+}
+
+impl fmt::Debug for Nfa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Nfa(states={}, start={}, finals={:?})", self.num_states, self.start, self.finals)?;
+        for (q, lbl, t) in self.transitions() {
+            match lbl {
+                Some(s) => writeln!(f, "  {q} --{s}--> {t}")?,
+                None => writeln!(f, "  {q} --ε--> {t}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::{word_chars, Alphabet};
+
+    fn ab() -> Alphabet {
+        Alphabet::from_chars("ab")
+    }
+
+    #[test]
+    fn literal_accepts_only_itself() {
+        let w = word_chars("aba");
+        let a = Nfa::literal(&w);
+        assert!(a.accepts(&w));
+        assert!(!a.accepts(&word_chars("ab")));
+        assert!(!a.accepts(&word_chars("abaa")));
+        assert!(!a.accepts(&[]));
+    }
+
+    #[test]
+    fn empty_and_epsilon() {
+        assert!(Nfa::empty().is_empty());
+        assert!(!Nfa::epsilon().is_empty());
+        assert!(Nfa::epsilon().accepts(&[]));
+        assert!(!Nfa::epsilon().accepts(&word_chars("a")));
+    }
+
+    #[test]
+    fn union_concat_star() {
+        let a = Nfa::symbol("a");
+        let b = Nfa::symbol("b");
+        let ab = a.concat(&b);
+        assert!(ab.accepts(&word_chars("ab")));
+        assert!(!ab.accepts(&word_chars("a")));
+        let a_or_b = a.union(&b);
+        assert!(a_or_b.accepts(&word_chars("a")));
+        assert!(a_or_b.accepts(&word_chars("b")));
+        assert!(!a_or_b.accepts(&word_chars("ab")));
+        let astar = a.star();
+        assert!(astar.accepts(&[]));
+        assert!(astar.accepts(&word_chars("aaaa")));
+        assert!(!astar.accepts(&word_chars("ab")));
+        let aplus = a.plus();
+        assert!(!aplus.accepts(&[]));
+        assert!(aplus.accepts(&word_chars("aa")));
+        let aopt = a.optional();
+        assert!(aopt.accepts(&[]));
+        assert!(aopt.accepts(&word_chars("a")));
+        assert!(!aopt.accepts(&word_chars("aa")));
+    }
+
+    #[test]
+    fn intersection_and_difference() {
+        // (ab)* ∩ a(ba)*b = (ab)+ restricted... both describe strings of
+        // alternating ab starting with a and ending with b, so the
+        // intersection equals the non-empty even-length ones.
+        let abstar = Nfa::literal(&word_chars("ab")).star();
+        let a_ba_b = Nfa::symbol("a")
+            .concat(&Nfa::literal(&word_chars("ba")).star())
+            .concat(&Nfa::symbol("b"));
+        let inter = abstar.intersect(&a_ba_b);
+        assert!(inter.accepts(&word_chars("ab")));
+        assert!(inter.accepts(&word_chars("abab")));
+        assert!(!inter.accepts(&[]));
+        assert!(!inter.accepts(&word_chars("aba")));
+
+        let diff = abstar.difference(&a_ba_b, &ab());
+        assert!(diff.accepts(&[]));
+        assert!(!diff.accepts(&word_chars("ab")));
+    }
+
+    #[test]
+    fn complement_and_universality() {
+        let astar = Nfa::symbol("a").star();
+        let comp = astar.complement(&ab());
+        assert!(!comp.accepts(&[]));
+        assert!(!comp.accepts(&word_chars("aa")));
+        assert!(comp.accepts(&word_chars("ab")));
+        assert!(comp.accepts(&word_chars("b")));
+        let union = astar.union(&comp);
+        assert!(union.is_universal(&ab()));
+        assert!(!astar.is_universal(&ab()));
+    }
+
+    #[test]
+    fn eps_free_preserves_language() {
+        let a = Nfa::symbol("a").star().concat(&Nfa::symbol("b").optional());
+        let ef = a.eps_free();
+        assert!(!ef.has_epsilon());
+        for w in ["", "a", "aa", "b", "ab", "aab", "ba", "bb"] {
+            assert_eq!(a.accepts(&word_chars(w)), ef.accepts(&word_chars(w)), "word {w}");
+        }
+    }
+
+    #[test]
+    fn shortest_and_enumeration() {
+        let a = Nfa::symbol("a").plus().concat(&Nfa::symbol("b"));
+        assert_eq!(a.shortest_accepted(), Some(word_chars("ab")));
+        assert_eq!(Nfa::empty().shortest_accepted(), None);
+        let words = a.enumerate_accepted(4, 10);
+        assert!(words.contains(&word_chars("ab")));
+        assert!(words.contains(&word_chars("aaab")));
+        assert!(!words.contains(&word_chars("b")));
+    }
+
+    #[test]
+    fn trim_keeps_language() {
+        let mut a = Nfa::new(4, 0);
+        a.add_transition(0, "a", 1);
+        a.add_transition(2, "b", 3); // unreachable garbage
+        a.set_final(1);
+        a.set_final(3);
+        let t = a.trim();
+        assert_eq!(t.num_states(), 2);
+        assert!(t.accepts(&word_chars("a")));
+        assert!(!t.accepts(&word_chars("b")));
+    }
+
+    #[test]
+    fn map_and_filter_symbols() {
+        let a = Nfa::literal(&word_chars("ab"));
+        let mapped = a.map_symbols(|s| if s.as_str() == "a" { Symbol::new("x") } else { s.clone() });
+        assert!(mapped.accepts(&word_chars("xb")));
+        assert!(!mapped.accepts(&word_chars("ab")));
+        let filtered = a.filter_symbols(|s| s.as_str() != "b");
+        assert!(filtered.is_empty());
+    }
+
+    #[test]
+    fn delta_star_reachability() {
+        let a = Nfa::literal(&word_chars("ab")).star();
+        let from_start = a.delta_star_from(a.start(), &word_chars("ab"));
+        assert!(from_start.iter().any(|q| a.is_final(*q)));
+        let dead = a.delta_star_from(a.start(), &word_chars("ba"));
+        assert!(dead.iter().all(|q| !a.is_final(*q)));
+    }
+
+    #[test]
+    fn any_of_and_sigma_star() {
+        let any = Nfa::any_of(["a", "b"]);
+        assert!(any.accepts(&word_chars("a")));
+        assert!(any.accepts(&word_chars("b")));
+        assert!(!any.accepts(&word_chars("ab")));
+        let sig = Nfa::sigma_star(&ab());
+        assert!(sig.accepts(&[]));
+        assert!(sig.accepts(&word_chars("abba")));
+        assert!(sig.is_universal(&ab()));
+        let sp = Nfa::sigma_plus(&ab());
+        assert!(!sp.accepts(&[]));
+        assert!(sp.accepts(&word_chars("b")));
+    }
+}

@@ -1,0 +1,262 @@
+//! Symbols (element names, specialised element names and function names) and
+//! alphabets.
+//!
+//! The paper works with two alphabets: `Σ` of element names and `Σf` of
+//! function symbols (Section 2.3). Both are represented here by [`Symbol`],
+//! a cheaply clonable interned string. Distinguishing element names from
+//! function names is the responsibility of the higher layers (the kernel
+//! document knows which leaves are docking points).
+
+use std::borrow::Borrow;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// An interned, cheaply clonable symbol (an element name such as `eurostat`,
+/// a specialised element name such as `natIndA`, or a function name such as
+/// `f1`).
+///
+/// Symbols are ordered and hashed by their textual content, so two `Symbol`s
+/// built from the same string are interchangeable.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(Arc<str>);
+
+impl Symbol {
+    /// Creates a symbol from anything string-like.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Symbol(Arc::from(name.as_ref()))
+    }
+
+    /// The textual content of the symbol.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Creates a "specialised" copy of this symbol, in the sense of R-SDTDs /
+    /// R-EDTDs: `a.specialize(3)` is the symbol `a~3`.
+    ///
+    /// The tilde separator mirrors the paper's notation `ã_i` and is chosen so
+    /// that specialised names never collide with ordinary element names
+    /// produced by the parsers (which reject `~`).
+    pub fn specialize(&self, index: usize) -> Symbol {
+        Symbol::new(format!("{}~{}", self.0, index))
+    }
+
+    /// If this symbol is a specialised name (`a~i`), returns the underlying
+    /// element name `a`; otherwise returns a clone of the symbol itself.
+    pub fn base_name(&self) -> Symbol {
+        match self.0.rfind('~') {
+            Some(idx) => Symbol::new(&self.0[..idx]),
+            None => self.clone(),
+        }
+    }
+
+    /// Whether the symbol is a specialised name (contains a `~`).
+    pub fn is_specialized(&self) -> bool {
+        self.0.contains('~')
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Self {
+        Symbol::new(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Self {
+        Symbol::new(s)
+    }
+}
+
+impl From<char> for Symbol {
+    fn from(c: char) -> Self {
+        Symbol::new(c.to_string())
+    }
+}
+
+impl Borrow<str> for Symbol {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+/// A finite alphabet: an ordered set of [`Symbol`]s.
+///
+/// Alphabets are needed wherever a complement is taken (the complement of a
+/// language is only meaningful relative to an alphabet), and to describe the
+/// element names of a schema.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct Alphabet {
+    symbols: BTreeSet<Symbol>,
+}
+
+impl Alphabet {
+    /// Creates an empty alphabet.
+    pub fn new() -> Self {
+        Alphabet::default()
+    }
+
+    /// Creates an alphabet from an iterator of symbols.
+    pub fn from_iter<I, S>(iter: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<Symbol>,
+    {
+        Alphabet {
+            symbols: iter.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Creates an alphabet containing one single-character symbol per
+    /// character of `chars` (convenient for the paper's compact examples).
+    pub fn from_chars(chars: &str) -> Self {
+        Alphabet::from_iter(chars.chars().map(Symbol::from))
+    }
+
+    /// Inserts a symbol; returns `true` if it was not already present.
+    pub fn insert(&mut self, sym: impl Into<Symbol>) -> bool {
+        self.symbols.insert(sym.into())
+    }
+
+    /// Whether the alphabet contains `sym`.
+    pub fn contains(&self, sym: &Symbol) -> bool {
+        self.symbols.contains(sym)
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Whether the alphabet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// Iterates over the symbols in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &Symbol> {
+        self.symbols.iter()
+    }
+
+    /// Union of two alphabets.
+    pub fn union(&self, other: &Alphabet) -> Alphabet {
+        Alphabet {
+            symbols: self.symbols.union(&other.symbols).cloned().collect(),
+        }
+    }
+
+    /// Removes a symbol; returns `true` if it was present.
+    pub fn remove(&mut self, sym: &Symbol) -> bool {
+        self.symbols.remove(sym)
+    }
+
+    /// The symbols as a vector (sorted).
+    pub fn to_vec(&self) -> Vec<Symbol> {
+        self.symbols.iter().cloned().collect()
+    }
+}
+
+impl IntoIterator for Alphabet {
+    type Item = Symbol;
+    type IntoIter = std::collections::btree_set::IntoIter<Symbol>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.symbols.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Alphabet {
+    type Item = &'a Symbol;
+    type IntoIter = std::collections::btree_set::Iter<'a, Symbol>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.symbols.iter()
+    }
+}
+
+impl FromIterator<Symbol> for Alphabet {
+    fn from_iter<T: IntoIterator<Item = Symbol>>(iter: T) -> Self {
+        Alphabet {
+            symbols: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// A word over an alphabet: a sequence of symbols.
+///
+/// Provided as a convenience alias; the crate's functions accept `&[Symbol]`.
+pub type Word = Vec<Symbol>;
+
+/// Builds a word from a whitespace-separated list of symbol names
+/// (`word("a b c")`), or from adjacent single characters if the string
+/// contains no whitespace and only single-character names are wanted
+/// (use [`word_chars`] for that).
+pub fn word(s: &str) -> Word {
+    s.split_whitespace().map(Symbol::new).collect()
+}
+
+/// Builds a word of single-character symbols from a compact string:
+/// `word_chars("abba")` is the word `a·b·b·a`.
+pub fn word_chars(s: &str) -> Word {
+    s.chars().filter(|c| !c.is_whitespace()).map(Symbol::from).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbol_roundtrip_and_ordering() {
+        let a = Symbol::new("a");
+        let b = Symbol::new("b");
+        assert!(a < b);
+        assert_eq!(a.as_str(), "a");
+        assert_eq!(a, Symbol::from("a"));
+        assert_eq!(format!("{a}"), "a");
+    }
+
+    #[test]
+    fn specialization_roundtrip() {
+        let a = Symbol::new("nationalIndex");
+        let a1 = a.specialize(1);
+        assert_eq!(a1.as_str(), "nationalIndex~1");
+        assert!(a1.is_specialized());
+        assert!(!a.is_specialized());
+        assert_eq!(a1.base_name(), a);
+        assert_eq!(a.base_name(), a);
+    }
+
+    #[test]
+    fn alphabet_operations() {
+        let mut sigma = Alphabet::from_chars("ab");
+        assert_eq!(sigma.len(), 2);
+        assert!(sigma.contains(&Symbol::new("a")));
+        assert!(!sigma.contains(&Symbol::new("c")));
+        assert!(sigma.insert("c"));
+        assert!(!sigma.insert("c"));
+        assert_eq!(sigma.len(), 3);
+        let other = Alphabet::from_iter(["c", "d"]);
+        let u = sigma.union(&other);
+        assert_eq!(u.len(), 4);
+    }
+
+    #[test]
+    fn word_builders() {
+        assert_eq!(word("a b a"), vec![Symbol::new("a"), Symbol::new("b"), Symbol::new("a")]);
+        assert_eq!(word_chars("aba"), word("a b a"));
+        assert_eq!(word("averages nationalIndex").len(), 2);
+    }
+}

@@ -1,0 +1,1 @@
+//! Workload generators for the benchmark harness (to be filled in).

@@ -1,0 +1,75 @@
+//! Errors produced while parsing or validating schemas.
+
+use std::fmt;
+
+use dxml_automata::{AutomataError, Symbol};
+
+/// Errors for schema construction, parsing and validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// A rule or content model failed to parse.
+    Parse {
+        /// Line (1-based) at which the problem occurred, when known.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// An underlying automaton/regex error.
+    Automata(AutomataError),
+    /// The document's root label does not match the schema's start symbol.
+    RootMismatch {
+        /// Expected root element name.
+        expected: Symbol,
+        /// Actual root label.
+        found: Symbol,
+    },
+    /// A node's children do not match its content model.
+    InvalidContent {
+        /// The path of labels from the root to the offending node.
+        path: Vec<Symbol>,
+        /// The labels of the children of the offending node.
+        children: Vec<Symbol>,
+        /// A rendering of the expected content model.
+        expected: String,
+    },
+    /// A label occurs in the document but not in the schema's alphabet.
+    UnknownElement {
+        /// The unknown label.
+        label: Symbol,
+    },
+    /// A schema violates a structural requirement (e.g. the single-type
+    /// requirement of SDTDs, or determinism of dRE content models).
+    Structural(String),
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::Parse { line, message } => write!(f, "schema parse error (line {line}): {message}"),
+            SchemaError::Automata(e) => write!(f, "{e}"),
+            SchemaError::RootMismatch { expected, found } => {
+                write!(f, "root element is `{found}` but the schema requires `{expected}`")
+            }
+            SchemaError::InvalidContent { path, children, expected } => {
+                let path_s: Vec<String> = path.iter().map(|s| s.to_string()).collect();
+                let ch: Vec<String> = children.iter().map(|s| s.to_string()).collect();
+                write!(
+                    f,
+                    "content of node /{} is [{}], which does not match {expected}",
+                    path_s.join("/"),
+                    ch.join(" ")
+                )
+            }
+            SchemaError::UnknownElement { label } => write!(f, "element `{label}` is not declared in the schema"),
+            SchemaError::Structural(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+impl From<AutomataError> for SchemaError {
+    fn from(e: AutomataError) -> Self {
+        SchemaError::Automata(e)
+    }
+}

@@ -1,0 +1,56 @@
+//! Abstract XML schema languages: `R-DTD`, `R-SDTD` and `R-EDTD`.
+//!
+//! Section 2.2 of *Distributed XML Design* abstracts the three mainstream
+//! schema languages for XML into families of tree grammars parameterised by
+//! the content-model formalism `R ∈ {nFA, dFA, nRE, dRE}`:
+//!
+//! | W3C / OASIS language | abstraction here |
+//! |---|---|
+//! | W3C DTD              | [`RDtd`]  (Definition 3) — `dRE-DTD` is the closest to the standard |
+//! | W3C XML Schema (XSD) | [`RSdtd`] (Definition 6) — single-type extended DTDs |
+//! | Relax NG             | [`REdtd`] (Definition 7) — full unranked regular tree languages |
+//!
+//! The crate provides construction (from a compact rule syntax and from a
+//! `<!ELEMENT …>` subset of the W3C syntax), validation of documents,
+//! the `dual(τ)` vertical automaton, the *reduced* property and the reduction
+//! algorithm, conversions to unranked tree automata, normalisation of EDTDs
+//! (Lemma 4.10), the closure-property-based candidate constructions for
+//! SDTD-/DTD-definability (Lemmas 3.5 and 3.12) and language
+//! equivalence/inclusion between schemas.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dtd;
+pub mod edtd;
+pub mod error;
+pub mod sdtd;
+pub mod syntax;
+
+pub use dtd::RDtd;
+pub use edtd::REdtd;
+pub use error::SchemaError;
+pub use sdtd::RSdtd;
+
+/// A convenient re-export of the schema-language discriminator used by the
+/// design layer ("the paper's parameter `S`").
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum SchemaLanguage {
+    /// `R-DTD`s (abstraction of W3C DTDs).
+    Dtd,
+    /// `R-SDTD`s (abstraction of W3C XSD).
+    Sdtd,
+    /// `R-EDTD`s (abstraction of Relax NG / regular tree grammars).
+    Edtd,
+}
+
+impl std::fmt::Display for SchemaLanguage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            SchemaLanguage::Dtd => "DTD",
+            SchemaLanguage::Sdtd => "SDTD",
+            SchemaLanguage::Edtd => "EDTD",
+        };
+        write!(f, "{name}")
+    }
+}

@@ -1,0 +1,136 @@
+//! Deterministic pseudo-random tree generation.
+//!
+//! Used by property tests and by the benchmark workloads to produce families
+//! of documents of controlled size. A small xorshift generator keeps the
+//! crate dependency-free and the output reproducible from a seed.
+
+use dxml_automata::{Alphabet, Symbol};
+
+use crate::tree::XTree;
+
+/// A tiny deterministic pseudo-random number generator (xorshift64*).
+#[derive(Clone, Debug)]
+pub struct SplitRng {
+    state: u64,
+}
+
+impl SplitRng {
+    /// Creates a generator from a seed (zero is mapped to a fixed constant).
+    pub fn new(seed: u64) -> Self {
+        SplitRng { state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed } }
+    }
+
+    /// The next pseudo-random 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// A pseudo-random value in `0..bound` (`bound` must be non-zero).
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// A pseudo-random boolean with probability `num/den`.
+    pub fn chance(&mut self, num: usize, den: usize) -> bool {
+        self.below(den) < num
+    }
+
+    /// Picks a random element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len())]
+    }
+}
+
+/// Parameters controlling random tree generation.
+#[derive(Clone, Debug)]
+pub struct TreeGenConfig {
+    /// Labels to draw from.
+    pub labels: Vec<Symbol>,
+    /// Maximum depth of the generated tree.
+    pub max_depth: usize,
+    /// Maximum number of children per node.
+    pub max_children: usize,
+    /// Probability (out of 100) that a non-maximal-depth node gets children.
+    pub branch_chance: usize,
+}
+
+impl TreeGenConfig {
+    /// A configuration drawing labels from the given alphabet.
+    pub fn new(alphabet: &Alphabet, max_depth: usize, max_children: usize) -> Self {
+        TreeGenConfig {
+            labels: alphabet.to_vec(),
+            max_depth,
+            max_children,
+            branch_chance: 70,
+        }
+    }
+}
+
+/// Generates a pseudo-random tree according to `config`.
+pub fn random_tree(rng: &mut SplitRng, config: &TreeGenConfig) -> XTree {
+    assert!(!config.labels.is_empty(), "need at least one label");
+    fn grow(rng: &mut SplitRng, config: &TreeGenConfig, tree: &mut XTree, node: usize, depth: usize) {
+        if depth >= config.max_depth || !rng.chance(config.branch_chance, 100) {
+            return;
+        }
+        let n_children = rng.below(config.max_children + 1);
+        for _ in 0..n_children {
+            let label = rng.pick(&config.labels).clone();
+            let child = tree.add_child(node, label);
+            grow(rng, config, tree, child, depth + 1);
+        }
+    }
+    let mut tree = XTree::leaf(rng.pick(&config.labels).clone());
+    grow(rng, config, &mut tree, 0, 1);
+    tree
+}
+
+/// Generates `count` pseudo-random trees.
+pub fn random_trees(seed: u64, config: &TreeGenConfig, count: usize) -> Vec<XTree> {
+    let mut rng = SplitRng::new(seed);
+    (0..count).map(|_| random_tree(&mut rng, config)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = TreeGenConfig::new(&Alphabet::from_chars("abc"), 4, 3);
+        let a = random_trees(42, &config, 5);
+        let b = random_trees(42, &config, 5);
+        assert_eq!(a, b);
+        let c = random_trees(43, &config, 5);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generation_respects_bounds() {
+        let config = TreeGenConfig::new(&Alphabet::from_chars("ab"), 3, 2);
+        for tree in random_trees(7, &config, 50) {
+            assert!(tree.depth() <= 3, "tree too deep: {tree}");
+            for node in tree.document_order() {
+                assert!(tree.children(node).len() <= 2);
+                assert!(tree.label(node).as_str() == "a" || tree.label(node).as_str() == "b");
+            }
+        }
+    }
+
+    #[test]
+    fn rng_utilities() {
+        let mut rng = SplitRng::new(1);
+        let x = rng.below(10);
+        assert!(x < 10);
+        let picked = *rng.pick(&[1, 2, 3]);
+        assert!([1, 2, 3].contains(&picked));
+        // zero seed does not get stuck
+        let mut z = SplitRng::new(0);
+        assert_ne!(z.next_u64(), z.next_u64());
+    }
+}

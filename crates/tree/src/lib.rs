@@ -1,0 +1,32 @@
+//! Unranked ordered labelled trees (abstract XML documents) and unranked
+//! tree automata.
+//!
+//! Following Section 2.1.1 of *Distributed XML Design*, an XML document is
+//! abstracted as a finite ordered unranked tree with labels from an alphabet
+//! `Σ`; values (`#PCDATA`) are ignored. This crate provides:
+//!
+//! * [`XTree`] — an arena-based tree with the node accessors used by the
+//!   paper (`child-str`, `anc-str`, `tree_t(x)`, document order);
+//! * [`term`] — a parser/printer for the paper's term notation
+//!   (`s(a f1 b(f2))`);
+//! * [`xml`] — a minimal element-only XML parser and serialiser, so that the
+//!   examples can ingest and emit actual XML documents;
+//! * [`generate`] — deterministic pseudo-random tree generation for property
+//!   tests and benchmark workloads;
+//! * [`uta`] — nondeterministic unranked tree automata (`nUTA`,
+//!   Section 2.1.3), membership, emptiness, bottom-up determinisation
+//!   ([`uta::Duta`]), inclusion and equivalence with counter-example trees.
+//!   These are the oracles behind `equiv[S]` for the EDTD/SDTD schema
+//!   languages.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generate;
+pub mod term;
+pub mod tree;
+pub mod uta;
+pub mod xml;
+
+pub use tree::{NodeId, XForest, XTree};
+pub use uta::{Duta, Nuta};

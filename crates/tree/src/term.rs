@@ -1,0 +1,171 @@
+//! The paper's term notation for trees: `s(a f1 b(f2))`.
+//!
+//! A term is an identifier optionally followed by a parenthesised,
+//! whitespace- or comma-separated list of child terms. This is the notation
+//! used throughout the paper for kernels and example documents
+//! (e.g. `T0 = s(a f1 b(f2))`, `s0(a(b) f1 a(c))`).
+
+use dxml_automata::{AutomataError, Symbol};
+
+use crate::tree::{XForest, XTree};
+
+/// Parses a tree from term notation.
+///
+/// Identifiers consist of alphanumeric characters, `_`, `~` and `#`;
+/// children are separated by whitespace or commas.
+pub fn parse_term(input: &str) -> Result<XTree, AutomataError> {
+    let mut parser = TermParser { input: input.as_bytes(), pos: 0 };
+    parser.skip_ws();
+    let tree = parser.parse_tree()?;
+    parser.skip_ws();
+    if parser.pos != parser.input.len() {
+        return Err(AutomataError::RegexParse {
+            message: "unexpected trailing input after term".into(),
+            position: parser.pos,
+        });
+    }
+    Ok(tree)
+}
+
+/// Parses a forest: a whitespace/comma separated sequence of terms
+/// (used for the results of resource calls, which are forests attached under
+/// a root).
+pub fn parse_forest(input: &str) -> Result<XForest, AutomataError> {
+    let mut parser = TermParser { input: input.as_bytes(), pos: 0 };
+    let mut forest = Vec::new();
+    loop {
+        parser.skip_ws();
+        if parser.pos == parser.input.len() {
+            break;
+        }
+        forest.push(parser.parse_tree()?);
+    }
+    Ok(forest)
+}
+
+/// Prints a tree in term notation.
+pub fn to_term(tree: &XTree) -> String {
+    fn rec(tree: &XTree, node: usize, out: &mut String) {
+        out.push_str(tree.label(node).as_str());
+        let children = tree.children(node);
+        if !children.is_empty() {
+            out.push('(');
+            for (i, &c) in children.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                rec(tree, c, out);
+            }
+            out.push(')');
+        }
+    }
+    let mut out = String::new();
+    rec(tree, tree.root(), &mut out);
+    out
+}
+
+struct TermParser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl TermParser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len()
+            && (self.input[self.pos].is_ascii_whitespace() || self.input[self.pos] == b',')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn parse_ident(&mut self) -> Result<Symbol, AutomataError> {
+        let start = self.pos;
+        while self.pos < self.input.len() {
+            let c = self.input[self.pos] as char;
+            if c.is_alphanumeric() || c == '_' || c == '~' || c == '#' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(AutomataError::RegexParse {
+                message: "expected an identifier".into(),
+                position: self.pos,
+            });
+        }
+        Ok(Symbol::new(std::str::from_utf8(&self.input[start..self.pos]).unwrap()))
+    }
+
+    fn parse_tree(&mut self) -> Result<XTree, AutomataError> {
+        let label = self.parse_ident()?;
+        self.skip_ws();
+        let mut children = Vec::new();
+        if self.pos < self.input.len() && self.input[self.pos] == b'(' {
+            self.pos += 1;
+            loop {
+                self.skip_ws();
+                if self.pos >= self.input.len() {
+                    return Err(AutomataError::RegexParse {
+                        message: "unterminated '(' in term".into(),
+                        position: self.pos,
+                    });
+                }
+                if self.input[self.pos] == b')' {
+                    self.pos += 1;
+                    break;
+                }
+                children.push(self.parse_tree()?);
+            }
+        }
+        Ok(XTree::node(label, children))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_print_roundtrip() {
+        for src in ["s", "s(a b c)", "s(a f1 b(f2))", "s0(a(b) f1 a(c))", "eurostat(averages(Good index) nationalIndex(country Good index))"] {
+            let t = parse_term(src).unwrap();
+            let printed = to_term(&t);
+            let t2 = parse_term(&printed).unwrap();
+            assert_eq!(t, t2, "roundtrip for {src}");
+        }
+    }
+
+    #[test]
+    fn parse_matches_manual_construction() {
+        let t = parse_term("s(a f1 b(f2))").unwrap();
+        let manual = XTree::node(
+            "s",
+            vec![XTree::leaf("a"), XTree::leaf("f1"), XTree::node("b", vec![XTree::leaf("f2")])],
+        );
+        assert_eq!(t, manual);
+    }
+
+    #[test]
+    fn commas_are_accepted_as_separators() {
+        let t = parse_term("s(a, b, c)").unwrap();
+        assert_eq!(t.child_str(t.root()).len(), 3);
+    }
+
+    #[test]
+    fn forest_parsing() {
+        let f = parse_forest("a(b) c d(e f)").unwrap();
+        assert_eq!(f.len(), 3);
+        assert_eq!(f[0], parse_term("a(b)").unwrap());
+        assert_eq!(f[2].size(), 3);
+        assert!(parse_forest("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_term("").is_err());
+        assert!(parse_term("s(a").is_err());
+        assert!(parse_term("s)a(").is_err());
+        assert!(parse_term("s(a) b").is_err());
+    }
+}

@@ -1,0 +1,822 @@
+//! Unranked tree automata (Section 2.1.3).
+//!
+//! A *nondeterministic unranked tree automaton* (nUTA) is a quadruple
+//! `⟨K, Σ, Δ, F⟩` where `Δ` maps pairs `(state, label)` to [`Nfa`]s over the
+//! state set: a tree is accepted iff there is an assignment `µ` of states to
+//! nodes such that `µ(root) ∈ F` and for every node `x`, the word
+//! `µ(children(x))` is accepted by `Δ(µ(x), lab(x))` (with ε for leaves).
+//!
+//! States are [`Symbol`]s, which makes nUTAs the direct operational model of
+//! the paper's R-EDTDs (states = specialised element names). The module
+//! provides:
+//!
+//! * membership ([`Nuta::accepts`]) via the bottom-up possible-state-set run;
+//! * emptiness with witness trees ([`Nuta::inhabited_witnesses`]);
+//! * bottom-up determinisation ([`Duta`], the dUTAs of the paper) via the
+//!   reachable-subset construction, with per-label Moore machines over
+//!   subset states;
+//! * inclusion and equivalence of tree languages with counter-example trees
+//!   ([`included`], [`equivalent`]) — the oracles behind `equiv[S]` for
+//!   SDTDs and EDTDs (Theorem 4.7).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+use dxml_automata::{Alphabet, Nfa, Symbol};
+
+use crate::tree::XTree;
+
+/// A nondeterministic unranked tree automaton whose states are [`Symbol`]s.
+#[derive(Clone)]
+pub struct Nuta {
+    states: BTreeSet<Symbol>,
+    finals: BTreeSet<Symbol>,
+    labels: Alphabet,
+    /// `(state, label) → content NFA over state symbols`.
+    delta: BTreeMap<(Symbol, Symbol), Nfa>,
+}
+
+impl Nuta {
+    /// Creates an automaton with no states.
+    pub fn new() -> Nuta {
+        Nuta {
+            states: BTreeSet::new(),
+            finals: BTreeSet::new(),
+            labels: Alphabet::new(),
+            delta: BTreeMap::new(),
+        }
+    }
+
+    /// Adds a state (idempotent).
+    pub fn add_state(&mut self, state: impl Into<Symbol>) {
+        self.states.insert(state.into());
+    }
+
+    /// Marks a state as final (adds it if missing).
+    pub fn set_final(&mut self, state: impl Into<Symbol>) {
+        let s = state.into();
+        self.states.insert(s.clone());
+        self.finals.insert(s);
+    }
+
+    /// Sets the content automaton for `(state, label)`. The content NFA reads
+    /// *state* symbols. Adding a rule registers the state and the label.
+    pub fn set_rule(&mut self, state: impl Into<Symbol>, label: impl Into<Symbol>, content: Nfa) {
+        let s = state.into();
+        let l = label.into();
+        self.states.insert(s.clone());
+        self.labels.insert(l.clone());
+        self.delta.insert((s, l), content);
+    }
+
+    /// The states.
+    pub fn states(&self) -> &BTreeSet<Symbol> {
+        &self.states
+    }
+
+    /// The final states.
+    pub fn finals(&self) -> &BTreeSet<Symbol> {
+        &self.finals
+    }
+
+    /// The tree-node labels for which at least one rule exists.
+    pub fn labels(&self) -> &Alphabet {
+        &self.labels
+    }
+
+    /// The content automaton for `(state, label)` if a rule exists.
+    pub fn rule(&self, state: &Symbol, label: &Symbol) -> Option<&Nfa> {
+        self.delta.get(&(state.clone(), label.clone()))
+    }
+
+    /// Iterates over all rules.
+    pub fn rules(&self) -> impl Iterator<Item = (&Symbol, &Symbol, &Nfa)> {
+        self.delta.iter().map(|((s, l), nfa)| (s, l, nfa))
+    }
+
+    /// Total size: number of states plus the sizes of all content automata.
+    pub fn size(&self) -> usize {
+        self.states.len()
+            + self
+                .delta
+                .values()
+                .map(|nfa| nfa.num_states() + nfa.num_transitions())
+                .sum::<usize>()
+    }
+
+    /// A copy of the automaton with a different set of final states
+    /// (useful to obtain the language of trees "rooted at" a particular
+    /// state, like the paper's `τ(ã)` of Lemma 3.4).
+    pub fn with_finals(&self, finals: impl IntoIterator<Item = Symbol>) -> Nuta {
+        let mut out = self.clone();
+        out.finals = finals.into_iter().collect();
+        for f in &out.finals {
+            out.states.insert(f.clone());
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Runs
+    // ------------------------------------------------------------------
+
+    /// Whether `content` accepts some word `w1…wk` with `wi ∈ child_sets[i]`.
+    fn content_accepts_over_sets(content: &Nfa, child_sets: &[&BTreeSet<Symbol>]) -> bool {
+        let mut current = content.epsilon_closure(&BTreeSet::from([content.start()]));
+        for set in child_sets {
+            let mut next = BTreeSet::new();
+            for sym in set.iter() {
+                next.extend(content.step(&current, sym));
+            }
+            current = next;
+            if current.is_empty() {
+                return false;
+            }
+        }
+        current.iter().any(|q| content.is_final(*q))
+    }
+
+    /// The bottom-up possible-state run: for each node (indexed by
+    /// [`crate::tree::NodeId`]) the set of states the automaton can assign to
+    /// it.
+    pub fn run(&self, tree: &XTree) -> Vec<BTreeSet<Symbol>> {
+        let mut possible: Vec<BTreeSet<Symbol>> = vec![BTreeSet::new(); tree.size()];
+        for node in tree.bottom_up_order() {
+            let label = tree.label(node);
+            let child_sets: Vec<&BTreeSet<Symbol>> =
+                tree.children(node).iter().map(|&c| &possible[c]).collect();
+            let mut states = BTreeSet::new();
+            for q in &self.states {
+                if let Some(content) = self.rule(q, label) {
+                    if Self::content_accepts_over_sets(content, &child_sets) {
+                        states.insert(q.clone());
+                    }
+                }
+            }
+            possible[node] = states;
+        }
+        possible
+    }
+
+    /// Whether the automaton accepts the tree.
+    pub fn accepts(&self, tree: &XTree) -> bool {
+        let possible = self.run(tree);
+        possible[tree.root()].iter().any(|q| self.finals.contains(q))
+    }
+
+    // ------------------------------------------------------------------
+    // Emptiness
+    // ------------------------------------------------------------------
+
+    /// For every *inhabited* state `q` (a state to which some tree can be
+    /// assigned), a witness tree. The language is empty iff no final state is
+    /// inhabited.
+    pub fn inhabited_witnesses(&self) -> BTreeMap<Symbol, XTree> {
+        let mut witnesses: BTreeMap<Symbol, XTree> = BTreeMap::new();
+        loop {
+            let mut changed = false;
+            for ((state, label), content) in &self.delta {
+                if witnesses.contains_key(state) {
+                    continue;
+                }
+                // Restrict the content automaton to currently inhabited
+                // states and look for a shortest accepted word.
+                let restricted = content.filter_symbols(|s| witnesses.contains_key(s));
+                if let Some(word) = restricted.shortest_accepted() {
+                    let children: Vec<XTree> = word.iter().map(|s| witnesses[s].clone()).collect();
+                    witnesses.insert(state.clone(), XTree::node(label.clone(), children));
+                    changed = true;
+                }
+            }
+            if !changed {
+                return witnesses;
+            }
+        }
+    }
+
+    /// Whether the tree language is empty.
+    pub fn is_empty(&self) -> bool {
+        let witnesses = self.inhabited_witnesses();
+        !self.finals.iter().any(|f| witnesses.contains_key(f))
+    }
+
+    /// A tree in the language, if any.
+    pub fn sample_tree(&self) -> Option<XTree> {
+        let witnesses = self.inhabited_witnesses();
+        self.finals.iter().find_map(|f| witnesses.get(f).cloned())
+    }
+
+    /// Determinises the automaton over the given label universe.
+    pub fn determinize(&self, labels: &Alphabet) -> Duta {
+        Duta::from_nuta(self, labels)
+    }
+}
+
+impl Default for Nuta {
+    fn default() -> Self {
+        Nuta::new()
+    }
+}
+
+impl fmt::Debug for Nuta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Nuta(states={:?}, finals={:?})", self.states, self.finals)?;
+        for ((s, l), nfa) in &self.delta {
+            writeln!(f, "  Δ({s}, {l}) = <{} states>", nfa.num_states())?;
+        }
+        Ok(())
+    }
+}
+
+// ----------------------------------------------------------------------
+// Determinisation
+// ----------------------------------------------------------------------
+
+/// A per-label Moore machine of the determinised automaton: its states are
+/// the reachable *configurations* of the simultaneous subset simulation of
+/// all content automata for that label; reading a child subset-state advances
+/// every component, and the output of a configuration is the subset of
+/// original states whose content automaton is in an accepting configuration.
+#[derive(Clone, Debug)]
+pub struct LabelMachine {
+    start: usize,
+    /// `trans[config][child_subset_index] = config`.
+    trans: Vec<BTreeMap<usize, usize>>,
+    /// `output[config] = subset index`.
+    output: Vec<usize>,
+}
+
+impl LabelMachine {
+    /// The initial configuration.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Deterministic transition on a child subset index.
+    pub fn step(&self, config: usize, child_subset: usize) -> usize {
+        self.trans[config][&child_subset]
+    }
+
+    /// The subset-state produced for a node whose children produced
+    /// `children` (in order).
+    pub fn output_for(&self, children: &[usize]) -> usize {
+        let mut config = self.start;
+        for &c in children {
+            config = self.step(config, c);
+        }
+        self.output[config]
+    }
+
+    /// Number of configurations.
+    pub fn num_configs(&self) -> usize {
+        self.output.len()
+    }
+}
+
+/// A bottom-up deterministic unranked tree automaton obtained by
+/// determinising an [`Nuta`]: its states are the reachable subsets of the
+/// original state set; every tree over the label universe has exactly one
+/// run.
+#[derive(Clone)]
+pub struct Duta {
+    subsets: Vec<BTreeSet<Symbol>>,
+    witnesses: Vec<XTree>,
+    finals_orig: BTreeSet<Symbol>,
+    labels: Alphabet,
+    machines: BTreeMap<Symbol, LabelMachine>,
+}
+
+impl Duta {
+    /// Determinises `nuta` over the label universe `labels` (which should
+    /// contain at least `nuta.labels()`; extra labels yield the empty subset
+    /// for every node carrying them).
+    pub fn from_nuta(nuta: &Nuta, labels: &Alphabet) -> Duta {
+        let labels = labels.union(nuta.labels());
+        // Per label: the list of states with a rule and their ε-free content
+        // automata.
+        struct Building {
+            states_with_rule: Vec<Symbol>,
+            nfas: Vec<Nfa>,
+            configs: Vec<Vec<BTreeSet<usize>>>,
+            config_index: BTreeMap<Vec<BTreeSet<usize>>, usize>,
+            config_paths: Vec<Vec<usize>>,
+            trans: Vec<BTreeMap<usize, usize>>,
+            output: Vec<usize>,
+        }
+        let mut building: BTreeMap<Symbol, Building> = BTreeMap::new();
+        for label in &labels {
+            let states_with_rule: Vec<Symbol> = nuta
+                .states()
+                .iter()
+                .filter(|q| nuta.rule(q, label).is_some())
+                .cloned()
+                .collect();
+            let nfas: Vec<Nfa> = states_with_rule
+                .iter()
+                .map(|q| nuta.rule(q, label).unwrap().eps_free())
+                .collect();
+            building.insert(
+                label.clone(),
+                Building {
+                    states_with_rule,
+                    nfas,
+                    configs: Vec::new(),
+                    config_index: BTreeMap::new(),
+                    config_paths: Vec::new(),
+                    trans: Vec::new(),
+                    output: Vec::new(),
+                },
+            );
+        }
+
+        let mut subsets: Vec<BTreeSet<Symbol>> = Vec::new();
+        let mut subset_index: BTreeMap<BTreeSet<Symbol>, usize> = BTreeMap::new();
+        let mut witnesses: Vec<XTree> = Vec::new();
+
+        // Helper closures operate through explicit arguments to appease the
+        // borrow checker.
+        fn config_output(b: &Building, config: &[BTreeSet<usize>]) -> BTreeSet<Symbol> {
+            b.states_with_rule
+                .iter()
+                .zip(&b.nfas)
+                .zip(config)
+                .filter(|((_, nfa), comp)| comp.iter().any(|&s| nfa.is_final(s)))
+                .map(|((q, _), _)| q.clone())
+                .collect()
+        }
+
+        // Seed: the start configuration of each label (its output is the
+        // subset assigned to a leaf with that label).
+        for (label, b) in building.iter_mut() {
+            let start_config: Vec<BTreeSet<usize>> = b
+                .nfas
+                .iter()
+                .map(|nfa| nfa.epsilon_closure(&BTreeSet::from([nfa.start()])))
+                .collect();
+            b.configs.push(start_config.clone());
+            b.config_index.insert(start_config.clone(), 0);
+            b.config_paths.push(Vec::new());
+            b.trans.push(BTreeMap::new());
+            let out = config_output(b, &start_config);
+            let idx = *subset_index.entry(out.clone()).or_insert_with(|| {
+                subsets.push(out.clone());
+                witnesses.push(XTree::leaf(label.clone()));
+                subsets.len() - 1
+            });
+            b.output.push(idx);
+        }
+
+        // Fixpoint: expand every (label, config, subset letter) combination.
+        loop {
+            let mut changed = false;
+            let num_subsets = subsets.len();
+            for (label, b) in building.iter_mut() {
+                let mut config_id = 0;
+                while config_id < b.configs.len() {
+                    for letter in 0..num_subsets {
+                        if b.trans[config_id].contains_key(&letter) {
+                            continue;
+                        }
+                        changed = true;
+                        // Advance every component by "any state in the letter
+                        // subset".
+                        let current = b.configs[config_id].clone();
+                        let next: Vec<BTreeSet<usize>> = b
+                            .nfas
+                            .iter()
+                            .zip(&current)
+                            .map(|(nfa, comp)| {
+                                let mut out = BTreeSet::new();
+                                for sym in &subsets[letter] {
+                                    out.extend(nfa.step(comp, sym));
+                                }
+                                out
+                            })
+                            .collect();
+                        let next_id = match b.config_index.get(&next) {
+                            Some(&i) => i,
+                            None => {
+                                let i = b.configs.len();
+                                b.configs.push(next.clone());
+                                b.config_index.insert(next.clone(), i);
+                                let mut path = b.config_paths[config_id].clone();
+                                path.push(letter);
+                                b.config_paths.push(path);
+                                b.trans.push(BTreeMap::new());
+                                let out = config_output(b, &next);
+                                let idx = *subset_index.entry(out.clone()).or_insert_with(|| {
+                                    let children: Vec<XTree> = b.config_paths[i]
+                                        .iter()
+                                        .map(|&l| witnesses[l].clone())
+                                        .collect();
+                                    subsets.push(out.clone());
+                                    witnesses.push(XTree::node(label.clone(), children));
+                                    subsets.len() - 1
+                                });
+                                b.output.push(idx);
+                                i
+                            }
+                        };
+                        b.trans[config_id].insert(letter, next_id);
+                    }
+                    config_id += 1;
+                }
+            }
+            if !changed && subsets.len() == num_subsets {
+                break;
+            }
+        }
+
+        let machines = building
+            .into_iter()
+            .map(|(label, b)| {
+                (label, LabelMachine { start: 0, trans: b.trans, output: b.output })
+            })
+            .collect();
+
+        Duta {
+            subsets,
+            witnesses,
+            finals_orig: nuta.finals().clone(),
+            labels,
+            machines,
+        }
+    }
+
+    /// The number of subset states.
+    pub fn num_states(&self) -> usize {
+        self.subsets.len()
+    }
+
+    /// The subset of original states represented by subset state `i`.
+    pub fn subset(&self, i: usize) -> &BTreeSet<Symbol> {
+        &self.subsets[i]
+    }
+
+    /// All subset states, in discovery order.
+    pub fn subsets(&self) -> &[BTreeSet<Symbol>] {
+        &self.subsets
+    }
+
+    /// A tree whose run ends in subset state `i`.
+    pub fn witness(&self, i: usize) -> &XTree {
+        &self.witnesses[i]
+    }
+
+    /// Whether subset state `i` is accepting (contains an original final
+    /// state).
+    pub fn is_final(&self, i: usize) -> bool {
+        self.subsets[i].iter().any(|q| self.finals_orig.contains(q))
+    }
+
+    /// The label universe the automaton was determinised over.
+    pub fn labels(&self) -> &Alphabet {
+        &self.labels
+    }
+
+    /// The per-label Moore machine.
+    pub fn machine(&self, label: &Symbol) -> Option<&LabelMachine> {
+        self.machines.get(label)
+    }
+
+    /// The unique bottom-up run: the subset state of every node
+    /// (`None` if the tree uses a label outside the universe).
+    pub fn run(&self, tree: &XTree) -> Option<Vec<usize>> {
+        let mut states = vec![0usize; tree.size()];
+        for node in tree.bottom_up_order() {
+            let machine = self.machines.get(tree.label(node))?;
+            let children: Vec<usize> = tree.children(node).iter().map(|&c| states[c]).collect();
+            states[node] = machine.output_for(&children);
+        }
+        Some(states)
+    }
+
+    /// Whether the automaton accepts the tree. Agrees with the originating
+    /// [`Nuta`] on every tree over the label universe.
+    pub fn accepts(&self, tree: &XTree) -> bool {
+        match self.run(tree) {
+            Some(states) => self.is_final(states[tree.root()]),
+            None => false,
+        }
+    }
+
+    /// The content language of subset state `i` under `label`, as an NFA over
+    /// subset-state symbols produced by `namer`. A word `S1…Sk` is accepted
+    /// iff a node labelled `label` whose children have subset states
+    /// `S1…Sk` gets subset state `i`. Used by the R-EDTD normalisation
+    /// (Lemma 4.10).
+    pub fn content_nfa(&self, i: usize, label: &Symbol, namer: impl Fn(usize) -> Symbol) -> Nfa {
+        let machine = match self.machines.get(label) {
+            Some(m) => m,
+            None => return Nfa::empty(),
+        };
+        let mut nfa = Nfa::new(machine.num_configs(), machine.start);
+        for (config, trans) in machine.trans.iter().enumerate() {
+            for (&letter, &next) in trans {
+                nfa.add_transition(config, namer(letter), next);
+            }
+        }
+        for (config, &out) in machine.output.iter().enumerate() {
+            if out == i {
+                nfa.set_final(config);
+            }
+        }
+        nfa
+    }
+}
+
+impl fmt::Debug for Duta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Duta({} subset states over {} labels)", self.subsets.len(), self.labels.len())?;
+        for (i, s) in self.subsets.iter().enumerate() {
+            writeln!(f, "  S{i} = {:?}{}", s, if self.is_final(i) { " (final)" } else { "" })?;
+        }
+        Ok(())
+    }
+}
+
+// ----------------------------------------------------------------------
+// Inclusion / equivalence
+// ----------------------------------------------------------------------
+
+/// All pairs `(subset state of a, subset state of b)` jointly reachable by
+/// some tree, each with a witness tree. The label universe is the union of
+/// both automata's labels.
+fn reachable_pairs(a: &Duta, b: &Duta) -> Vec<(usize, usize, XTree)> {
+    let labels = a.labels().union(b.labels());
+    let mut pairs: Vec<(usize, usize, XTree)> = Vec::new();
+    let mut pair_index: BTreeSet<(usize, usize)> = BTreeSet::new();
+    loop {
+        let snapshot_len = pairs.len();
+        for label in &labels {
+            let (ma, mb) = match (a.machine(label), b.machine(label)) {
+                (Some(ma), Some(mb)) => (ma, mb),
+                _ => continue,
+            };
+            // BFS over configurations of the synchronous product, using the
+            // currently known pairs as letters.
+            let start = (ma.start(), mb.start());
+            let mut seen: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
+            seen.insert(start, Vec::new());
+            let mut queue = VecDeque::from([start]);
+            while let Some((ca, cb)) = queue.pop_front() {
+                let path = seen[&(ca, cb)].clone();
+                let out = (ma.output[ca], mb.output[cb]);
+                if pair_index.insert(out) {
+                    let children: Vec<XTree> =
+                        path.iter().map(|&p| pairs[p].2.clone()).collect();
+                    pairs.push((out.0, out.1, XTree::node(label.clone(), children)));
+                }
+                for letter in 0..snapshot_len {
+                    let (pa, pb, _) = &pairs[letter];
+                    let next = (ma.step(ca, *pa), mb.step(cb, *pb));
+                    if !seen.contains_key(&next) {
+                        let mut next_path = path.clone();
+                        next_path.push(letter);
+                        seen.insert(next, next_path);
+                        queue.push_back(next);
+                    }
+                }
+            }
+        }
+        if pairs.len() == snapshot_len {
+            return pairs;
+        }
+    }
+}
+
+/// Checks `[a] ⊆ [b]` as tree languages; on failure returns a tree accepted
+/// by `a` but not by `b`.
+pub fn included(a: &Nuta, b: &Nuta) -> Result<(), XTree> {
+    let labels = a.labels().union(b.labels());
+    let da = a.determinize(&labels);
+    let db = b.determinize(&labels);
+    for (ia, ib, witness) in reachable_pairs(&da, &db) {
+        if da.is_final(ia) && !db.is_final(ib) {
+            return Err(witness);
+        }
+    }
+    Ok(())
+}
+
+/// Checks `[a] = [b]` as tree languages; on failure returns a distinguishing
+/// tree together with the side (`true` = accepted by `a` only).
+pub fn equivalent(a: &Nuta, b: &Nuta) -> Result<(), (XTree, bool)> {
+    let labels = a.labels().union(b.labels());
+    let da = a.determinize(&labels);
+    let db = b.determinize(&labels);
+    for (ia, ib, witness) in reachable_pairs(&da, &db) {
+        match (da.is_final(ia), db.is_final(ib)) {
+            (true, false) => return Err((witness, true)),
+            (false, true) => return Err((witness, false)),
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Convenience boolean wrappers.
+pub fn is_included(a: &Nuta, b: &Nuta) -> bool {
+    included(a, b).is_ok()
+}
+
+/// Whether the two automata accept the same tree language.
+pub fn is_equivalent(a: &Nuta, b: &Nuta) -> bool {
+    equivalent(a, b).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{random_trees, TreeGenConfig};
+    use crate::term::parse_term;
+    use dxml_automata::Regex;
+
+    /// Content model from an identifier-mode regular expression whose
+    /// symbols are state names.
+    fn content(re: &str) -> Nfa {
+        Regex::parse(re).unwrap().to_nfa()
+    }
+
+    /// The language of trees `s((a b)*)` where `a` and `b` are leaves.
+    fn ab_star_automaton() -> Nuta {
+        let mut a = Nuta::new();
+        a.set_rule("qs", "s", content("(qa qb)*"));
+        a.set_rule("qa", "a", Nfa::epsilon());
+        a.set_rule("qb", "b", Nfa::epsilon());
+        a.set_final("qs");
+        a
+    }
+
+    #[test]
+    fn membership_basic() {
+        let a = ab_star_automaton();
+        assert!(a.accepts(&parse_term("s").unwrap()));
+        assert!(a.accepts(&parse_term("s(a b)").unwrap()));
+        assert!(a.accepts(&parse_term("s(a b a b)").unwrap()));
+        assert!(!a.accepts(&parse_term("s(a a)").unwrap()));
+        assert!(!a.accepts(&parse_term("s(b a)").unwrap()));
+        assert!(!a.accepts(&parse_term("a").unwrap()));
+        assert!(!a.accepts(&parse_term("s(a b(a))").unwrap()));
+    }
+
+    #[test]
+    fn nondeterministic_specialisation() {
+        // s(x x) where one x must contain b and the other must contain c,
+        // in either order — genuinely nondeterministic at the x level.
+        let mut a = Nuta::new();
+        let mut c = Nfa::new(4, 0);
+        c.add_transition(0, "x1", 1);
+        c.add_transition(1, "x2", 3);
+        c.add_transition(0, "x2", 2);
+        c.add_transition(2, "x1", 3);
+        c.set_final(3);
+        a.set_rule("qs", "s", c);
+        a.set_rule("x1", "x", Nfa::symbol("qb"));
+        a.set_rule("x2", "x", Nfa::symbol("qc"));
+        a.set_rule("qb", "b", Nfa::epsilon());
+        a.set_rule("qc", "c", Nfa::epsilon());
+        a.set_final("qs");
+
+        assert!(a.accepts(&parse_term("s(x(b) x(c))").unwrap()));
+        assert!(a.accepts(&parse_term("s(x(c) x(b))").unwrap()));
+        assert!(!a.accepts(&parse_term("s(x(b) x(b))").unwrap()));
+        assert!(!a.accepts(&parse_term("s(x(b))").unwrap()));
+    }
+
+    #[test]
+    fn emptiness_and_witnesses() {
+        let a = ab_star_automaton();
+        assert!(!a.is_empty());
+        assert_eq!(a.sample_tree(), Some(parse_term("s").unwrap()));
+
+        // An automaton whose only rule needs an uninhabited state.
+        let mut e = Nuta::new();
+        e.set_rule("qs", "s", Nfa::symbol("qmissing"));
+        e.set_final("qs");
+        assert!(e.is_empty());
+        assert_eq!(e.sample_tree(), None);
+
+        // Mutual recursion that never bottoms out is empty too.
+        let mut m = Nuta::new();
+        m.set_rule("p", "a", Nfa::symbol("q"));
+        m.set_rule("q", "a", Nfa::symbol("p"));
+        m.set_final("p");
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn with_finals_selects_subtree_language() {
+        let a = ab_star_automaton();
+        let leaves_only = a.with_finals([Symbol::new("qa")]);
+        assert!(leaves_only.accepts(&parse_term("a").unwrap()));
+        assert!(!leaves_only.accepts(&parse_term("s(a b)").unwrap()));
+    }
+
+    #[test]
+    fn determinisation_agrees_with_nuta() {
+        let automata = vec![ab_star_automaton()];
+        for a in &automata {
+            let labels = a.labels().clone();
+            let d = a.determinize(&labels);
+            let config = TreeGenConfig::new(&labels, 3, 4);
+            for tree in random_trees(11, &config, 200) {
+                assert_eq!(a.accepts(&tree), d.accepts(&tree), "tree {tree}");
+            }
+            // Hand-picked trees as well.
+            for src in ["s", "s(a b)", "s(a b a b)", "s(a a)", "a", "b", "s(s)"] {
+                let t = parse_term(src).unwrap();
+                assert_eq!(a.accepts(&t), d.accepts(&t), "tree {src}");
+            }
+        }
+    }
+
+    #[test]
+    fn determinisation_of_nondeterministic_automaton() {
+        let mut a = Nuta::new();
+        let mut c = Nfa::new(4, 0);
+        c.add_transition(0, "x1", 1);
+        c.add_transition(1, "x2", 3);
+        c.add_transition(0, "x2", 2);
+        c.add_transition(2, "x1", 3);
+        c.set_final(3);
+        a.set_rule("qs", "s", c);
+        a.set_rule("x1", "x", Nfa::symbol("qb"));
+        a.set_rule("x2", "x", Nfa::symbol("qc"));
+        a.set_rule("qb", "b", Nfa::epsilon());
+        a.set_rule("qc", "c", Nfa::epsilon());
+        a.set_final("qs");
+        let d = a.determinize(a.labels());
+        for src in ["s(x(b) x(c))", "s(x(c) x(b))", "s(x(b) x(b))", "s(x(c) x(c))", "s(x(b))"] {
+            let t = parse_term(src).unwrap();
+            assert_eq!(a.accepts(&t), d.accepts(&t), "tree {src}");
+        }
+        // Subset states must include a state where both x1 and x2 are
+        // possible (an x node whose child is... none: impossible; but an x
+        // with a b child yields {x1} and with a c child yields {x2}).
+        assert!(d.subsets().iter().any(|s| s.contains(&Symbol::new("x1"))));
+        assert!(d.subsets().iter().any(|s| s.contains(&Symbol::new("x2"))));
+    }
+
+    #[test]
+    fn inclusion_and_equivalence_with_witnesses() {
+        // L1 = s(a*), L2 = s((aa)*)
+        let mut l1 = Nuta::new();
+        l1.set_rule("qs", "s", Nfa::symbol("qa").star());
+        l1.set_rule("qa", "a", Nfa::epsilon());
+        l1.set_final("qs");
+        let mut l2 = Nuta::new();
+        l2.set_rule("qs", "s", Nfa::literal(&[Symbol::new("qa"), Symbol::new("qa")]).star());
+        l2.set_rule("qa", "a", Nfa::epsilon());
+        l2.set_final("qs");
+
+        assert!(is_included(&l2, &l1));
+        assert!(!is_included(&l1, &l2));
+        let witness = included(&l1, &l2).unwrap_err();
+        assert!(l1.accepts(&witness));
+        assert!(!l2.accepts(&witness));
+
+        let (w, in_first) = equivalent(&l1, &l2).unwrap_err();
+        assert!(in_first);
+        assert!(l1.accepts(&w) && !l2.accepts(&w));
+
+        // Equivalence of syntactically different automata for the same
+        // language: s(a*) vs s(a* a?) written differently.
+        let mut l3 = Nuta::new();
+        l3.set_rule("qs", "s", Nfa::symbol("qa").star().concat(&Nfa::symbol("qa").optional()));
+        l3.set_rule("qa", "a", Nfa::epsilon());
+        l3.set_final("qs");
+        assert!(is_equivalent(&l1, &l3));
+    }
+
+    #[test]
+    fn equivalence_distinguishes_different_alphabets() {
+        let mut l1 = Nuta::new();
+        l1.set_rule("qs", "s", Nfa::epsilon());
+        l1.set_final("qs");
+        let mut l2 = Nuta::new();
+        l2.set_rule("qt", "t", Nfa::epsilon());
+        l2.set_final("qt");
+        let (w, _) = equivalent(&l1, &l2).unwrap_err();
+        assert!(l1.accepts(&w) != l2.accepts(&w));
+        assert!(!is_included(&l1, &l2));
+    }
+
+    #[test]
+    fn content_nfa_of_determinisation() {
+        let a = ab_star_automaton();
+        let d = a.determinize(a.labels());
+        // Find the subset state containing qs.
+        let (qs_idx, _) = d
+            .subsets()
+            .iter()
+            .enumerate()
+            .find(|(_, s)| s.contains(&Symbol::new("qs")))
+            .expect("qs subset must be reachable");
+        let namer = |i: usize| Symbol::new(format!("S{i}"));
+        let content = d.content_nfa(qs_idx, &Symbol::new("s"), namer);
+        assert!(!content.is_empty());
+        // The content language accepts the empty word (a leaf s gets qs).
+        assert!(content.accepts(&[]));
+    }
+}

@@ -1,0 +1,217 @@
+//! A minimal element-only XML parser and serialiser.
+//!
+//! The paper abstracts XML documents to their element structure, ignoring
+//! attributes and character data. This module offers just enough XML syntax
+//! for the examples to read and write real documents: start tags, end tags,
+//! self-closing tags, comments and text nodes (text is skipped). Attributes
+//! are parsed and discarded.
+
+use dxml_automata::{AutomataError, Symbol};
+
+use crate::tree::XTree;
+
+/// Parses an XML document into its element-structure tree. Text content,
+/// attributes, comments, processing instructions and the XML declaration are
+/// skipped.
+pub fn parse_xml(input: &str) -> Result<XTree, AutomataError> {
+    let mut parser = XmlParser { input: input.as_bytes(), pos: 0 };
+    parser.skip_misc();
+    let tree = parser.parse_element()?;
+    parser.skip_misc();
+    if parser.pos != parser.input.len() {
+        return Err(parser.error("unexpected content after the root element"));
+    }
+    Ok(tree)
+}
+
+/// Serialises the element structure of a tree as XML, indented two spaces per
+/// level.
+pub fn to_xml(tree: &XTree) -> String {
+    fn rec(tree: &XTree, node: usize, depth: usize, out: &mut String) {
+        let indent = "  ".repeat(depth);
+        let label = tree.label(node);
+        if tree.is_leaf(node) {
+            out.push_str(&format!("{indent}<{label}/>\n"));
+        } else {
+            out.push_str(&format!("{indent}<{label}>\n"));
+            for &c in tree.children(node) {
+                rec(tree, c, depth + 1, out);
+            }
+            out.push_str(&format!("{indent}</{label}>\n"));
+        }
+    }
+    let mut out = String::new();
+    rec(tree, tree.root(), 0, &mut out);
+    out
+}
+
+struct XmlParser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl XmlParser<'_> {
+    fn error(&self, message: &str) -> AutomataError {
+        AutomataError::RegexParse { message: format!("XML: {message}"), position: self.pos }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    /// Skips whitespace, text content, comments, processing instructions and
+    /// the XML declaration.
+    fn skip_misc(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                match self.find("-->") {
+                    Some(end) => self.pos = end + 3,
+                    None => {
+                        self.pos = self.input.len();
+                        return;
+                    }
+                }
+            } else if self.starts_with("<?") {
+                match self.find("?>") {
+                    Some(end) => self.pos = end + 2,
+                    None => {
+                        self.pos = self.input.len();
+                        return;
+                    }
+                }
+            } else if self.pos < self.input.len() && self.input[self.pos] != b'<' {
+                // text content: skip to the next tag
+                while self.pos < self.input.len() && self.input[self.pos] != b'<' {
+                    self.pos += 1;
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn find(&self, s: &str) -> Option<usize> {
+        let needle = s.as_bytes();
+        (self.pos..self.input.len().saturating_sub(needle.len() - 1))
+            .find(|&i| self.input[i..].starts_with(needle))
+    }
+
+    fn parse_name(&mut self) -> Result<Symbol, AutomataError> {
+        let start = self.pos;
+        while self.pos < self.input.len() {
+            let c = self.input[self.pos] as char;
+            if c.is_alphanumeric() || c == '_' || c == '-' || c == '.' || c == ':' || c == '~' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.error("expected an element name"));
+        }
+        Ok(Symbol::new(std::str::from_utf8(&self.input[start..self.pos]).unwrap()))
+    }
+
+    fn parse_element(&mut self) -> Result<XTree, AutomataError> {
+        if !self.starts_with("<") {
+            return Err(self.error("expected '<'"));
+        }
+        self.pos += 1;
+        let name = self.parse_name()?;
+        // Skip attributes up to '>' or '/>'.
+        while self.pos < self.input.len() && self.input[self.pos] != b'>' && !self.starts_with("/>") {
+            self.pos += 1;
+        }
+        if self.starts_with("/>") {
+            self.pos += 2;
+            return Ok(XTree::leaf(name));
+        }
+        if !self.starts_with(">") {
+            return Err(self.error("expected '>'"));
+        }
+        self.pos += 1;
+        let mut children = Vec::new();
+        loop {
+            self.skip_misc();
+            if self.starts_with("</") {
+                self.pos += 2;
+                let close = self.parse_name()?;
+                if close != name {
+                    return Err(self.error(&format!("mismatched closing tag </{close}> for <{name}>")));
+                }
+                self.skip_ws();
+                if !self.starts_with(">") {
+                    return Err(self.error("expected '>' after closing tag name"));
+                }
+                self.pos += 1;
+                break;
+            }
+            if self.pos >= self.input.len() {
+                return Err(self.error(&format!("unterminated element <{name}>")));
+            }
+            children.push(self.parse_element()?);
+        }
+        Ok(XTree::node(name, children))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::parse_term;
+
+    #[test]
+    fn parse_simple_document() {
+        let xml = "<eurostat><averages><Good/><index><value/><year/></index></averages></eurostat>";
+        let t = parse_xml(xml).unwrap();
+        assert_eq!(
+            t,
+            parse_term("eurostat(averages(Good index(value year)))").unwrap()
+        );
+    }
+
+    #[test]
+    fn parse_with_declaration_comments_and_text() {
+        let xml = r#"<?xml version="1.0"?>
+            <!-- national consumer price index -->
+            <nationalIndex>
+              <country>France</country>
+              <Good>food</Good>
+              <index><value>104.2</value><year>2008</year></index>
+            </nationalIndex>"#;
+        let t = parse_xml(xml).unwrap();
+        assert_eq!(
+            t,
+            parse_term("nationalIndex(country Good index(value year))").unwrap()
+        );
+    }
+
+    #[test]
+    fn attributes_are_ignored() {
+        let t = parse_xml(r#"<a x="1" y="2"><b z="3"/></a>"#).unwrap();
+        assert_eq!(t, parse_term("a(b)").unwrap());
+    }
+
+    #[test]
+    fn roundtrip_through_serialisation() {
+        let t = parse_term("s(a(b c) d(e) f)").unwrap();
+        let xml = to_xml(&t);
+        let back = parse_xml(&xml).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse_xml("<a><b></a>").is_err());
+        assert!(parse_xml("<a>").is_err());
+        assert!(parse_xml("plain text").is_err());
+        assert!(parse_xml("<a/><b/>").is_err());
+    }
+}

@@ -1,0 +1,29 @@
+# Repo-local CI entry points (mirrors .github/workflows/ci.yml).
+
+CARGO ?= cargo
+
+.PHONY: all build test clippy fmt-check bench examples verify
+
+all: verify
+
+build:
+	$(CARGO) build --release
+
+test:
+	$(CARGO) test -q
+
+clippy:
+	$(CARGO) clippy --all-targets -- -D warnings
+
+bench:
+	$(CARGO) check --benches
+
+examples:
+	$(CARGO) run -q --release --example quickstart
+	$(CARGO) run -q --release --example distributed_validation
+	$(CARGO) run -q --release --example perfect_typing_words
+	$(CARGO) run -q --release --example eurostat_ncpi
+
+# The tier-1 gate plus lints and bench compilation.
+verify: build test clippy bench
+	@echo "verify: OK"

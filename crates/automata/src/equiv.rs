@@ -84,6 +84,9 @@ pub fn concat_universal(a: &Nfa, b: &Nfa, alphabet: &Alphabet) -> bool {
     a.concat(b).is_universal(alphabet)
 }
 
+/// Back-pointers of the product BFS: state pair → (predecessor pair, symbol).
+type ParentMap = BTreeMap<(usize, usize), ((usize, usize), Symbol)>;
+
 /// Breadth-first search over the synchronous product of two *complete* DFAs,
 /// returning a shortest word leading to a state pair whose acceptance flags
 /// satisfy `bad`.
@@ -94,10 +97,10 @@ fn distinguishing_word(
     bad: impl Fn(bool, bool) -> bool,
 ) -> Option<Word> {
     let start = (a.start(), b.start());
-    let mut parent: BTreeMap<(usize, usize), ((usize, usize), Symbol)> = BTreeMap::new();
+    let mut parent: ParentMap = BTreeMap::new();
     let mut seen: BTreeSet<(usize, usize)> = BTreeSet::from([start]);
     let mut queue = VecDeque::from([start]);
-    let reconstruct = |end: (usize, usize), parent: &BTreeMap<(usize, usize), ((usize, usize), Symbol)>| {
+    let reconstruct = |end: (usize, usize), parent: &ParentMap| {
         let mut word = Vec::new();
         let mut cur = end;
         while let Some((prev, sym)) = parent.get(&cur) {
@@ -184,6 +187,6 @@ mod tests {
         assert!(is_included(&Nfa::empty(), &re("a")));
         assert!(!is_included(&re("a"), &Nfa::empty()));
         assert!(is_equivalent(&Nfa::empty(), &Nfa::empty()));
-        assert!(is_equivalent(&Nfa::epsilon(), &re("a*")) == false);
+        assert!(!is_equivalent(&Nfa::epsilon(), &re("a*")));
     }
 }

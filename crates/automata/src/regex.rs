@@ -495,13 +495,11 @@ impl Parser {
 
     fn parse_concat(&mut self) -> Result<Regex, AutomataError> {
         let mut parts = Vec::new();
-        loop {
-            match self.peek() {
-                Some(Token::Sym(_)) | Some(Token::LParen) | Some(Token::Epsilon) | Some(Token::EmptySet) => {
-                    parts.push(self.parse_postfix()?);
-                }
-                _ => break,
-            }
+        while matches!(
+            self.peek(),
+            Some(Token::Sym(_) | Token::LParen | Token::Epsilon | Token::EmptySet)
+        ) {
+            parts.push(self.parse_postfix()?);
         }
         if parts.is_empty() {
             return Err(AutomataError::RegexParse {

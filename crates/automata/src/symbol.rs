@@ -110,6 +110,11 @@ impl Alphabet {
     }
 
     /// Creates an alphabet from an iterator of symbols.
+    ///
+    /// Unlike the `FromIterator` impl (which requires `Symbol` items), this
+    /// inherent constructor accepts anything convertible into a symbol —
+    /// hence the deliberate name collision.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter<I, S>(iter: I) -> Self
     where
         I: IntoIterator<Item = S>,

@@ -1,1 +1,46 @@
-fn main() {}
+//! Ablation: the global tree-automaton route to typing verification
+//! (extension automaton + inclusion — the precursor of the paper's *perfect
+//! automaton* construction of Section 6) against the string-inclusion local
+//! route, on well-typed and ill-typed variants of the seeded workload.
+
+use dxml_automata::{Regex, RSpec};
+use dxml_bench::{bench, design_workload, elem, section};
+
+fn main() {
+    section("ablation: well-typed workloads (both routes must accept)");
+    for n in [4usize, 8, 16] {
+        let (problem, doc) = design_workload(n, 2, 5);
+        bench(&format!("tree_route/valid/n={n}"), 10, || {
+            assert!(problem.typecheck(&doc).unwrap().is_valid());
+        });
+        bench(&format!("string_route/valid/n={n}"), 10, || {
+            assert!(problem.verify_local(&doc).unwrap().is_valid());
+        });
+    }
+
+    section("ablation: ill-typed workloads (both routes must refute)");
+    for n in [4usize, 8, 16] {
+        let (mut problem, doc) = design_workload(n, 2, 5);
+        // Break one function schema: its forests may start with the start
+        // element itself, which the target content model forbids.
+        let f = doc.called_functions().into_iter().next().expect("workload has calls");
+        let mut broken = problem.fun_schemas[&f].clone();
+        broken.set_rule("r", RSpec::Nre(Regex::sym(elem(0)).plus()));
+        broken.set_rule(elem(0), RSpec::Nre(Regex::Epsilon));
+        problem.fun_schemas.insert(f, broken);
+        bench(&format!("tree_route/invalid/n={n}"), 10, || {
+            assert!(!problem.typecheck(&doc).unwrap().is_valid());
+        });
+        bench(&format!("string_route/invalid/n={n}"), 10, || {
+            assert!(!problem.verify_local(&doc).unwrap().is_valid());
+        });
+    }
+
+    section("ablation: extension-automaton construction alone");
+    for n in [4usize, 8, 16, 32] {
+        let (problem, doc) = design_workload(n, 2, 5);
+        bench(&format!("extension_nuta/n={n}"), 20, || {
+            problem.extension_nuta(&doc).unwrap().size()
+        });
+    }
+}

@@ -1,1 +1,63 @@
-fn main() {}
+//! The paper's running Eurostat NCPI scenario (Figures 1–4) end to end:
+//! parse the global type, validate materialised documents and typecheck the
+//! distributed design, at growing document sizes.
+
+use std::collections::BTreeMap;
+
+use dxml_automata::{RFormalism, Symbol};
+use dxml_bench::{bench, section};
+use dxml_core::{DesignProblem, DistributedDoc};
+use dxml_schema::RDtd;
+use dxml_tree::term::parse_forest;
+
+const EUROSTAT: &str = "eurostat -> averages, nationalIndex*\n\
+                        averages -> (Good, index+)+\n\
+                        nationalIndex -> country, Good, (index | value, year)\n\
+                        index -> value, year";
+
+const OFFICE: &str = "natResult -> nationalIndex*\n\
+                      nationalIndex -> country, Good, index\n\
+                      index -> value, year";
+
+fn main() {
+    section("figures: parsing and validation of the NCPI document");
+    bench("parse_dtd/eurostat", 100, || RDtd::parse(RFormalism::Nre, EUROSTAT).unwrap().size());
+
+    let target = RDtd::parse(RFormalism::Nre, EUROSTAT).unwrap();
+    for entries in [10usize, 100, 1000] {
+        let mut results = BTreeMap::new();
+        let forest = parse_forest(
+            &"nationalIndex(country Good index(value year)) ".repeat(entries),
+        )
+        .unwrap();
+        results.insert(Symbol::new("fNCP"), forest);
+        let doc =
+            DistributedDoc::parse("eurostat(averages(Good index(value year)) fNCP)", ["fNCP"])
+                .unwrap();
+        let materialised = doc.materialize(&results).unwrap();
+        bench(&format!("validate/entries={entries}"), 20, || {
+            assert!(target.accepts(&materialised));
+        });
+    }
+
+    section("figures: typing the distributed NCPI design");
+    let office = RDtd::parse(RFormalism::Nre, OFFICE).unwrap();
+    for calls in [1usize, 4, 16] {
+        let kernel = format!(
+            "eurostat(averages(Good index(value year)) {})",
+            (0..calls).map(|i| format!("f{i}")).collect::<Vec<_>>().join(" ")
+        );
+        let funs: Vec<String> = (0..calls).map(|i| format!("f{i}")).collect();
+        let doc = DistributedDoc::parse(&kernel, funs.clone()).unwrap();
+        let mut problem = DesignProblem::new(target.clone());
+        for f in &funs {
+            problem.add_function(f.as_str(), office.clone());
+        }
+        bench(&format!("typecheck/calls={calls}"), 10, || {
+            assert!(problem.typecheck(&doc).unwrap().is_valid());
+        });
+        bench(&format!("verify_local/calls={calls}"), 10, || {
+            assert!(problem.verify_local(&doc).unwrap().is_valid());
+        });
+    }
+}

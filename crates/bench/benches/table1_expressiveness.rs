@@ -1,1 +1,43 @@
-fn main() {}
+//! Table 1 (expressiveness): cost of deciding one-unambiguity — the
+//! `one-unamb[R]` oracle separating the dRE column from the others — on
+//! expression families of growing size.
+
+use dxml_automata::{dre, Regex};
+use dxml_bench::{bench, section};
+
+/// `(a1|…|an)* a1` — one-unambiguous as a language, nondeterministic as
+/// written; exercises the BKW procedure on the minimal DFA.
+fn hard_expr(n: usize) -> Regex {
+    let alts: Vec<Regex> = (0..n).map(|i| Regex::sym(format!("a{i}"))).collect();
+    Regex::concat(vec![Regex::alt(alts).star(), Regex::sym("a0")])
+}
+
+/// `(a|b)* a (a|b)^k` — the classic non-one-unambiguous family.
+fn non_unambiguous(k: usize) -> Regex {
+    let ab = || Regex::alt(vec![Regex::sym("a"), Regex::sym("b")]);
+    let mut parts = vec![ab().star(), Regex::sym("a")];
+    parts.extend((0..k).map(|_| ab()));
+    Regex::concat(parts)
+}
+
+fn main() {
+    section("table1: one-unambiguity of the expression (syntactic test)");
+    for n in [4usize, 8, 16, 32] {
+        let re = hard_expr(n);
+        bench(&format!("one_unamb_expr/n={n}"), 50, || dre::one_unambiguous_expr(&re));
+    }
+
+    section("table1: one-unambiguity of the language (BKW on minimal DFA)");
+    for n in [2usize, 4, 8] {
+        let re = hard_expr(n);
+        bench(&format!("one_unamb_lang/pos/n={n}"), 10, || {
+            dre::one_unambiguous_language(&re.to_nfa())
+        });
+    }
+    for k in [1usize, 2, 3] {
+        let re = non_unambiguous(k);
+        bench(&format!("one_unamb_lang/neg/k={k}"), 10, || {
+            assert!(!dre::one_unambiguous_language(&re.to_nfa()));
+        });
+    }
+}

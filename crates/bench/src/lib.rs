@@ -1,1 +1,204 @@
-//! Workload generators for the benchmark harness (to be filled in).
+//! Deterministic benchmark workloads and a dependency-free timing harness.
+//!
+//! The workload generators produce *seeded* families of schemas, documents
+//! and design problems of controlled size `n`, so every bench run measures
+//! the same inputs. The harness ([`bench`]) is a minimal warmup +
+//! median-of-iterations timer: the workspace builds offline, so the bench
+//! targets are plain `fn main()` programs (`harness = false`) rather than
+//! criterion benches; the reporting format is criterion-inspired.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+use dxml_automata::{RFormalism, Regex, RSpec, Symbol};
+use dxml_core::{DesignProblem, DistributedDoc};
+use dxml_schema::RDtd;
+use dxml_tree::generate::SplitRng;
+use dxml_tree::XTree;
+
+// ----------------------------------------------------------------------
+// Workloads
+// ----------------------------------------------------------------------
+
+/// Element name `e<i>` of a generated family.
+pub fn elem(i: usize) -> Symbol {
+    Symbol::new(format!("e{i}"))
+}
+
+/// A seeded chain-like DTD with `n` element names `e0…e(n-1)` and varied
+/// deterministic content models (`eN` is always leaf-only, so the language
+/// is never empty). The same `(n, seed)` always yields the same DTD, and
+/// every content model is one-unambiguous, so the family is usable for all
+/// four formalisms `R`.
+pub fn dtd_family(formalism: RFormalism, n: usize, seed: u64) -> RDtd {
+    assert!(n >= 1, "need at least one element");
+    let mut rng = SplitRng::new(seed ^ (n as u64).wrapping_mul(0x9E37_79B9));
+    let mut dtd = RDtd::new(formalism, elem(0));
+    for i in 0..n.saturating_sub(1) {
+        let a = Regex::sym(elem(i + 1));
+        let distinct = i + 2 < n;
+        let b = Regex::sym(elem(if distinct { i + 2 } else { i + 1 }));
+        // Shapes whose symbols are pairwise distinct are always
+        // deterministic; near the end of the chain (where `b` would collide
+        // with `a`) fall back to single-symbol shapes.
+        let re = match rng.below(4) {
+            0 if distinct => Regex::concat(vec![a, b.opt()]),
+            1 => a.star(),
+            2 if distinct => Regex::concat(vec![a.plus(), b.star()]),
+            3 if distinct => Regex::alt(vec![a, b]),
+            _ => a.opt(),
+        };
+        let spec = RSpec::from_regex(formalism, re).expect("generated content models are dREs");
+        dtd.set_rule(elem(i), spec);
+    }
+    dtd
+}
+
+/// A valid document of the `(n, seed)` DTD family, grown by repeatedly
+/// materialising the shortest content word of each element (deterministic).
+pub fn doc_for(dtd: &RDtd) -> XTree {
+    dtd.sample_tree().expect("family languages are non-empty")
+}
+
+/// A design problem over the `(n, seed)` family: the target is the family
+/// DTD itself; `fns` function symbols `f0…` each return forests of `e1`-trees
+/// (the content of the start symbol's first child), which keeps well-typed
+/// and ill-typed variants one rule-tweak apart.
+pub fn design_workload(n: usize, fns: usize, seed: u64) -> (DesignProblem, DistributedDoc) {
+    let target = dtd_family(RFormalism::Nre, n.max(3), seed);
+    // The family rules seen from `e1`: a schema for the subtrees the
+    // functions return and for the kernel's own fixed `e1` subtree.
+    let mut e1_schema = RDtd::new(RFormalism::Nre, elem(1));
+    for (name, content) in target.rules() {
+        if name != target.start() {
+            e1_schema.set_rule(name.clone(), content.clone());
+        }
+    }
+    // Kernel: the start element with one complete `e1` subtree followed by
+    // one docking point per function.
+    let mut kernel = XTree::leaf(elem(0));
+    let fun_names: Vec<Symbol> = (0..fns).map(|i| Symbol::new(format!("f{i}"))).collect();
+    let e1_tree = e1_schema.sample_tree().expect("family languages are non-empty");
+    kernel.graft(0, &e1_tree);
+    for f in &fun_names {
+        kernel.add_child(0, f.clone());
+    }
+    let mut problem = DesignProblem::new({
+        // Target start content: e1 followed by any number of e1 — accepts
+        // whatever the functions contribute as e1-forests.
+        let mut t = target.clone();
+        t.set_rule(elem(0), RSpec::Nre(Regex::sym(elem(1)).plus()));
+        t
+    });
+    for f in &fun_names {
+        // Each function returns documents r(e1*) over the same family rules.
+        let mut schema = RDtd::new(RFormalism::Nre, "r");
+        schema.set_rule("r", RSpec::Nre(Regex::sym(elem(1)).star()));
+        for (name, content) in e1_schema.rules() {
+            schema.set_rule(name.clone(), content.clone());
+        }
+        problem.add_function(f.clone(), schema);
+    }
+    let doc = DistributedDoc::new(kernel, fun_names).expect("kernel invariants hold");
+    (problem, doc)
+}
+
+// ----------------------------------------------------------------------
+// Timing harness
+// ----------------------------------------------------------------------
+
+/// The timing result of one benchmark case.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Case label, e.g. `typecheck/n=16`.
+    pub name: String,
+    /// Number of timed iterations.
+    pub iters: u32,
+    /// Median per-iteration time.
+    pub median: Duration,
+    /// Mean per-iteration time.
+    pub mean: Duration,
+}
+
+impl BenchResult {
+    /// One-line report in a criterion-like format.
+    pub fn report(&self) -> String {
+        format!(
+            "{:<40} time: [median {:>12?}  mean {:>12?}]  ({} iters)",
+            self.name, self.median, self.mean, self.iters
+        )
+    }
+}
+
+/// Times `f` (after a warmup run) over `iters` iterations and prints a
+/// one-line report. The closure's result is returned from the last iteration
+/// to keep the work observable (and the call un-elided).
+pub fn bench<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) -> BenchResult {
+    assert!(iters > 0);
+    let _warmup = std::hint::black_box(f());
+    let mut samples: Vec<Duration> = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let out = f();
+        samples.push(t0.elapsed());
+        std::hint::black_box(out);
+    }
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / iters;
+    let result = BenchResult { name: name.to_string(), iters, median, mean };
+    println!("{}", result.report());
+    result
+}
+
+/// Prints a section header for a bench program.
+pub fn section(title: &str) {
+    println!("\n== {title} ==");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtd_family_is_deterministic_and_nonempty() {
+        for n in [1, 2, 5, 12] {
+            let a = dtd_family(RFormalism::Nre, n, 7);
+            let b = dtd_family(RFormalism::Nre, n, 7);
+            assert_eq!(format!("{a:?}"), format!("{b:?}"), "n={n} not deterministic");
+            assert!(!a.language_is_empty(), "n={n} family is empty");
+            assert!(a.accepts(&doc_for(&a)), "n={n} sample invalid");
+            assert_eq!(a.alphabet().len(), n);
+        }
+        let c = dtd_family(RFormalism::Nre, 5, 8);
+        let d = dtd_family(RFormalism::Nre, 5, 9);
+        assert_ne!(format!("{c:?}"), format!("{d:?}"), "seed has no effect");
+    }
+
+    #[test]
+    fn dtd_family_supports_all_formalisms() {
+        for f in RFormalism::ALL {
+            let dtd = dtd_family(f, 6, 3);
+            assert_eq!(dtd.formalism(), f);
+            assert!(!dtd.language_is_empty());
+        }
+    }
+
+    #[test]
+    fn design_workload_typechecks() {
+        let (problem, doc) = design_workload(5, 2, 11);
+        assert_eq!(doc.num_calls(), 2);
+        assert!(problem.typecheck(&doc).unwrap().is_valid());
+        assert!(problem.verify_local(&doc).unwrap().is_valid());
+    }
+
+    #[test]
+    fn harness_reports_sane_numbers() {
+        let r = bench("noop", 16, || 1 + 1);
+        assert_eq!(r.iters, 16);
+        assert!(r.mean >= r.median / 64);
+        assert!(!r.report().is_empty());
+    }
+}

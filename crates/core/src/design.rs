@@ -1,0 +1,499 @@
+//! Design problems and typing verification (Sections 3–5).
+//!
+//! A [`DesignProblem`] pairs the *global type* `τ` a distributed document
+//! must conform to with a schema `τf` for each function, describing the
+//! documents the function may return. A kernel `T` **has type `τ`** iff every
+//! possible extension `ext_T(t1…tn)` with `ti ∈ [τfi]` validates against `τ`
+//! — the typing-verification problem.
+//!
+//! Two decision procedures are provided and proved against each other by the
+//! test suite:
+//!
+//! * [`DesignProblem::typecheck`] — the general tree-automaton route: build a
+//!   [`Nuta`] recognising exactly the extension language
+//!   ([`DesignProblem::extension_nuta`]), then decide tree-language inclusion
+//!   in `τ` (product/complement inside [`dxml_tree::uta`]), extracting a full
+//!   counterexample document on failure.
+//! * [`DesignProblem::verify_local`] — the DTD fast path: since DTD
+//!   validation is per-node-local, the extension language is included in
+//!   `[τ]` iff a family of *string*-language inclusions holds, each decided
+//!   by [`dxml_automata::equiv::included`] with a counterexample word.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+use dxml_automata::equiv::included as str_included;
+use dxml_automata::{Nfa, Symbol};
+use dxml_schema::{RDtd, SchemaError};
+use dxml_tree::{uta, Nuta, XTree};
+
+use crate::doc::DistributedDoc;
+use crate::error::DesignError;
+
+/// A typing-verification instance: the target document schema `τ` plus one
+/// schema per function symbol.
+#[derive(Clone, Debug)]
+pub struct DesignProblem {
+    /// The global type the materialised document must conform to.
+    pub doc_schema: RDtd,
+    /// For each function symbol, the schema of the documents it may return
+    /// (the forest attached at a docking point is the child forest of the
+    /// returned document's root).
+    pub fun_schemas: BTreeMap<Symbol, RDtd>,
+}
+
+/// The outcome of typing verification.
+#[derive(Clone, Debug)]
+pub enum TypingVerdict {
+    /// Every extension of the kernel validates against the target schema.
+    Valid,
+    /// Some extension violates the target schema.
+    Invalid {
+        /// A materialised document that is a possible extension but does not
+        /// validate.
+        counterexample: XTree,
+        /// Why the counterexample fails validation.
+        violation: SchemaError,
+    },
+}
+
+impl TypingVerdict {
+    /// Whether the verdict is [`TypingVerdict::Valid`].
+    pub fn is_valid(&self) -> bool {
+        matches!(self, TypingVerdict::Valid)
+    }
+}
+
+/// Where a local-typing violation was detected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Origin {
+    /// At a kernel node, identified by its root-to-node label path.
+    Kernel {
+        /// `anc-str` of the kernel node.
+        path: Vec<Symbol>,
+    },
+    /// Inside documents producible by a function.
+    Function {
+        /// The function symbol.
+        function: Symbol,
+    },
+}
+
+/// A violation found by the local (string-level) typing check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LocalViolation {
+    /// The kernel root label differs from the target start symbol.
+    RootLabel {
+        /// The target start symbol.
+        expected: Symbol,
+        /// The kernel root label.
+        found: Symbol,
+    },
+    /// An element name can occur in some extension but is not declared in the
+    /// target schema.
+    UnknownElement {
+        /// The undeclared element name.
+        element: Symbol,
+        /// Where the element comes from.
+        origin: Origin,
+    },
+    /// A realizable child word violates the target content model of
+    /// `element`.
+    Content {
+        /// The element whose content model is violated.
+        element: Symbol,
+        /// A shortest realizable child word outside the target content model.
+        counterexample: Vec<Symbol>,
+        /// A rendering of the expected content model.
+        expected: String,
+        /// Where the bad word can be realised.
+        origin: Origin,
+    },
+}
+
+impl fmt::Display for LocalViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let origin = |o: &Origin| match o {
+            Origin::Kernel { path } => {
+                let p: Vec<&str> = path.iter().map(Symbol::as_str).collect();
+                format!("kernel node /{}", p.join("/"))
+            }
+            Origin::Function { function } => format!("documents returned by `{function}`"),
+        };
+        match self {
+            LocalViolation::RootLabel { expected, found } => {
+                write!(f, "kernel root is `{found}` but the target schema starts at `{expected}`")
+            }
+            LocalViolation::UnknownElement { element, origin: o } => {
+                write!(f, "element `{element}` ({}) is not declared in the target schema", origin(o))
+            }
+            LocalViolation::Content { element, counterexample, expected, origin: o } => {
+                let w: Vec<&str> = counterexample.iter().map(Symbol::as_str).collect();
+                write!(
+                    f,
+                    "children [{}] of `{element}` ({}) are possible but do not match {expected}",
+                    w.join(" "),
+                    origin(o)
+                )
+            }
+        }
+    }
+}
+
+/// The outcome of the local typing check.
+#[derive(Clone, Debug)]
+pub enum LocalVerdict {
+    /// All local inclusions hold; every extension validates.
+    Valid,
+    /// A local inclusion fails; the violation is realizable in some
+    /// extension.
+    Invalid(LocalViolation),
+}
+
+impl LocalVerdict {
+    /// Whether the verdict is [`LocalVerdict::Valid`].
+    pub fn is_valid(&self) -> bool {
+        matches!(self, LocalVerdict::Valid)
+    }
+}
+
+impl DesignProblem {
+    /// Creates a design problem with no function schemas.
+    pub fn new(doc_schema: RDtd) -> DesignProblem {
+        DesignProblem { doc_schema, fun_schemas: BTreeMap::new() }
+    }
+
+    /// Declares the schema of a function (builder style).
+    pub fn with_function(mut self, function: impl Into<Symbol>, schema: RDtd) -> DesignProblem {
+        self.add_function(function, schema);
+        self
+    }
+
+    /// Declares the schema of a function.
+    pub fn add_function(&mut self, function: impl Into<Symbol>, schema: RDtd) {
+        self.fun_schemas.insert(function.into(), schema);
+    }
+
+    /// The schema of a function, if declared.
+    pub fn fun_schema(&self, function: &Symbol) -> Option<&RDtd> {
+        self.fun_schemas.get(function)
+    }
+
+    fn require_schemas(&self, doc: &DistributedDoc) -> Result<(), DesignError> {
+        for f in doc.called_functions() {
+            if !self.fun_schemas.contains_key(&f) {
+                return Err(DesignError::MissingFunctionSchema { function: f });
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Extension language as a tree automaton
+    // ------------------------------------------------------------------
+
+    /// A [`Nuta`] recognising exactly the extensions of `doc`: the kernel
+    /// with every docking point `f` replaced by a forest of `τf`-valid trees
+    /// whose root-label word matches the content model of `τf`'s start
+    /// symbol.
+    ///
+    /// States are `#k<i>` for kernel node `i` and `<f>$<a>` for element `a`
+    /// of function `f`'s schema (the `$`/`#` mangling cannot collide with
+    /// parsed element names). Each call site expands independently, so the
+    /// automaton over-approximates snapshot materialisation when the same
+    /// function occurs twice — matching the paper, where every docking point
+    /// is its own call.
+    pub fn extension_nuta(&self, doc: &DistributedDoc) -> Result<Nuta, DesignError> {
+        self.require_schemas(doc)?;
+        let kernel = doc.kernel();
+        let mut a = Nuta::new();
+
+        // Rules for the trees producible by each called function.
+        let mut forest_nfas: BTreeMap<Symbol, Nfa> = BTreeMap::new();
+        for f in doc.called_functions() {
+            let schema = &self.fun_schemas[&f];
+            let prefix = |name: &Symbol| Symbol::new(format!("{f}${name}"));
+            for name in schema.alphabet().iter() {
+                let content = schema.content(name).to_nfa().map_symbols(prefix);
+                a.set_rule(prefix(name), name.clone(), content);
+            }
+            let forest = schema.content(schema.start()).to_nfa().map_symbols(prefix);
+            forest_nfas.insert(f.clone(), forest);
+        }
+
+        // One state per kernel node; the content of a node concatenates its
+        // children, with each docking point contributing its forest language.
+        let state_of = |node: usize| Symbol::new(format!("#k{node}"));
+        for node in kernel.document_order() {
+            if doc.is_function(kernel.label(node)) {
+                continue;
+            }
+            let mut content = Nfa::epsilon();
+            for &child in kernel.children(node) {
+                let label = kernel.label(child);
+                let piece = match forest_nfas.get(label) {
+                    Some(forest) => forest.clone(),
+                    None => Nfa::symbol(state_of(child)),
+                };
+                content = content.concat(&piece);
+            }
+            a.set_rule(state_of(node), kernel.label(node).clone(), content);
+        }
+        a.set_final(state_of(kernel.root()));
+        Ok(a)
+    }
+
+    // ------------------------------------------------------------------
+    // Typing verification
+    // ------------------------------------------------------------------
+
+    /// Decides whether every extension of `doc` validates against
+    /// [`DesignProblem::doc_schema`], via tree-language inclusion of the
+    /// extension automaton in the target automaton. On failure the verdict
+    /// carries a full counterexample document and the validation error it
+    /// triggers.
+    pub fn typecheck(&self, doc: &DistributedDoc) -> Result<TypingVerdict, DesignError> {
+        let ext = self.extension_nuta(doc)?;
+        match uta::included(&ext, &self.doc_schema.to_uta()) {
+            Ok(()) => Ok(TypingVerdict::Valid),
+            Err(counterexample) => {
+                let violation = match self.doc_schema.validate(&counterexample) {
+                    Err(e) => e,
+                    Ok(()) => SchemaError::Structural(
+                        "inclusion counterexample unexpectedly validates".into(),
+                    ),
+                };
+                Ok(TypingVerdict::Invalid { counterexample, violation })
+            }
+        }
+    }
+
+    /// The DTD fast path: local typing verification by string-language
+    /// inclusions only (no tree automata). Sound and complete for DTD
+    /// targets because DTD validation is per-node-local; agrees with
+    /// [`DesignProblem::typecheck`] on every input (asserted by the tests).
+    ///
+    /// Checks performed:
+    ///
+    /// 1. the kernel root label is the target start symbol;
+    /// 2. for every kernel node, the language of realizable child words is
+    ///    included in the target content model of its label;
+    /// 3. for every element name reachable inside a forest attached by a
+    ///    function `f`, the name is declared in the target and the (reduced)
+    ///    content model of `τf` is included in the target's.
+    ///
+    /// If some called function has an empty schema language no extension
+    /// exists and the verdict is vacuously valid.
+    pub fn verify_local(&self, doc: &DistributedDoc) -> Result<LocalVerdict, DesignError> {
+        self.require_schemas(doc)?;
+        let kernel = doc.kernel();
+        let tau = &self.doc_schema;
+        let called = doc.called_functions();
+
+        // Reduce the function schemas so that every surviving name is
+        // realizable — this is what makes counterexample words realizable
+        // and the check complete.
+        let mut reduced: BTreeMap<Symbol, RDtd> = BTreeMap::new();
+        for f in &called {
+            let r = self.fun_schemas[f].reduce();
+            if r.language_is_empty() {
+                return Ok(LocalVerdict::Valid);
+            }
+            reduced.insert(f.clone(), r);
+        }
+
+        if kernel.root_label() != tau.start() {
+            return Ok(LocalVerdict::Invalid(LocalViolation::RootLabel {
+                expected: tau.start().clone(),
+                found: kernel.root_label().clone(),
+            }));
+        }
+
+        // (2) kernel nodes: realizable child words vs target content models.
+        for node in kernel.document_order() {
+            let label = kernel.label(node);
+            if doc.is_function(label) {
+                continue;
+            }
+            let origin = || Origin::Kernel { path: kernel.anc_str(node) };
+            if !tau.alphabet().contains(label) {
+                return Ok(LocalVerdict::Invalid(LocalViolation::UnknownElement {
+                    element: label.clone(),
+                    origin: origin(),
+                }));
+            }
+            let mut realizable = Nfa::epsilon();
+            for &child in kernel.children(node) {
+                let child_label = kernel.label(child);
+                let piece = match reduced.get(child_label) {
+                    Some(r) => r.content(r.start()).to_nfa(),
+                    None => Nfa::symbol(child_label.clone()),
+                };
+                realizable = realizable.concat(&piece);
+            }
+            let expected = tau.content(label);
+            if let Err(ce) = str_included(&realizable, &expected.to_nfa()) {
+                return Ok(LocalVerdict::Invalid(LocalViolation::Content {
+                    element: label.clone(),
+                    counterexample: ce.word,
+                    expected: format!("{expected}"),
+                    origin: origin(),
+                }));
+            }
+        }
+
+        // (3) function forests: every name reachable below an attached root.
+        for f in &called {
+            let r = &reduced[f];
+            let mut seen: BTreeSet<Symbol> = r
+                .content(r.start())
+                .alphabet()
+                .iter()
+                .filter(|s| r.alphabet().contains(s))
+                .cloned()
+                .collect();
+            let mut queue: VecDeque<Symbol> = seen.iter().cloned().collect();
+            while let Some(name) = queue.pop_front() {
+                if !tau.alphabet().contains(&name) {
+                    return Ok(LocalVerdict::Invalid(LocalViolation::UnknownElement {
+                        element: name,
+                        origin: Origin::Function { function: f.clone() },
+                    }));
+                }
+                let content = r.content(&name);
+                let expected = tau.content(&name);
+                if let Err(ce) = str_included(&content.to_nfa(), &expected.to_nfa()) {
+                    return Ok(LocalVerdict::Invalid(LocalViolation::Content {
+                        element: name,
+                        counterexample: ce.word,
+                        expected: format!("{expected}"),
+                        origin: Origin::Function { function: f.clone() },
+                    }));
+                }
+                for next in content.alphabet().iter() {
+                    if r.alphabet().contains(next) && seen.insert(next.clone()) {
+                        queue.push_back(next.clone());
+                    }
+                }
+            }
+        }
+
+        Ok(LocalVerdict::Valid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dxml_automata::RFormalism;
+    use dxml_tree::term::parse_term;
+
+    fn dtd(rules: &str) -> RDtd {
+        RDtd::parse(RFormalism::Nre, rules).unwrap()
+    }
+
+    fn agree(problem: &DesignProblem, doc: &DistributedDoc) -> bool {
+        let global = problem.typecheck(doc).unwrap();
+        let local = problem.verify_local(doc).unwrap();
+        assert_eq!(
+            global.is_valid(),
+            local.is_valid(),
+            "typecheck ({global:?}) and verify_local ({local:?}) disagree on {doc:?}"
+        );
+        global.is_valid()
+    }
+
+    #[test]
+    fn valid_typing_accepts() {
+        let target = dtd("s -> a, b*\nb -> c?");
+        let problem = DesignProblem::new(target).with_function("f", dtd("r -> b, b\nb -> c?"));
+        let doc = DistributedDoc::parse("s(a f)", ["f"]).unwrap();
+        assert!(agree(&problem, &doc));
+    }
+
+    #[test]
+    fn invalid_typing_yields_counterexample() {
+        let target = dtd("s -> a, b*\nb -> c?");
+        // f may return roots whose b-children contain a `d`, unknown to τ.
+        let problem = DesignProblem::new(target.clone()).with_function("f", dtd("r -> b*\nb -> d?"));
+        let doc = DistributedDoc::parse("s(a f)", ["f"]).unwrap();
+        assert!(!agree(&problem, &doc));
+        match problem.typecheck(&doc).unwrap() {
+            TypingVerdict::Invalid { counterexample, violation } => {
+                assert!(!target.accepts(&counterexample));
+                assert!(problem.extension_nuta(&doc).unwrap().accepts(&counterexample));
+                let _ = format!("{violation}");
+            }
+            TypingVerdict::Valid => panic!("expected invalid"),
+        }
+    }
+
+    #[test]
+    fn wrong_root_and_unknown_kernel_element() {
+        let target = dtd("s -> a*");
+        let problem = DesignProblem::new(target);
+        let wrong_root = DistributedDoc::parse("t(a)", [] as [&str; 0]).unwrap();
+        assert!(!agree(&problem, &wrong_root));
+        assert!(matches!(
+            problem.verify_local(&wrong_root).unwrap(),
+            LocalVerdict::Invalid(LocalViolation::RootLabel { .. })
+        ));
+        let unknown = DistributedDoc::parse("s(a x)", [] as [&str; 0]).unwrap();
+        assert!(!agree(&problem, &unknown));
+    }
+
+    #[test]
+    fn empty_function_language_is_vacuously_valid() {
+        let target = dtd("s -> a");
+        // f's schema has an empty language (r -> r never bottoms out), so no
+        // extension exists at all.
+        let problem = DesignProblem::new(target).with_function("f", dtd("r -> r"));
+        let doc = DistributedDoc::parse("s(f)", ["f"]).unwrap();
+        assert!(agree(&problem, &doc));
+    }
+
+    #[test]
+    fn missing_schema_is_an_error() {
+        let problem = DesignProblem::new(dtd("s -> a"));
+        let doc = DistributedDoc::parse("s(f)", ["f"]).unwrap();
+        assert!(matches!(
+            problem.typecheck(&doc),
+            Err(DesignError::MissingFunctionSchema { .. })
+        ));
+        assert!(problem.fun_schema(&Symbol::new("f")).is_none());
+    }
+
+    #[test]
+    fn forest_word_interleaves_with_kernel_children() {
+        // τ requires a (b c)* content; f supplies `b c` pairs between the
+        // kernel's own children.
+        let target = dtd("s -> (b, c)*");
+        let good = DesignProblem::new(target.clone()).with_function("f", dtd("r -> (b, c)*"));
+        let doc = DistributedDoc::parse("s(b c f)", ["f"]).unwrap();
+        assert!(agree(&good, &doc));
+        // A function returning a lone `b` forest breaks the pairing.
+        let bad = DesignProblem::new(target).with_function("f", dtd("r -> b"));
+        assert!(!agree(&bad, &doc));
+    }
+
+    #[test]
+    fn two_call_sites_expand_independently() {
+        let target = dtd("s -> a, a");
+        let problem = DesignProblem::new(target).with_function("f", dtd("r -> a"));
+        let doc = DistributedDoc::parse("s(f f)", ["f"]).unwrap();
+        assert!(agree(&problem, &doc));
+    }
+
+    #[test]
+    fn extension_nuta_recognises_materialisations() {
+        let problem = DesignProblem::new(dtd("s -> a, b*\nb -> c?"))
+            .with_function("f", dtd("r -> b, b\nb -> c?"));
+        let doc = DistributedDoc::parse("s(a f)", ["f"]).unwrap();
+        let ext = problem.extension_nuta(&doc).unwrap();
+        assert!(ext.accepts(&parse_term("s(a b b)").unwrap()));
+        assert!(ext.accepts(&parse_term("s(a b(c) b)").unwrap()));
+        // Not an extension: the forest must contribute exactly two b's.
+        assert!(!ext.accepts(&parse_term("s(a b)").unwrap()));
+        assert!(!ext.accepts(&parse_term("s(a)").unwrap()));
+    }
+}

@@ -1,0 +1,73 @@
+//! Errors of the distributed-design layer.
+
+use std::fmt;
+
+use dxml_automata::{AutomataError, Symbol};
+use dxml_schema::SchemaError;
+
+/// Errors raised while building distributed documents or design problems.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DesignError {
+    /// The root of a kernel document cannot be a function call (the paper
+    /// requires documents to have a proper root element).
+    RootIsFunction {
+        /// The offending function symbol.
+        function: Symbol,
+    },
+    /// A function symbol occurs at an inner node; docking points must be
+    /// leaves (Section 2.3).
+    FunctionNotLeaf {
+        /// The offending function symbol.
+        function: Symbol,
+    },
+    /// A function is called in the kernel but the design problem has no
+    /// schema for it.
+    MissingFunctionSchema {
+        /// The function without a schema.
+        function: Symbol,
+    },
+    /// A function call was materialised without a result document.
+    MissingFunctionResult {
+        /// The function without a result.
+        function: Symbol,
+    },
+    /// A term or expression failed to parse.
+    Term(AutomataError),
+    /// An underlying schema error.
+    Schema(SchemaError),
+}
+
+impl fmt::Display for DesignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DesignError::RootIsFunction { function } => {
+                write!(f, "the root of a kernel document cannot be the function call `{function}`")
+            }
+            DesignError::FunctionNotLeaf { function } => {
+                write!(f, "function call `{function}` occurs at an inner node; docking points must be leaves")
+            }
+            DesignError::MissingFunctionSchema { function } => {
+                write!(f, "no schema declared for called function `{function}`")
+            }
+            DesignError::MissingFunctionResult { function } => {
+                write!(f, "no result document supplied for called function `{function}`")
+            }
+            DesignError::Term(e) => write!(f, "{e}"),
+            DesignError::Schema(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DesignError {}
+
+impl From<AutomataError> for DesignError {
+    fn from(e: AutomataError) -> Self {
+        DesignError::Term(e)
+    }
+}
+
+impl From<SchemaError> for DesignError {
+    fn from(e: SchemaError) -> Self {
+        DesignError::Schema(e)
+    }
+}

@@ -1,1 +1,26 @@
-//! placeholder
+//! Distributed XML design: distributed documents and typing verification.
+//!
+//! This crate is the paper's centerpiece layer (Sections 3–5 of *Distributed
+//! XML Design*, Abiteboul, Gottlob, Manna, PODS '09), built on the string
+//! automata of `dxml-automata`, the trees and tree automata of `dxml-tree`
+//! and the schema languages of `dxml-schema`:
+//!
+//! * [`DistributedDoc`] — a kernel document whose leaves may be typed
+//!   function calls (docking points), with snapshot materialisation;
+//! * [`DesignProblem`] — a target document schema plus a schema per
+//!   function;
+//! * [`DesignProblem::typecheck`] — typing verification via tree-automaton
+//!   inclusion of the extension language, with counterexample documents;
+//! * [`DesignProblem::verify_local`] — the string-inclusion fast path for
+//!   DTD targets, with counterexample words.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod design;
+pub mod doc;
+pub mod error;
+
+pub use design::{DesignProblem, LocalVerdict, LocalViolation, Origin, TypingVerdict};
+pub use doc::DistributedDoc;
+pub use error::DesignError;

@@ -16,7 +16,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-use dxml_automata::{Alphabet, Dfa, Nfa, RFormalism, RSpec, Symbol};
+use dxml_automata::{Alphabet, Dfa, RFormalism, RSpec, Symbol};
 use dxml_tree::{Nuta, XTree};
 
 use crate::edtd::REdtd;
@@ -101,7 +101,7 @@ impl RDtd {
         self.rules
             .get(name)
             .cloned()
-            .unwrap_or_else(|| RSpec::Nre(dxml_automata::Regex::Epsilon))
+            .unwrap_or(RSpec::Nre(dxml_automata::Regex::Epsilon))
     }
 
     /// Whether the element has an explicit content rule.
@@ -237,6 +237,14 @@ impl RDtd {
     pub fn reduce(&self) -> RDtd {
         let bound = self.bound_names();
         let reachable = self.reachable_names();
+        if !bound.contains(&self.start) {
+            // Empty language: keep the start with an unsatisfiable content
+            // model so the reduction still describes the same (empty)
+            // language instead of silently turning the start into a leaf.
+            let mut out = RDtd::new(self.formalism, self.start.clone());
+            out.rules.insert(self.start.clone(), RSpec::Nfa(dxml_automata::Nfa::empty()));
+            return out;
+        }
         let keep: BTreeSet<Symbol> =
             bound.intersection(&reachable).cloned().collect();
         let mut out = RDtd::new(self.formalism, self.start.clone());
@@ -279,9 +287,12 @@ impl RDtd {
         if a.start != b.start || a.alphabet != b.alphabet {
             return false;
         }
-        a.alphabet.iter().all(|name| {
+        // Named binding (not a tail expression) so the iterator borrowing
+        // `a.alphabet` is dropped before the locals it borrows from (E0597).
+        let same_contents = a.alphabet.iter().all(|name| {
             dxml_automata::equiv::is_equivalent(&a.content(name).to_nfa(), &b.content(name).to_nfa())
-        })
+        });
+        same_contents
     }
 
     /// Converts to an [`REdtd`] where every element name is its own (unique)
@@ -300,6 +311,12 @@ impl RDtd {
     /// Converts to an unranked tree automaton.
     pub fn to_nuta(&self) -> Nuta {
         self.to_edtd().to_nuta()
+    }
+
+    /// Alias for [`RDtd::to_nuta`] under the name used by the design layer
+    /// (`uta` is the paper's generic word for unranked tree automata).
+    pub fn to_uta(&self) -> Nuta {
+        self.to_nuta()
     }
 
     /// Language equivalence via tree automata (works for non-reduced inputs

@@ -1,0 +1,261 @@
+//! `R-EDTD`s — extended DTDs (Definition 7), the paper's abstraction of
+//! Relax NG and of full unranked regular tree languages.
+//!
+//! An `R-EDTD` is a tuple `⟨Σ, Σ', d, s⟩`: an alphabet `Σ` of element names,
+//! an alphabet `Σ'` of *specialised* names with an erasing morphism
+//! `µ : Σ' → Σ` (we write `ã` for a specialisation of `a`), an `R-DTD`-style
+//! rule set `d` over `Σ'` and a start name `s ∈ Σ'`. A tree over `Σ` belongs
+//! to the language iff it is the `µ`-image of a tree over `Σ'` valid under
+//! the rules — which makes `R-EDTD`s exactly the unranked regular tree
+//! languages, operationally an [`Nuta`] whose states are the specialised
+//! names.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use dxml_automata::{Alphabet, RFormalism, RSpec, Symbol};
+use dxml_tree::{uta, Nuta, XTree};
+
+/// An `R-EDTD` `⟨Σ, Σ', d, s⟩` (Definition 7).
+#[derive(Clone)]
+pub struct REdtd {
+    formalism: RFormalism,
+    /// The start name `s ∈ Σ'`.
+    start: Symbol,
+    /// The morphism `µ : Σ' → Σ` (specialised name → element name).
+    mu: BTreeMap<Symbol, Symbol>,
+    /// Content models over `Σ'`; specialised names without an entry are
+    /// leaf-only (content `{ε}`).
+    rules: BTreeMap<Symbol, RSpec>,
+}
+
+impl REdtd {
+    /// Creates an EDTD whose start is the specialised name `start` with
+    /// `µ(start) = start_label`.
+    pub fn new(
+        formalism: RFormalism,
+        start: impl Into<Symbol>,
+        start_label: impl Into<Symbol>,
+    ) -> REdtd {
+        let start = start.into();
+        let mut mu = BTreeMap::new();
+        mu.insert(start.clone(), start_label.into());
+        REdtd { formalism, start, mu, rules: BTreeMap::new() }
+    }
+
+    /// Registers a specialised name with its underlying element name
+    /// (`µ(specialized) = label`). Idempotent; re-registering with a
+    /// different label replaces the mapping.
+    pub fn add_specialization(&mut self, specialized: impl Into<Symbol>, label: impl Into<Symbol>) {
+        self.mu.insert(specialized.into(), label.into());
+    }
+
+    /// Sets the content model of a specialised name. The content model reads
+    /// specialised names; any of its symbols not yet registered defaults to
+    /// its own label (`µ(ã) = ã`), which makes plain-DTD rule sets work
+    /// unchanged.
+    pub fn set_rule(&mut self, specialized: impl Into<Symbol>, content: RSpec) {
+        let name = specialized.into();
+        self.mu.entry(name.clone()).or_insert_with(|| name.clone());
+        for sym in content.alphabet().iter() {
+            self.mu.entry(sym.clone()).or_insert_with(|| sym.clone());
+        }
+        self.rules.insert(name, content);
+    }
+
+    /// The content-model formalism `R`.
+    pub fn formalism(&self) -> RFormalism {
+        self.formalism
+    }
+
+    /// The start name `s ∈ Σ'`.
+    pub fn start(&self) -> &Symbol {
+        &self.start
+    }
+
+    /// `µ(name)`, if the specialised name is registered.
+    pub fn label_of(&self, specialized: &Symbol) -> Option<&Symbol> {
+        self.mu.get(specialized)
+    }
+
+    /// The specialised names `Σ'`.
+    pub fn specialized_names(&self) -> Alphabet {
+        self.mu.keys().cloned().collect()
+    }
+
+    /// The element names `Σ` (the image of `µ`).
+    pub fn labels(&self) -> Alphabet {
+        self.mu.values().cloned().collect()
+    }
+
+    /// The specialised names mapped to `label`, in sorted order.
+    pub fn specializations_of(&self, label: &Symbol) -> Vec<Symbol> {
+        self.mu
+            .iter()
+            .filter(|(_, l)| *l == label)
+            .map(|(s, _)| s.clone())
+            .collect()
+    }
+
+    /// The content model of a specialised name; unregistered or leaf-only
+    /// names yield `{ε}`.
+    pub fn content(&self, specialized: &Symbol) -> RSpec {
+        self.rules
+            .get(specialized)
+            .cloned()
+            .unwrap_or(RSpec::Nre(dxml_automata::Regex::Epsilon))
+    }
+
+    /// Iterates over the explicit rules.
+    pub fn rules(&self) -> impl Iterator<Item = (&Symbol, &RSpec)> {
+        self.rules.iter()
+    }
+
+    /// A size measure: number of specialised names plus the sizes of all
+    /// content models.
+    pub fn size(&self) -> usize {
+        self.mu.len() + self.rules.values().map(RSpec::size).sum::<usize>()
+    }
+
+    // ------------------------------------------------------------------
+    // Semantics via unranked tree automata
+    // ------------------------------------------------------------------
+
+    /// The EDTD as a nondeterministic unranked tree automaton: states are the
+    /// specialised names, `Δ(ã, µ(ã))` is the content model of `ã`, and the
+    /// start name is the only final state.
+    pub fn to_nuta(&self) -> Nuta {
+        let mut a = Nuta::new();
+        for (spec, label) in &self.mu {
+            a.set_rule(spec.clone(), label.clone(), self.content(spec).to_nfa());
+        }
+        a.set_final(self.start.clone());
+        a
+    }
+
+    /// Whether the tree (over `Σ`) belongs to the language.
+    pub fn accepts(&self, tree: &XTree) -> bool {
+        self.to_nuta().accepts(tree)
+    }
+
+    /// Whether the language is empty.
+    pub fn language_is_empty(&self) -> bool {
+        self.to_nuta().is_empty()
+    }
+
+    /// A tree in the language, if any.
+    pub fn sample_tree(&self) -> Option<XTree> {
+        self.to_nuta().sample_tree()
+    }
+
+    /// Language equivalence with another EDTD (`equiv[S]`, Theorem 4.7).
+    pub fn equivalent(&self, other: &REdtd) -> bool {
+        uta::is_equivalent(&self.to_nuta(), &other.to_nuta())
+    }
+
+    /// Language equivalence with a distinguishing tree on failure
+    /// (`true` = the tree belongs to `self` only).
+    pub fn equivalent_witness(&self, other: &REdtd) -> Result<(), (XTree, bool)> {
+        uta::equivalent(&self.to_nuta(), &other.to_nuta())
+    }
+
+    /// Language inclusion in another EDTD, with a counterexample tree on
+    /// failure.
+    pub fn included_in(&self, other: &REdtd) -> Result<(), XTree> {
+        uta::included(&self.to_nuta(), &other.to_nuta())
+    }
+}
+
+impl fmt::Debug for REdtd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}-EDTD with start `{}`:", self.formalism, self.start)?;
+        for (spec, label) in &self.mu {
+            if spec == label {
+                writeln!(f, "  {spec} -> {}", self.content(spec))?;
+            } else {
+                writeln!(f, "  {spec} [µ={label}] -> {}", self.content(spec))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for REdtd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dxml_automata::Regex;
+    use dxml_tree::term::parse_term;
+
+    /// The classic non-DTD-definable language: `s(a(b)* a(c) a(b)*)` —
+    /// exactly one of the `a` children contains `c`, the others contain `b`.
+    fn one_c_edtd() -> REdtd {
+        let mut e = REdtd::new(RFormalism::Nre, "s", "s");
+        e.add_specialization("ab", "a");
+        e.add_specialization("ac", "a");
+        e.set_rule("s", RSpec::Nre(Regex::parse("ab* ac ab*").unwrap()));
+        e.set_rule("ab", RSpec::Nre(Regex::parse("b").unwrap()));
+        e.set_rule("ac", RSpec::Nre(Regex::parse("c").unwrap()));
+        e
+    }
+
+    #[test]
+    fn specialisation_distinguishes_contexts() {
+        let e = one_c_edtd();
+        assert!(e.accepts(&parse_term("s(a(c))").unwrap()));
+        assert!(e.accepts(&parse_term("s(a(b) a(c) a(b))").unwrap()));
+        assert!(!e.accepts(&parse_term("s(a(b))").unwrap()));
+        assert!(!e.accepts(&parse_term("s(a(c) a(c))").unwrap()));
+        assert_eq!(e.specializations_of(&Symbol::new("a")).len(), 2);
+        assert_eq!(e.label_of(&Symbol::new("ab")), Some(&Symbol::new("a")));
+    }
+
+    #[test]
+    fn sample_and_emptiness() {
+        let e = one_c_edtd();
+        assert!(!e.language_is_empty());
+        let t = e.sample_tree().unwrap();
+        assert!(e.accepts(&t));
+
+        let mut empty = REdtd::new(RFormalism::Nre, "s", "s");
+        empty.set_rule("s", RSpec::Nre(Regex::sym("s")));
+        assert!(empty.language_is_empty());
+        assert_eq!(empty.sample_tree(), None);
+    }
+
+    #[test]
+    fn equivalence_and_inclusion() {
+        let e = one_c_edtd();
+        // Same language written with the specialisations swapped.
+        let mut f = REdtd::new(RFormalism::Nre, "s", "s");
+        f.add_specialization("x", "a");
+        f.add_specialization("y", "a");
+        f.set_rule("s", RSpec::Nre(Regex::parse("y* x y*").unwrap()));
+        f.set_rule("x", RSpec::Nre(Regex::parse("c").unwrap()));
+        f.set_rule("y", RSpec::Nre(Regex::parse("b").unwrap()));
+        assert!(e.equivalent(&f));
+        assert!(e.equivalent_witness(&f).is_ok());
+
+        // A superset: any number of c-children.
+        let mut g = REdtd::new(RFormalism::Nre, "s", "s");
+        g.add_specialization("ab", "a");
+        g.add_specialization("ac", "a");
+        g.set_rule("s", RSpec::Nre(Regex::parse("(ab | ac)*").unwrap()));
+        g.set_rule("ab", RSpec::Nre(Regex::parse("b").unwrap()));
+        g.set_rule("ac", RSpec::Nre(Regex::parse("c").unwrap()));
+        assert!(e.included_in(&g).is_ok());
+        let witness = g.included_in(&e).unwrap_err();
+        assert!(g.accepts(&witness) && !e.accepts(&witness));
+        assert!(!g.equivalent(&e));
+    }
+
+    #[test]
+    fn size_is_positive() {
+        assert!(one_c_edtd().size() > 5);
+    }
+}

@@ -567,13 +567,12 @@ fn reachable_pairs(a: &Duta, b: &Duta) -> Vec<(usize, usize, XTree)> {
                         path.iter().map(|&p| pairs[p].2.clone()).collect();
                     pairs.push((out.0, out.1, XTree::node(label.clone(), children)));
                 }
-                for letter in 0..snapshot_len {
-                    let (pa, pb, _) = &pairs[letter];
+                for (letter, (pa, pb, _)) in pairs.iter().enumerate().take(snapshot_len) {
                     let next = (ma.step(ca, *pa), mb.step(cb, *pb));
-                    if !seen.contains_key(&next) {
+                    if let std::collections::btree_map::Entry::Vacant(slot) = seen.entry(next) {
                         let mut next_path = path.clone();
                         next_path.push(letter);
-                        seen.insert(next, next_path);
+                        slot.insert(next_path);
                         queue.push_back(next);
                     }
                 }

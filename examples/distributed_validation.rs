@@ -1,1 +1,100 @@
-fn main() {}
+//! Distributed validation: typing verification of a kernel document with
+//! function calls (the paper's central decision problem).
+//!
+//! ```sh
+//! cargo run --release --example distributed_validation
+//! ```
+
+use std::collections::BTreeMap;
+
+use dxml::automata::{RFormalism, Symbol};
+use dxml::core::{DesignProblem, DistributedDoc, LocalVerdict, TypingVerdict};
+use dxml::schema::RDtd;
+use dxml::tree::term::parse_forest;
+
+fn main() {
+    // Global type τ (Figure 3).
+    let target = RDtd::parse(
+        RFormalism::Nre,
+        "eurostat -> averages, nationalIndex*\n\
+         averages -> (Good, index+)+\n\
+         nationalIndex -> country, Good, (index | value, year)\n\
+         index -> value, year",
+    )
+    .unwrap();
+
+    // Kernel: averages stored locally, national indexes fetched from two
+    // statistics offices.
+    let doc = DistributedDoc::parse(
+        "eurostat(averages(Good index(value year)) fDE fFR)",
+        ["fDE", "fFR"],
+    )
+    .unwrap();
+    println!("kernel: {doc}");
+
+    // A well-typed office: returns nationalIndex entries in the old format.
+    let good_office = RDtd::parse(
+        RFormalism::Nre,
+        "natResult -> nationalIndex*\n\
+         nationalIndex -> country, Good, index\n\
+         index -> value, year",
+    )
+    .unwrap();
+    // An ill-typed office: emits a stray value after the index.
+    let bad_office = RDtd::parse(
+        RFormalism::Nre,
+        "natResult -> nationalIndex*\n\
+         nationalIndex -> country, Good, index, value\n\
+         index -> value, year",
+    )
+    .unwrap();
+
+    // Case 1: both offices well-typed — the design typechecks.
+    let ok = DesignProblem::new(target.clone())
+        .with_function("fDE", good_office.clone())
+        .with_function("fFR", good_office.clone());
+    println!("\n[well-typed design]");
+    match ok.typecheck(&doc).unwrap() {
+        TypingVerdict::Valid => println!("  every extension validates"),
+        TypingVerdict::Invalid { .. } => unreachable!(),
+    }
+
+    // Materialise a snapshot and validate it directly.
+    let mut results = BTreeMap::new();
+    results.insert(
+        Symbol::new("fDE"),
+        parse_forest("nationalIndex(country Good index(value year))").unwrap(),
+    );
+    results.insert(
+        Symbol::new("fFR"),
+        parse_forest(
+            "nationalIndex(country Good index(value year)) \
+             nationalIndex(country Good index(value year))",
+        )
+        .unwrap(),
+    );
+    let ext = doc.materialize(&results).unwrap();
+    println!("  snapshot extension: {ext}");
+    assert!(target.accepts(&ext));
+
+    // Case 2: one office ill-typed — verification refutes the design and
+    // produces a concrete bad extension.
+    let bad = DesignProblem::new(target)
+        .with_function("fDE", good_office)
+        .with_function("fFR", bad_office);
+    println!("\n[ill-typed design]");
+    match bad.typecheck(&doc).unwrap() {
+        TypingVerdict::Invalid { counterexample, violation } => {
+            println!("  refuted; a possible extension violating τ:");
+            println!("    {counterexample}");
+            println!("  violation: {violation}");
+        }
+        TypingVerdict::Valid => unreachable!(),
+    }
+
+    // The string-level local check pins the same problem as a word.
+    match bad.verify_local(&doc).unwrap() {
+        LocalVerdict::Invalid(v) => println!("  local check: {v}"),
+        LocalVerdict::Valid => unreachable!(),
+    }
+}

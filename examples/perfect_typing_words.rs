@@ -1,1 +1,51 @@
-fn main() {}
+//! String-level machinery behind typing: deterministic (one-unambiguous)
+//! expressions, inclusion with counterexample words, and the `equiv[R]`
+//! oracle of Definition 1.
+//!
+//! ```sh
+//! cargo run --release --example perfect_typing_words
+//! ```
+
+use dxml::automata::equiv::{equivalent, included};
+use dxml::automata::{dre, RFormalism, Regex, RSpec};
+
+fn main() {
+    // One-unambiguity (the dRE test of Brüggemann-Klein/Wood).
+    println!("[one-unambiguity]");
+    for src in ["a*bc*", "(ab)*", "(a|b)*a", "(a|b)*a(a|b)"] {
+        let re = Regex::parse_chars(src).unwrap();
+        let expr = dre::one_unambiguous_expr(&re);
+        let lang = dre::one_unambiguous_language(&re.to_nfa());
+        println!("  {src:<14} expression: {expr:<5}  language: {lang}");
+    }
+    // (a|b)*a is not deterministic as written but its language is: a dRE
+    // content model exists (b*a(b*a)*).
+    let nondet = Regex::parse_chars("(a|b)*a").unwrap();
+    let det = Regex::parse_chars("b*a(b*a)*").unwrap();
+    assert!(!dre::one_unambiguous_expr(&nondet));
+    assert!(dre::one_unambiguous_expr(&det));
+    assert!(equivalent(&nondet.to_nfa(), &det.to_nfa()).is_ok());
+    println!("  (a|b)*a ≡ b*a(b*a)*, the right-hand side is a dRE");
+
+    // RSpec: the same content model in all four formalisms R.
+    println!("\n[content models across formalisms]");
+    for f in RFormalism::ALL {
+        let spec = RSpec::parse_chars(f, "a*bc*").unwrap();
+        println!("  {f}: size {} accepts `ab`: {}", spec.size(), spec.accepts(&dxml::automata::symbol::word_chars("ab")));
+    }
+    // dRE rejects genuinely nondeterministic expressions.
+    assert!(RSpec::parse_chars(RFormalism::Dre, "(a|b)*a").is_err());
+    println!("  dRE rejects (a|b)*a as written");
+
+    // Inclusion with shortest counterexample words — the oracle local
+    // typing verification composes.
+    println!("\n[inclusion counterexamples]");
+    let narrow = Regex::parse("country, Good, index").unwrap().to_nfa();
+    let wide = Regex::parse("country, Good, (index | value, year)").unwrap().to_nfa();
+    assert!(included(&narrow, &wide).is_ok());
+    let broken = Regex::parse("country, Good, index, value").unwrap().to_nfa();
+    match included(&broken, &wide) {
+        Err(ce) => println!("  broken office ⊄ τ(nationalIndex): {}", ce.describe()),
+        Ok(()) => unreachable!(),
+    }
+}

@@ -1,1 +1,65 @@
-fn main() {}
+//! Quickstart: parse a DTD, validate documents, inspect counterexamples.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dxml::automata::RFormalism;
+use dxml::schema::RDtd;
+use dxml::tree::term::parse_term;
+
+fn main() {
+    // The Eurostat NCPI global type of Figure 3, in the compact rule syntax.
+    let dtd = RDtd::parse(
+        RFormalism::Nre,
+        "eurostat -> averages, nationalIndex*\n\
+         averages -> (Good, index+)+\n\
+         nationalIndex -> country, Good, (index | value, year)\n\
+         index -> value, year",
+    )
+    .expect("the Figure 3 DTD parses");
+    println!("Global type τ:\n{dtd}");
+
+    // A valid document (Figure 2, element structure only).
+    let good = parse_term(
+        "eurostat(averages(Good index(value year)) \
+         nationalIndex(country Good index(value year)) \
+         nationalIndex(country Good value year))",
+    )
+    .unwrap();
+    println!("valid document:   {good}");
+    assert!(dtd.accepts(&good));
+    println!("  -> validates");
+
+    // An invalid document: a nationalIndex in both formats at once.
+    let bad = parse_term(
+        "eurostat(averages(Good index(value year)) \
+         nationalIndex(country Good index(value year) value))",
+    )
+    .unwrap();
+    println!("invalid document: {bad}");
+    match dtd.validate(&bad) {
+        Err(e) => println!("  -> rejected: {e}"),
+        Ok(()) => unreachable!("the document is invalid"),
+    }
+
+    // Schema-level reasoning: equivalence with a counterexample tree.
+    let other = RDtd::parse(
+        RFormalism::Nre,
+        "eurostat -> averages, nationalIndex*\n\
+         averages -> (Good, index+)+\n\
+         nationalIndex -> country, Good, index\n\
+         index -> value, year",
+    )
+    .unwrap();
+    match dtd.equivalent_witness(&other) {
+        Err((tree, in_first)) => {
+            let side = if in_first { "first" } else { "second" };
+            println!("schemas differ; e.g. the {side} schema alone accepts:\n  {tree}");
+        }
+        Ok(()) => unreachable!("the schemas differ"),
+    }
+
+    // The language is non-empty: extract a smallest witness.
+    println!("sample document of τ: {}", dtd.sample_tree().unwrap());
+}

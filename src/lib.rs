@@ -1,0 +1,17 @@
+//! Umbrella crate for the *Distributed XML Design* workspace.
+//!
+//! Re-exports the workspace layers under one roof so that examples and
+//! downstream users can write `use dxml::…`:
+//!
+//! * [`automata`] — regular string languages (NFAs, DFAs, nRE/dRE).
+//! * [`tree`] — unranked trees and unranked tree automata.
+//! * [`schema`] — R-DTDs, R-SDTDs and R-EDTDs.
+//! * [`core`] — distributed documents, design problems and typing
+//!   verification.
+
+#![forbid(unsafe_code)]
+
+pub use dxml_automata as automata;
+pub use dxml_core as core;
+pub use dxml_schema as schema;
+pub use dxml_tree as tree;

@@ -2,7 +2,7 @@
 
 CARGO ?= cargo
 
-.PHONY: all build test clippy fmt-check bench examples verify
+.PHONY: all build test clippy fmt-check bench bench-smoke examples verify
 
 all: verify
 
@@ -18,11 +18,18 @@ clippy:
 bench:
 	$(CARGO) check --benches
 
+# Run every bench target once (release profile): exercises the real bench
+# code paths and their assertions, and emits machine-readable
+# BENCH_<name>.json timing files (DXML_BENCH_DIR overrides the destination).
+bench-smoke:
+	DXML_BENCH_SMOKE=1 DXML_BENCH_DIR=$(CURDIR) $(CARGO) bench -q
+
 examples:
 	$(CARGO) run -q --release --example quickstart
 	$(CARGO) run -q --release --example distributed_validation
 	$(CARGO) run -q --release --example perfect_typing_words
 	$(CARGO) run -q --release --example eurostat_ncpi
+	$(CARGO) run -q --release --example perfect_schema
 
 # The tier-1 gate plus lints and bench compilation.
 verify: build test clippy bench

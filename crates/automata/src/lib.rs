@@ -16,6 +16,9 @@
 //!   Brüggemann-Klein/Wood determinism test on expressions and the
 //!   orbit-property decision procedure on minimal DFAs (`one-unamb[R]`,
 //!   Definition 2 of the paper);
+//! * [`quotient`] — existential quotients and the universal two-sided
+//!   residual of regular languages, the string-level building block of the
+//!   perfect-typing construction of Section 6;
 //! * [`BoxLang`] — "boxes" `Σ1…Σn` (cartesian-product languages), used by the
 //!   box versions of the design problems in Section 7;
 //! * [`RSpec`] — a content model in any of the four formalisms
@@ -35,6 +38,7 @@ pub mod dre;
 pub mod equiv;
 pub mod error;
 pub mod nfa;
+pub mod quotient;
 pub mod regex;
 pub mod rspec;
 pub mod symbol;

@@ -1,0 +1,428 @@
+//! Quotients and residuals of regular languages.
+//!
+//! These are the string-level building blocks of the *perfect automaton*
+//! construction of Section 6: the most permissive content model a function
+//! may use at a docking point is a residual of the target content model by
+//! the languages realizable to its left and right.
+//!
+//! Three operations are provided on [`Nfa`]s:
+//!
+//! * [`Nfa::left_quotient`] — the existential left quotient
+//!   `P⁻¹L = { w : ∃u ∈ P, u·w ∈ L }`;
+//! * [`Nfa::right_quotient`] — the existential right quotient
+//!   `L·S⁻¹ = { w : ∃v ∈ S, w·v ∈ L }`;
+//! * [`Nfa::universal_context_residual`] — the *universal* two-sided
+//!   residual `{ w : ∀u ∈ P, ∀v ∈ S, u·w·v ∈ L }`, which is exactly the set
+//!   of words a docking point may contribute when the words to its left and
+//!   right range over `P` and `S` and the whole child word must stay in `L`.
+//!
+//! All three are effective: the result is an automaton over the union of the
+//! involved alphabets. In particular, when `P` (or `S`) is the empty
+//! language the universal residual is vacuously `Σ*` over that union — the
+//! caller decides what to intersect it with.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::dfa::Dfa;
+use crate::nfa::{Nfa, StateId};
+use crate::symbol::Alphabet;
+
+impl Nfa {
+    /// The existential left quotient `P⁻¹[self] = { w : ∃u ∈ [P], u·w ∈
+    /// [self] }`.
+    pub fn left_quotient(&self, prefixes: &Nfa) -> Nfa {
+        let d = Dfa::from_nfa(self);
+        let entry = states_reachable_via(&d, prefixes);
+        // The quotient automaton is `d` with a fresh start state that can
+        // silently be in any state some prefix reaches.
+        let mut out = d.to_nfa();
+        let start = out.add_state();
+        out.set_start(start);
+        for q in entry {
+            out.add_epsilon(start, q);
+        }
+        out.trim()
+    }
+
+    /// The existential right quotient `[self]·S⁻¹ = { w : ∃v ∈ [S], w·v ∈
+    /// [self] }`.
+    pub fn right_quotient(&self, suffixes: &Nfa) -> Nfa {
+        let d = Dfa::from_nfa(self);
+        // `q` is final in the quotient iff some suffix leads from `q` to an
+        // accepting state of `d`.
+        let mut out = d.to_nfa();
+        let finals: Vec<StateId> = out.finals().iter().copied().collect();
+        for f in finals {
+            out.unset_final(f);
+        }
+        for q in 0..d.num_states() {
+            if suffix_reaches_final(&d, q, suffixes) {
+                out.set_final(q);
+            }
+        }
+        out.trim()
+    }
+
+    /// The universal two-sided residual
+    /// `{ w : ∀u ∈ [prefixes], ∀v ∈ [suffixes], u·w·v ∈ [self] }`.
+    ///
+    /// This is the *perfect* content language of a docking point: the words
+    /// it may contribute so that **every** combination with realizable left
+    /// and right contexts stays inside the target content model. When
+    /// `[prefixes]` (or `[suffixes]`) is empty the constraint is vacuous and
+    /// the result is `Σ*` over the union of the three alphabets.
+    pub fn universal_context_residual(&self, prefixes: &Nfa, suffixes: &Nfa) -> Nfa {
+        let sigma = self
+            .alphabet()
+            .union(&prefixes.alphabet())
+            .union(&suffixes.alphabet());
+        let d = Dfa::from_nfa(self).complete(&sigma);
+        // States the target DFA can be in after reading any realizable
+        // prefix. `w` must be good from *all* of them simultaneously.
+        let entry = states_reachable_via(&d, prefixes);
+        // States from which every realizable suffix still accepts.
+        let safe = states_where_all_suffixes_accept(&d, suffixes);
+        // Deterministic set-simulation: track the set of states the entry
+        // set evolves into; accept iff it is entirely safe. The empty entry
+        // set (no realizable prefix) is vacuously safe, yielding Σ*.
+        let mut sets: Vec<BTreeSet<StateId>> = vec![entry.clone()];
+        let mut index: BTreeMap<BTreeSet<StateId>, usize> = BTreeMap::new();
+        index.insert(entry, 0);
+        let mut out = Nfa::new(1, 0);
+        let mut queue = VecDeque::from([0usize]);
+        while let Some(id) = queue.pop_front() {
+            if sets[id].iter().all(|q| safe.contains(q)) {
+                out.set_final(id);
+            }
+            for sym in &sigma {
+                let next: BTreeSet<StateId> = sets[id]
+                    .iter()
+                    .filter_map(|&q| d.delta(q, sym))
+                    .collect();
+                let next_id = match index.get(&next) {
+                    Some(&i) => i,
+                    None => {
+                        let i = out.add_state();
+                        sets.push(next.clone());
+                        index.insert(next, i);
+                        queue.push_back(i);
+                        i
+                    }
+                };
+                out.add_transition(id, sym.clone(), next_id);
+            }
+        }
+        out.trim()
+    }
+
+    /// The **uniform** context residual: the words `w` such that
+    /// substituting *the same* `w` into every gap of the context sequence
+    /// stays in `[self]` —
+    ///
+    /// ```text
+    /// { w : ∀u₀∈[C₀], …, ∀uₘ∈[Cₘ],  u₀·w·u₁·w·⋯·w·uₘ ∈ [self] }
+    /// ```
+    ///
+    /// for `contexts = [C₀, …, Cₘ]` (so `w` occurs `m = contexts.len()-1`
+    /// times; with two contexts this coincides with
+    /// [`Nfa::universal_context_residual`]). This is the exact set of
+    /// forest words a function may return when it docks *several* times
+    /// under the same parent: every docking point receives a forest with
+    /// the same root-word language, and every valid forest language is a
+    /// subset of this one.
+    ///
+    /// The construction tracks the state *transformation* `δ_w : Q → Q`
+    /// that `w` induces on the completed DFA of `[self]` (the words with
+    /// equal transformations are indistinguishable, so the result is
+    /// regular); the reachable transformation monoid is at most `|Q|^|Q|`
+    /// but stays tiny for the content-model DFAs this is used on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `contexts` has fewer than two entries (no gap to fill).
+    pub fn uniform_context_residual(&self, contexts: &[Nfa]) -> Nfa {
+        assert!(contexts.len() >= 2, "uniform_context_residual needs at least two contexts");
+        let mut sigma = self.alphabet();
+        for c in contexts {
+            sigma = sigma.union(&c.alphabet());
+        }
+        let d = Dfa::from_nfa(self).complete(&sigma);
+        let n = d.num_states();
+        // Per inner context: the set-valued reachability map
+        // q ↦ {δ*(q, u) : u ∈ [Cᵢ]} (the last context acts as a suffix
+        // filter instead).
+        let inner: Vec<Vec<BTreeSet<StateId>>> = contexts[..contexts.len() - 1]
+            .iter()
+            .map(|c| (0..n).map(|q| states_reachable_via_from(&d, q, c)).collect())
+            .collect();
+        // After the final `w`, every possible state must accept under *all*
+        // words of the last context.
+        let safe = states_where_all_suffixes_accept(&d, &contexts[contexts.len() - 1]);
+        let accepts = |t: &[StateId]| -> bool {
+            // Propagate the set of possible states through u₀ w u₁ w ⋯ w,
+            // alternating context reachability and the transformation `t`.
+            let mut possible: BTreeSet<StateId> = inner[0][d.start()].clone();
+            for r in inner.iter().skip(1) {
+                let after_w: BTreeSet<StateId> = possible.iter().map(|&q| t[q]).collect();
+                possible = after_w.iter().flat_map(|&q| r[q].iter().copied()).collect();
+            }
+            possible.iter().map(|&q| t[q]).all(|q| safe.contains(&q))
+        };
+        // Enumerate the reachable transformation monoid.
+        let identity: Vec<StateId> = (0..n).collect();
+        let mut trans: Vec<Vec<StateId>> = vec![identity.clone()];
+        let mut index: BTreeMap<Vec<StateId>, usize> = BTreeMap::new();
+        index.insert(identity, 0);
+        let mut out = Nfa::new(1, 0);
+        let mut queue = VecDeque::from([0usize]);
+        while let Some(id) = queue.pop_front() {
+            if accepts(&trans[id]) {
+                out.set_final(id);
+            }
+            for sym in &sigma {
+                let next: Vec<StateId> = trans[id]
+                    .iter()
+                    .map(|&q| d.delta(q, sym).expect("completed DFA is total"))
+                    .collect();
+                let next_id = match index.get(&next) {
+                    Some(&i) => i,
+                    None => {
+                        let i = out.add_state();
+                        trans.push(next.clone());
+                        index.insert(next, i);
+                        queue.push_back(i);
+                        i
+                    }
+                };
+                out.add_transition(id, sym.clone(), next_id);
+            }
+        }
+        out.trim()
+    }
+}
+
+/// The set `{ δ*(q₀, u) : u ∈ [prefixes] }` of states of `d` reachable by
+/// reading some word of `[prefixes]` from the start state.
+fn states_reachable_via(d: &Dfa, prefixes: &Nfa) -> BTreeSet<StateId> {
+    states_reachable_via_from(d, d.start(), prefixes)
+}
+
+/// The set `{ δ*(q, u) : u ∈ [lang] }` of states of `d` reachable by
+/// reading some word of `[lang]` from the state `q`.
+fn states_reachable_via_from(d: &Dfa, q: StateId, prefixes: &Nfa) -> BTreeSet<StateId> {
+    let sigma = union_alphabet(d, prefixes);
+    let p0 = prefixes.epsilon_closure(&BTreeSet::from([prefixes.start()]));
+    let start = (p0, q);
+    let mut seen: BTreeSet<(BTreeSet<StateId>, StateId)> = BTreeSet::from([start.clone()]);
+    let mut queue = VecDeque::from([start]);
+    let mut out = BTreeSet::new();
+    while let Some((pset, q)) = queue.pop_front() {
+        if pset.iter().any(|p| prefixes.is_final(*p)) {
+            out.insert(q);
+        }
+        for sym in &sigma {
+            let pnext = prefixes.step(&pset, sym);
+            if pnext.is_empty() {
+                continue;
+            }
+            let qnext = match d.delta(q, sym) {
+                Some(t) => t,
+                None => continue,
+            };
+            let state = (pnext, qnext);
+            if seen.insert(state.clone()) {
+                queue.push_back(state);
+            }
+        }
+    }
+    out
+}
+
+/// The set of states `q` of `d` such that **every** word of `[suffixes]`
+/// read from `q` ends in an accepting state (missing transitions count as
+/// rejection). States outside the set admit some suffix that rejects.
+fn states_where_all_suffixes_accept(d: &Dfa, suffixes: &Nfa) -> BTreeSet<StateId> {
+    (0..d.num_states())
+        .filter(|&q| !suffix_rejects_somewhere(d, q, suffixes))
+        .collect()
+}
+
+/// Whether some word of `[suffixes]` read from `q` fails to accept in `d`.
+fn suffix_rejects_somewhere(d: &Dfa, q: StateId, suffixes: &Nfa) -> bool {
+    let sigma = union_alphabet(d, suffixes);
+    let s0 = suffixes.epsilon_closure(&BTreeSet::from([suffixes.start()]));
+    let start = (s0, Some(q));
+    let mut seen: BTreeSet<(BTreeSet<StateId>, Option<StateId>)> = BTreeSet::from([start.clone()]);
+    let mut queue = VecDeque::from([start]);
+    while let Some((sset, dq)) = queue.pop_front() {
+        let suffix_ends_here = sset.iter().any(|s| suffixes.is_final(*s));
+        let accepts = dq.map(|t| d.is_final(t)).unwrap_or(false);
+        if suffix_ends_here && !accepts {
+            return true;
+        }
+        for sym in &sigma {
+            let snext = suffixes.step(&sset, sym);
+            if snext.is_empty() {
+                continue;
+            }
+            let dnext = dq.and_then(|t| d.delta(t, sym));
+            let state = (snext, dnext);
+            if seen.insert(state.clone()) {
+                queue.push_back(state);
+            }
+        }
+    }
+    false
+}
+
+/// Whether some word of `[suffixes]` read from `q` reaches an accepting
+/// state of `d`.
+fn suffix_reaches_final(d: &Dfa, q: StateId, suffixes: &Nfa) -> bool {
+    let sigma = union_alphabet(d, suffixes);
+    let s0 = suffixes.epsilon_closure(&BTreeSet::from([suffixes.start()]));
+    let start = (s0, q);
+    let mut seen: BTreeSet<(BTreeSet<StateId>, StateId)> = BTreeSet::from([start.clone()]);
+    let mut queue = VecDeque::from([start]);
+    while let Some((sset, dq)) = queue.pop_front() {
+        if sset.iter().any(|s| suffixes.is_final(*s)) && d.is_final(dq) {
+            return true;
+        }
+        for sym in &sigma {
+            let snext = suffixes.step(&sset, sym);
+            if snext.is_empty() {
+                continue;
+            }
+            let dnext = match d.delta(dq, sym) {
+                Some(t) => t,
+                None => continue,
+            };
+            let state = (snext, dnext);
+            if seen.insert(state.clone()) {
+                queue.push_back(state);
+            }
+        }
+    }
+    false
+}
+
+fn union_alphabet(d: &Dfa, other: &Nfa) -> Alphabet {
+    d.alphabet().union(&other.alphabet())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equiv::is_equivalent;
+    use crate::regex::Regex;
+    use crate::symbol::word_chars;
+
+    fn re(s: &str) -> Nfa {
+        Regex::parse_chars(s).unwrap().to_nfa()
+    }
+
+    #[test]
+    fn left_quotient_basics() {
+        // a⁻¹(ab)* = b(ab)*
+        let q = re("(ab)*").left_quotient(&re("a"));
+        assert!(is_equivalent(&q, &re("b(ab)*")));
+        // (a*)⁻¹(a*b) = a*b
+        let q2 = re("a*b").left_quotient(&re("a*"));
+        assert!(is_equivalent(&q2, &re("a*b")));
+        // Quotient by a disjoint language is empty.
+        assert!(re("(ab)*").left_quotient(&re("b")).is_empty());
+        // Quotient by the empty language is empty.
+        assert!(re("(ab)*").left_quotient(&Nfa::empty()).is_empty());
+    }
+
+    #[test]
+    fn right_quotient_basics() {
+        // (ab)*·b⁻¹ = (ab)*a
+        let q = re("(ab)*").right_quotient(&re("b"));
+        assert!(is_equivalent(&q, &re("(ab)*a")));
+        // (a*b)·b⁻¹ = a*
+        let q2 = re("a*b").right_quotient(&re("b"));
+        assert!(is_equivalent(&q2, &re("a*")));
+        assert!(re("(ab)*").right_quotient(&Nfa::empty()).is_empty());
+    }
+
+    #[test]
+    fn universal_residual_single_contexts() {
+        // {w : a·w ∈ a b*} = b*
+        let r = re("ab*").universal_context_residual(&re("a"), &Nfa::epsilon());
+        assert!(is_equivalent(&r, &re("b*")));
+        // {w : a·w·c ∈ a b* c} = b*
+        let r2 = re("ab*c").universal_context_residual(&re("a"), &re("c"));
+        assert!(is_equivalent(&r2, &re("b*")));
+    }
+
+    #[test]
+    fn universal_residual_quantifies_over_all_contexts() {
+        // L = aa | bb, prefix ranges over {a}: w must satisfy a·w ∈ L, so
+        // w = a only.
+        let r = re("aa + bb").universal_context_residual(&re("a"), &Nfa::epsilon());
+        assert!(is_equivalent(&r, &re("a")));
+        // Prefix ranges over {a, b}: no w works for both.
+        let r2 = re("aa + bb").universal_context_residual(&re("a + b"), &Nfa::epsilon());
+        assert!(r2.is_empty());
+        // L = a*, prefix a*, suffix a*: every a-word works, nothing else.
+        let r3 = re("a*").universal_context_residual(&re("a*"), &re("a*"));
+        assert!(is_equivalent(&r3, &re("a*")));
+        assert!(!r3.accepts(&word_chars("b")));
+    }
+
+    #[test]
+    fn universal_residual_is_vacuous_on_empty_contexts() {
+        // No realizable prefix: every word (over the combined alphabet)
+        // qualifies, including words outside the target language.
+        let r = re("ab").universal_context_residual(&Nfa::empty(), &Nfa::epsilon());
+        assert!(r.accepts(&word_chars("ab")));
+        assert!(r.accepts(&word_chars("ba")));
+        assert!(r.accepts(&[]));
+    }
+
+    #[test]
+    fn uniform_residual_single_gap_matches_universal() {
+        for (l, pre, suf) in [("ab*c", "a", "c"), ("(ab)*", "a + ab", "ε"), ("aa + bb", "a + b", "ε")] {
+            let l = re(l);
+            let (p, s) = (re(pre), re(suf));
+            let uni = l.uniform_context_residual(&[p.clone(), s.clone()]);
+            let fre = l.universal_context_residual(&p, &s);
+            assert!(is_equivalent(&uni, &fre), "L={l:?}");
+        }
+    }
+
+    #[test]
+    fn uniform_residual_substitutes_the_same_word_everywhere() {
+        let eps = || Nfa::epsilon();
+        // {w : w·w ∈ {aa, bb}} = {a, b}: each singleton works on its own.
+        let u = re("aa + bb").uniform_context_residual(&[eps(), eps(), eps()]);
+        assert!(u.accepts(&word_chars("a")));
+        assert!(u.accepts(&word_chars("b")));
+        assert!(!u.accepts(&[]));
+        assert!(!u.accepts(&word_chars("ab")));
+        // {w : w·w ∈ {a}} = ∅ (a single `a` cannot split evenly).
+        assert!(re("a").uniform_context_residual(&[eps(), eps(), eps()]).is_empty());
+        // {w : w·w ∈ (ab)*} = (ab)*.
+        let sq = re("(ab)*").uniform_context_residual(&[eps(), eps(), eps()]);
+        assert!(is_equivalent(&sq, &re("(ab)*")));
+        // Inner contexts are quantified universally too:
+        // {w : ∀v∈{b,bb}: w·v·w ∈ a b+ a} = {a}.
+        let mid = re("ab+a").uniform_context_residual(&[eps(), re("b + bb"), eps()]);
+        assert!(is_equivalent(&mid, &re("a")));
+    }
+
+    #[test]
+    fn universal_residual_differs_from_existential_quotient() {
+        // L = ab + bb. Existential left quotient by (a|b) is {b};
+        // the universal residual by (a|b) is also... a·w∈L gives w=b,
+        // b·w∈L gives w=b, so both are {b} here. Distinguish with
+        // L = ab + bc: existential gives {b} ∪ {c} = words after a or b;
+        // universal demands w work after *both* a and b: empty.
+        let l = re("ab + bc");
+        let exist = l.left_quotient(&re("a + b"));
+        assert!(exist.accepts(&word_chars("b")));
+        assert!(exist.accepts(&word_chars("c")));
+        let univ = l.universal_context_residual(&re("a + b"), &Nfa::epsilon());
+        assert!(univ.is_empty());
+    }
+}

@@ -105,13 +105,13 @@ impl Regex {
     /// Parses an expression in identifier mode (symbols are identifiers;
     /// see the module documentation).
     pub fn parse(input: &str) -> Result<Regex, AutomataError> {
-        Parser::new(input, Mode::Ident).parse()
+        Parser::new(input, Mode::Ident)?.parse()
     }
 
     /// Parses an expression in character mode (every alphanumeric character
     /// is a symbol; see the module documentation).
     pub fn parse_chars(input: &str) -> Result<Regex, AutomataError> {
-        Parser::new(input, Mode::Chars).parse()
+        Parser::new(input, Mode::Chars)?.parse()
     }
 
     /// The number of nodes of the expression (a simple size measure).
@@ -437,6 +437,11 @@ enum Token {
     Question,
     Epsilon,
     EmptySet,
+    /// An explicit concatenation separator (`,`, `·` or `.`). Kept as a real
+    /// token (rather than skipped at tokenisation time) so that an *empty*
+    /// operand — `a,,b`, a trailing `a,` — is a parse error instead of being
+    /// silently dropped.
+    Sep,
 }
 
 struct Parser {
@@ -446,12 +451,12 @@ struct Parser {
 }
 
 impl Parser {
-    fn new(input: &str, mode: Mode) -> Parser {
-        Parser {
-            tokens: tokenize(input, mode),
+    fn new(input: &str, mode: Mode) -> Result<Parser, AutomataError> {
+        Ok(Parser {
+            tokens: tokenize(input, mode)?,
             pos: 0,
             input_len: input.len(),
-        }
+        })
     }
 
     fn peek(&self) -> Option<&Token> {
@@ -493,19 +498,37 @@ impl Parser {
         Ok(Regex::alt(parts))
     }
 
-    fn parse_concat(&mut self) -> Result<Regex, AutomataError> {
-        let mut parts = Vec::new();
-        while matches!(
+    fn at_operand_start(&self) -> bool {
+        matches!(
             self.peek(),
             Some(Token::Sym(_) | Token::LParen | Token::Epsilon | Token::EmptySet)
-        ) {
-            parts.push(self.parse_postfix()?);
-        }
-        if parts.is_empty() {
+        )
+    }
+
+    fn parse_concat(&mut self) -> Result<Regex, AutomataError> {
+        if !self.at_operand_start() {
             return Err(AutomataError::RegexParse {
                 message: "expected a symbol, '(' , ε or ∅".into(),
                 position: self.here(),
             });
+        }
+        let mut parts = vec![self.parse_postfix()?];
+        loop {
+            if matches!(self.peek(), Some(Token::Sep)) {
+                let sep_pos = self.here();
+                self.bump();
+                if !self.at_operand_start() {
+                    return Err(AutomataError::RegexParse {
+                        message: "empty operand after explicit concatenation separator".into(),
+                        position: if self.pos == self.tokens.len() { sep_pos } else { self.here() },
+                    });
+                }
+                parts.push(self.parse_postfix()?);
+            } else if self.at_operand_start() {
+                parts.push(self.parse_postfix()?);
+            } else {
+                break;
+            }
         }
         Ok(Regex::concat(parts))
     }
@@ -560,7 +583,7 @@ fn is_ident_char(c: char) -> bool {
     c.is_alphanumeric() || c == '_' || c == '~' || c == '#'
 }
 
-fn tokenize(input: &str, mode: Mode) -> Vec<(Token, usize)> {
+fn tokenize(input: &str, mode: Mode) -> Result<Vec<(Token, usize)>, AutomataError> {
     let mut tokens = Vec::new();
     let chars: Vec<(usize, char)> = input.char_indices().collect();
     let mut i = 0;
@@ -571,7 +594,7 @@ fn tokenize(input: &str, mode: Mode) -> Vec<(Token, usize)> {
                 i += 1;
             }
             ',' | '·' | '.' => {
-                // explicit concatenation separators: no token needed
+                tokens.push((Token::Sep, pos));
                 i += 1;
             }
             '(' => {
@@ -636,13 +659,14 @@ fn tokenize(input: &str, mode: Mode) -> Vec<(Token, usize)> {
                 }
             },
             _ => {
-                // Unknown characters are skipped; the parser will complain if
-                // the structure does not work out.
-                i += 1;
+                return Err(AutomataError::RegexParse {
+                    message: format!("unexpected character `{c}`"),
+                    position: pos,
+                });
             }
         }
     }
-    tokens
+    Ok(tokens)
 }
 
 #[cfg(test)]
@@ -710,6 +734,40 @@ mod tests {
         assert!(Regex::parse("(a").is_err());
         assert!(Regex::parse("a )").is_err());
         assert!(Regex::parse("|").is_err());
+    }
+
+    #[test]
+    fn empty_operands_are_rejected() {
+        // `a,,b` used to silently parse as `a b`; the empty operand between
+        // the separators must be an error carrying the offending position.
+        match Regex::parse("a,,b") {
+            Err(AutomataError::RegexParse { position, .. }) => assert_eq!(position, 2),
+            other => panic!("expected a parse error for `a,,b`, got {other:?}"),
+        }
+        // Trailing separator: the error points at the dangling separator.
+        match Regex::parse("a,") {
+            Err(AutomataError::RegexParse { position, .. }) => assert_eq!(position, 1),
+            other => panic!("expected a parse error for `a,`, got {other:?}"),
+        }
+        // Leading separator, doubled alternation, parenthesised variants.
+        for bad in [",,", ",a", "a, | b", "| |", "a | | b", "(a,)", "a · · b", "a.."] {
+            assert!(Regex::parse(bad).is_err(), "`{bad}` must not parse");
+            assert!(Regex::parse_chars(bad).is_err(), "`{bad}` must not parse (chars)");
+        }
+        // The explicit separators still work when used correctly.
+        let re = Regex::parse("a, b · c").unwrap();
+        assert!(re.accepts(&word("a b c")));
+        assert!(Regex::parse_chars("a,b").unwrap().accepts(&word_chars("ab")));
+    }
+
+    #[test]
+    fn unknown_characters_are_rejected() {
+        for bad in ["a @ b", "a;b", "a&b", "a - b"] {
+            match Regex::parse(bad) {
+                Err(AutomataError::RegexParse { .. }) => {}
+                other => panic!("expected a parse error for `{bad}`, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -4,16 +4,17 @@
 //! route, on well-typed and ill-typed variants of the seeded workload.
 
 use dxml_automata::{Regex, RSpec};
-use dxml_bench::{bench, design_workload, elem, section};
+use dxml_bench::{Session, design_workload, elem, section};
 
 fn main() {
+    let mut session = Session::new("ablation_perfect_automaton");
     section("ablation: well-typed workloads (both routes must accept)");
     for n in [4usize, 8, 16] {
         let (problem, doc) = design_workload(n, 2, 5);
-        bench(&format!("tree_route/valid/n={n}"), 10, || {
+        session.bench(&format!("tree_route/valid/n={n}"), 10, || {
             assert!(problem.typecheck(&doc).unwrap().is_valid());
         });
-        bench(&format!("string_route/valid/n={n}"), 10, || {
+        session.bench(&format!("string_route/valid/n={n}"), 10, || {
             assert!(problem.verify_local(&doc).unwrap().is_valid());
         });
     }
@@ -24,14 +25,14 @@ fn main() {
         // Break one function schema: its forests may start with the start
         // element itself, which the target content model forbids.
         let f = doc.called_functions().into_iter().next().expect("workload has calls");
-        let mut broken = problem.fun_schemas[&f].clone();
+        let mut broken = problem.fun_schema(&f).expect("workload declares all schemas").clone();
         broken.set_rule("r", RSpec::Nre(Regex::sym(elem(0)).plus()));
         broken.set_rule(elem(0), RSpec::Nre(Regex::Epsilon));
-        problem.fun_schemas.insert(f, broken);
-        bench(&format!("tree_route/invalid/n={n}"), 10, || {
+        problem.add_function(f, broken);
+        session.bench(&format!("tree_route/invalid/n={n}"), 10, || {
             assert!(!problem.typecheck(&doc).unwrap().is_valid());
         });
-        bench(&format!("string_route/invalid/n={n}"), 10, || {
+        session.bench(&format!("string_route/invalid/n={n}"), 10, || {
             assert!(!problem.verify_local(&doc).unwrap().is_valid());
         });
     }
@@ -39,8 +40,10 @@ fn main() {
     section("ablation: extension-automaton construction alone");
     for n in [4usize, 8, 16, 32] {
         let (problem, doc) = design_workload(n, 2, 5);
-        bench(&format!("extension_nuta/n={n}"), 20, || {
+        session.bench(&format!("extension_nuta/n={n}"), 20, || {
             problem.extension_nuta(&doc).unwrap().size()
         });
     }
+
+    session.finish();
 }

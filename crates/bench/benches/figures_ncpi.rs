@@ -5,7 +5,7 @@
 use std::collections::BTreeMap;
 
 use dxml_automata::{RFormalism, Symbol};
-use dxml_bench::{bench, section};
+use dxml_bench::{Session, section};
 use dxml_core::{DesignProblem, DistributedDoc};
 use dxml_schema::RDtd;
 use dxml_tree::term::parse_forest;
@@ -20,8 +20,9 @@ const OFFICE: &str = "natResult -> nationalIndex*\n\
                       index -> value, year";
 
 fn main() {
+    let mut session = Session::new("figures_ncpi");
     section("figures: parsing and validation of the NCPI document");
-    bench("parse_dtd/eurostat", 100, || RDtd::parse(RFormalism::Nre, EUROSTAT).unwrap().size());
+    session.bench("parse_dtd/eurostat", 100, || RDtd::parse(RFormalism::Nre, EUROSTAT).unwrap().size());
 
     let target = RDtd::parse(RFormalism::Nre, EUROSTAT).unwrap();
     for entries in [10usize, 100, 1000] {
@@ -35,7 +36,7 @@ fn main() {
             DistributedDoc::parse("eurostat(averages(Good index(value year)) fNCP)", ["fNCP"])
                 .unwrap();
         let materialised = doc.materialize(&results).unwrap();
-        bench(&format!("validate/entries={entries}"), 20, || {
+        session.bench(&format!("validate/entries={entries}"), 20, || {
             assert!(target.accepts(&materialised));
         });
     }
@@ -53,11 +54,13 @@ fn main() {
         for f in &funs {
             problem.add_function(f.as_str(), office.clone());
         }
-        bench(&format!("typecheck/calls={calls}"), 10, || {
+        session.bench(&format!("typecheck/calls={calls}"), 10, || {
             assert!(problem.typecheck(&doc).unwrap().is_valid());
         });
-        bench(&format!("verify_local/calls={calls}"), 10, || {
+        session.bench(&format!("verify_local/calls={calls}"), 10, || {
             assert!(problem.verify_local(&doc).unwrap().is_valid());
         });
     }
+
+    session.finish();
 }

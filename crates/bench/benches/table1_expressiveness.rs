@@ -3,7 +3,7 @@
 //! expression families of growing size.
 
 use dxml_automata::{dre, Regex};
-use dxml_bench::{bench, section};
+use dxml_bench::{Session, section};
 
 /// `(a1|…|an)* a1` — one-unambiguous as a language, nondeterministic as
 /// written; exercises the BKW procedure on the minimal DFA.
@@ -21,23 +21,26 @@ fn non_unambiguous(k: usize) -> Regex {
 }
 
 fn main() {
+    let mut session = Session::new("table1_expressiveness");
     section("table1: one-unambiguity of the expression (syntactic test)");
     for n in [4usize, 8, 16, 32] {
         let re = hard_expr(n);
-        bench(&format!("one_unamb_expr/n={n}"), 50, || dre::one_unambiguous_expr(&re));
+        session.bench(&format!("one_unamb_expr/n={n}"), 50, || dre::one_unambiguous_expr(&re));
     }
 
     section("table1: one-unambiguity of the language (BKW on minimal DFA)");
     for n in [2usize, 4, 8] {
         let re = hard_expr(n);
-        bench(&format!("one_unamb_lang/pos/n={n}"), 10, || {
+        session.bench(&format!("one_unamb_lang/pos/n={n}"), 10, || {
             dre::one_unambiguous_language(&re.to_nfa())
         });
     }
     for k in [1usize, 2, 3] {
         let re = non_unambiguous(k);
-        bench(&format!("one_unamb_lang/neg/k={k}"), 10, || {
+        session.bench(&format!("one_unamb_lang/neg/k={k}"), 10, || {
             assert!(!dre::one_unambiguous_language(&re.to_nfa()));
         });
     }
+
+    session.finish();
 }

@@ -3,25 +3,28 @@
 //! and the reduction — on the seeded family of growing size `n`.
 
 use dxml_automata::RFormalism;
-use dxml_bench::{bench, dtd_family, section};
+use dxml_bench::{Session, dtd_family, section};
 
 fn main() {
+    let mut session = Session::new("table2_cons");
     section("table2: schema-derived constructions on the seeded family");
     for n in [4usize, 8, 16, 32, 64] {
         let dtd = dtd_family(RFormalism::Nre, n, 2009);
         println!("n={n}: |type| = {}", dtd.size());
-        bench(&format!("to_nuta/n={n}"), 20, || dtd.to_nuta().size());
-        bench(&format!("dual/n={n}"), 20, || dtd.dual().num_states());
-        bench(&format!("reduce/n={n}"), 20, || dtd.reduce().size());
-        bench(&format!("is_reduced/n={n}"), 20, || dtd.is_reduced());
+        session.bench(&format!("to_nuta/n={n}"), 20, || dtd.to_nuta().size());
+        session.bench(&format!("dual/n={n}"), 20, || dtd.dual().num_states());
+        session.bench(&format!("reduce/n={n}"), 20, || dtd.reduce().size());
+        session.bench(&format!("is_reduced/n={n}"), 20, || dtd.is_reduced());
     }
 
     section("table2: determinisation of the tree automaton");
     for n in [4usize, 8, 12] {
         let dtd = dtd_family(RFormalism::Nre, n, 2009);
         let nuta = dtd.to_nuta();
-        bench(&format!("determinize/n={n}"), 5, || {
+        session.bench(&format!("determinize/n={n}"), 5, || {
             nuta.determinize(dtd.alphabet()).num_states()
         });
     }
+
+    session.finish();
 }

@@ -2,14 +2,15 @@
 //! building block of consistency decisions — on the seeded DTD family.
 
 use dxml_automata::RFormalism;
-use dxml_bench::{bench, dtd_family, section};
+use dxml_bench::{Session, dtd_family, section};
 
 fn main() {
+    let mut session = Session::new("table3_existence");
     section("table3: language emptiness and witness extraction");
     for n in [4usize, 8, 16, 32, 64] {
         let dtd = dtd_family(RFormalism::Nre, n, 77);
-        bench(&format!("language_is_empty/n={n}"), 30, || dtd.language_is_empty());
-        bench(&format!("sample_tree/n={n}"), 30, || {
+        session.bench(&format!("language_is_empty/n={n}"), 30, || dtd.language_is_empty());
+        session.bench(&format!("sample_tree/n={n}"), 30, || {
             dtd.sample_tree().expect("family is non-empty").size()
         });
     }
@@ -19,7 +20,9 @@ fn main() {
         let a = dtd_family(RFormalism::Nre, n, 77);
         let b = dtd_family(RFormalism::Nre, n, 77);
         let c = dtd_family(RFormalism::Nre, n, 78);
-        bench(&format!("equivalent/eq/n={n}"), 10, || assert!(a.equivalent(&b)));
-        bench(&format!("equivalent/neq/n={n}"), 10, || a.equivalent(&c));
+        session.bench(&format!("equivalent/eq/n={n}"), 10, || assert!(a.equivalent(&b)));
+        session.bench(&format!("equivalent/neq/n={n}"), 10, || a.equivalent(&c));
     }
+
+    session.finish();
 }

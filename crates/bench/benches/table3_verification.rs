@@ -2,16 +2,17 @@
 //! documents — the tree-automaton inclusion route vs the string-inclusion
 //! local route — over the seeded design workload of growing size.
 
-use dxml_bench::{bench, design_workload, section};
+use dxml_bench::{Session, design_workload, section};
 
 fn main() {
+    let mut session = Session::new("table3_verification");
     section("table3: typing verification, growing schema size n");
     for n in [4usize, 8, 16, 32] {
         let (problem, doc) = design_workload(n, 2, 11);
-        bench(&format!("typecheck/n={n}"), 10, || {
+        session.bench(&format!("typecheck/n={n}"), 10, || {
             assert!(problem.typecheck(&doc).unwrap().is_valid());
         });
-        bench(&format!("verify_local/n={n}"), 10, || {
+        session.bench(&format!("verify_local/n={n}"), 10, || {
             assert!(problem.verify_local(&doc).unwrap().is_valid());
         });
     }
@@ -19,11 +20,13 @@ fn main() {
     section("table3: typing verification, growing number of calls");
     for fns in [1usize, 2, 4, 8] {
         let (problem, doc) = design_workload(8, fns, 13);
-        bench(&format!("typecheck/fns={fns}"), 10, || {
+        session.bench(&format!("typecheck/fns={fns}"), 10, || {
             assert!(problem.typecheck(&doc).unwrap().is_valid());
         });
-        bench(&format!("verify_local/fns={fns}"), 10, || {
+        session.bench(&format!("verify_local/fns={fns}"), 10, || {
             assert!(problem.verify_local(&doc).unwrap().is_valid());
         });
     }
+
+    session.finish();
 }

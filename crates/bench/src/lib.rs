@@ -6,6 +6,17 @@
 //! median-of-iterations timer: the workspace builds offline, so the bench
 //! targets are plain `fn main()` programs (`harness = false`) rather than
 //! criterion benches; the reporting format is criterion-inspired.
+//!
+//! Each bench target drives a [`Session`], which collects the results and
+//! writes a machine-readable `BENCH_<name>.json` timing file on
+//! [`Session::finish`] — the perf trajectory of the repo is built from
+//! these files. Two environment variables control the harness:
+//!
+//! * `DXML_BENCH_SMOKE=1` — run every case for a single iteration (the
+//!   `make bench-smoke` CI entry point: exercises the real code paths and
+//!   assertions without the timing cost);
+//! * `DXML_BENCH_DIR=<dir>` — where to write the JSON files (default: the
+//!   current directory).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -132,11 +143,20 @@ impl BenchResult {
     }
 }
 
+/// Whether the harness runs in smoke mode (`DXML_BENCH_SMOKE` set): every
+/// case is clamped to a single iteration, so CI exercises the real bench
+/// code paths and their assertions without the timing cost.
+pub fn smoke() -> bool {
+    std::env::var_os("DXML_BENCH_SMOKE").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
 /// Times `f` (after a warmup run) over `iters` iterations and prints a
 /// one-line report. The closure's result is returned from the last iteration
-/// to keep the work observable (and the call un-elided).
+/// to keep the work observable (and the call un-elided). In smoke mode
+/// ([`smoke`]) the iteration count is clamped to 1.
 pub fn bench<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) -> BenchResult {
     assert!(iters > 0);
+    let iters = if smoke() { 1 } else { iters };
     let _warmup = std::hint::black_box(f());
     let mut samples: Vec<Duration> = Vec::with_capacity(iters as usize);
     for _ in 0..iters {
@@ -156,6 +176,95 @@ pub fn bench<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) -> BenchResult
 /// Prints a section header for a bench program.
 pub fn section(title: &str) {
     println!("\n== {title} ==");
+}
+
+// ----------------------------------------------------------------------
+// Sessions: result collection + machine-readable timing files
+// ----------------------------------------------------------------------
+
+/// A bench run that collects every [`BenchResult`] and writes a
+/// machine-readable `BENCH_<name>.json` file on [`Session::finish`].
+pub struct Session {
+    name: String,
+    results: Vec<BenchResult>,
+}
+
+impl Session {
+    /// Starts a session for the bench target `name` (the file stem of the
+    /// emitted `BENCH_<name>.json`).
+    pub fn new(name: &str) -> Session {
+        Session { name: name.to_string(), results: Vec::new() }
+    }
+
+    /// Runs one case through [`bench`] and records the result.
+    pub fn bench<R>(&mut self, name: &str, iters: u32, f: impl FnMut() -> R) -> BenchResult {
+        let result = bench(name, iters, f);
+        self.results.push(result.clone());
+        result
+    }
+
+    /// The results recorded so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Renders all recorded results as a JSON document.
+    pub fn to_json(&self) -> String {
+        let cases: Vec<String> = self
+            .results
+            .iter()
+            .map(|r| {
+                format!(
+                    r#"    {{"name":{},"iters":{},"median_ns":{},"mean_ns":{}}}"#,
+                    json_string(&r.name),
+                    r.iters,
+                    r.median.as_nanos(),
+                    r.mean.as_nanos()
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"bench\": {},\n  \"smoke\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+            json_string(&self.name),
+            smoke(),
+            cases.join(",\n")
+        )
+    }
+
+    /// Writes `BENCH_<name>.json` into `DXML_BENCH_DIR` (default `.`) and
+    /// prints where it went.
+    pub fn finish(self) {
+        let dir = std::env::var("DXML_BENCH_DIR").unwrap_or_else(|_| ".".into());
+        self.write_to(std::path::Path::new(&dir));
+    }
+
+    /// Writes `BENCH_<name>.json` into `dir` (created if missing).
+    pub fn write_to(self, dir: &std::path::Path) {
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| panic!("cannot create bench output dir {}: {e}", dir.display()));
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, self.to_json())
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        println!("\ntimings written to {}", path.display());
+    }
+}
+
+/// Minimal JSON string rendering (quotes, backslashes and control
+/// characters escaped) — enough for bench case names, without a JSON
+/// dependency the offline build cannot fetch.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 #[cfg(test)]
@@ -197,8 +306,45 @@ mod tests {
     #[test]
     fn harness_reports_sane_numbers() {
         let r = bench("noop", 16, || 1 + 1);
-        assert_eq!(r.iters, 16);
+        assert!(r.iters == 16 || (smoke() && r.iters == 1));
         assert!(r.mean >= r.median / 64);
         assert!(!r.report().is_empty());
+    }
+
+    #[test]
+    fn session_renders_machine_readable_json() {
+        let mut s = Session::new("unit");
+        s.bench("case/a", 4, || 1 + 1);
+        s.bench("case/\"quoted\"", 4, || 2 + 2);
+        assert_eq!(s.results().len(), 2);
+        let json = s.to_json();
+        assert!(json.contains("\"bench\": \"unit\""));
+        assert!(json.contains("\"name\":\"case/a\""));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"median_ns\":"));
+        // Brackets balance — the cheap well-formedness check available
+        // without a JSON parser in the dependency-free build.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                json.matches(open).count(),
+                json.matches(close).count(),
+                "unbalanced {open}{close}"
+            );
+        }
+    }
+
+    #[test]
+    fn session_writes_the_timing_file() {
+        // Exercised via `write_to` rather than `finish`: mutating the
+        // process environment (`DXML_BENCH_DIR`) would race with sibling
+        // tests reading it on other threads.
+        let dir = std::env::temp_dir().join("dxml_bench_test");
+        let mut s = Session::new("unit_file");
+        s.bench("case", 2, || ());
+        s.write_to(&dir);
+        let path = dir.join("BENCH_unit_file.json");
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert!(written.contains("\"bench\": \"unit_file\""));
+        std::fs::remove_file(path).unwrap();
     }
 }

@@ -21,25 +21,89 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
+use std::sync::OnceLock;
 
 use dxml_automata::equiv::included as str_included;
 use dxml_automata::{Nfa, Symbol};
 use dxml_schema::{RDtd, SchemaError};
+use dxml_tree::uta::Duta;
 use dxml_tree::{uta, Nuta, XTree};
 
 use crate::doc::DistributedDoc;
 use crate::error::DesignError;
 
+/// Target-schema artefacts that are expensive to build and independent of
+/// the document being checked: computed lazily on first use and shared by
+/// [`DesignProblem::typecheck`], [`DesignProblem::verify_local`] and the
+/// perfect-schema synthesis of [`crate::perfect`].
+#[derive(Clone, Debug)]
+pub struct TargetCache {
+    duta: Duta,
+    content_nfas: BTreeMap<Symbol, Nfa>,
+    epsilon: Nfa,
+    productive: BTreeSet<Symbol>,
+}
+
+impl TargetCache {
+    fn build(target: &RDtd) -> TargetCache {
+        let nuta = target.to_uta();
+        let duta = nuta.determinize(target.alphabet());
+        let content_nfas = target
+            .alphabet()
+            .iter()
+            .map(|a| (a.clone(), target.content(a).to_nfa()))
+            .collect();
+        TargetCache {
+            duta,
+            content_nfas,
+            epsilon: Nfa::epsilon(),
+            productive: target.bound_names(),
+        }
+    }
+
+    /// The target's tree automaton, determinised (bottom-up) over the
+    /// target's own label universe.
+    pub fn duta(&self) -> &Duta {
+        &self.duta
+    }
+
+    /// The content model of `name` as an NFA (`{ε}` for names without a
+    /// rule, matching the leaf-only convention of [`RDtd::content`]).
+    pub fn content_nfa(&self, name: &Symbol) -> &Nfa {
+        self.content_nfas.get(name).unwrap_or(&self.epsilon)
+    }
+
+    /// The *productive* (bound, Definition 5) element names of the target:
+    /// the names that can root a complete valid subtree.
+    pub fn productive(&self) -> &BTreeSet<Symbol> {
+        &self.productive
+    }
+}
+
 /// A typing-verification instance: the target document schema `τ` plus one
 /// schema per function symbol.
-#[derive(Clone, Debug)]
+///
+/// The determinised target automaton (and the other target-derived
+/// artefacts in [`TargetCache`]) is computed lazily on the first decision
+/// and reused by every subsequent [`DesignProblem::typecheck`],
+/// [`DesignProblem::verify_local`] and
+/// [`DesignProblem::perfect_schema`](crate::perfect) call — mutating the
+/// target through [`DesignProblem::set_doc_schema`] invalidates it.
+#[derive(Clone)]
 pub struct DesignProblem {
-    /// The global type the materialised document must conform to.
-    pub doc_schema: RDtd,
-    /// For each function symbol, the schema of the documents it may return
-    /// (the forest attached at a docking point is the child forest of the
-    /// returned document's root).
-    pub fun_schemas: BTreeMap<Symbol, RDtd>,
+    doc_schema: RDtd,
+    fun_schemas: BTreeMap<Symbol, RDtd>,
+    target: OnceLock<TargetCache>,
+}
+
+impl fmt::Debug for DesignProblem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DesignProblem")
+            .field("doc_schema", &self.doc_schema)
+            .field("fun_schemas", &self.fun_schemas)
+            .field("target_cache_ready", &self.target_cache_ready())
+            .finish()
+    }
 }
 
 /// The outcome of typing verification.
@@ -160,7 +224,7 @@ impl LocalVerdict {
 impl DesignProblem {
     /// Creates a design problem with no function schemas.
     pub fn new(doc_schema: RDtd) -> DesignProblem {
-        DesignProblem { doc_schema, fun_schemas: BTreeMap::new() }
+        DesignProblem { doc_schema, fun_schemas: BTreeMap::new(), target: OnceLock::new() }
     }
 
     /// Declares the schema of a function (builder style).
@@ -174,9 +238,39 @@ impl DesignProblem {
         self.fun_schemas.insert(function.into(), schema);
     }
 
+    /// The target document schema `τ`.
+    pub fn doc_schema(&self) -> &RDtd {
+        &self.doc_schema
+    }
+
+    /// Replaces the target document schema, invalidating the cached
+    /// determinised target.
+    pub fn set_doc_schema(&mut self, doc_schema: RDtd) {
+        self.doc_schema = doc_schema;
+        self.target = OnceLock::new();
+    }
+
+    /// The declared function schemas.
+    pub fn fun_schemas(&self) -> &BTreeMap<Symbol, RDtd> {
+        &self.fun_schemas
+    }
+
     /// The schema of a function, if declared.
     pub fn fun_schema(&self, function: &Symbol) -> Option<&RDtd> {
         self.fun_schemas.get(function)
+    }
+
+    /// The lazily built target-derived artefacts (determinised automaton,
+    /// content NFAs, productive names). The first call pays for the
+    /// determinisation; later calls are free.
+    pub fn target_cache(&self) -> &TargetCache {
+        self.target.get_or_init(|| TargetCache::build(&self.doc_schema))
+    }
+
+    /// Whether the target cache has already been built (used by tests and
+    /// benches to pin that repeated decisions do not re-determinise).
+    pub fn target_cache_ready(&self) -> bool {
+        self.target.get().is_some()
     }
 
     fn require_schemas(&self, doc: &DistributedDoc) -> Result<(), DesignError> {
@@ -252,19 +346,23 @@ impl DesignProblem {
     /// extension automaton in the target automaton. On failure the verdict
     /// carries a full counterexample document and the validation error it
     /// triggers.
+    ///
+    /// The target automaton is determinised once per problem (see
+    /// [`DesignProblem::target_cache`]); repeated calls only pay for the
+    /// extension side.
     pub fn typecheck(&self, doc: &DistributedDoc) -> Result<TypingVerdict, DesignError> {
         let ext = self.extension_nuta(doc)?;
-        match uta::included(&ext, &self.doc_schema.to_uta()) {
+        match uta::included_in_duta(&ext, self.target_cache().duta()) {
             Ok(()) => Ok(TypingVerdict::Valid),
-            Err(counterexample) => {
-                let violation = match self.doc_schema.validate(&counterexample) {
-                    Err(e) => e,
-                    Ok(()) => SchemaError::Structural(
-                        "inclusion counterexample unexpectedly validates".into(),
+            Err(counterexample) => match self.doc_schema.validate(&counterexample) {
+                Err(violation) => Ok(TypingVerdict::Invalid { counterexample, violation }),
+                Ok(()) => Err(DesignError::InvariantViolation {
+                    detail: format!(
+                        "tree-inclusion counterexample `{counterexample}` unexpectedly \
+                         validates against the target schema"
                     ),
-                };
-                Ok(TypingVerdict::Invalid { counterexample, violation })
-            }
+                }),
+            },
         }
     }
 
@@ -288,6 +386,7 @@ impl DesignProblem {
         self.require_schemas(doc)?;
         let kernel = doc.kernel();
         let tau = &self.doc_schema;
+        let cache = self.target_cache();
         let called = doc.called_functions();
 
         // Reduce the function schemas so that every surviving name is
@@ -331,12 +430,11 @@ impl DesignProblem {
                 };
                 realizable = realizable.concat(&piece);
             }
-            let expected = tau.content(label);
-            if let Err(ce) = str_included(&realizable, &expected.to_nfa()) {
+            if let Err(ce) = str_included(&realizable, cache.content_nfa(label)) {
                 return Ok(LocalVerdict::Invalid(LocalViolation::Content {
                     element: label.clone(),
                     counterexample: ce.word,
-                    expected: format!("{expected}"),
+                    expected: format!("{}", tau.content(label)),
                     origin: origin(),
                 }));
             }
@@ -361,12 +459,11 @@ impl DesignProblem {
                     }));
                 }
                 let content = r.content(&name);
-                let expected = tau.content(&name);
-                if let Err(ce) = str_included(&content.to_nfa(), &expected.to_nfa()) {
+                if let Err(ce) = str_included(&content.to_nfa(), cache.content_nfa(&name)) {
                     return Ok(LocalVerdict::Invalid(LocalViolation::Content {
-                        element: name,
+                        element: name.clone(),
                         counterexample: ce.word,
-                        expected: format!("{expected}"),
+                        expected: format!("{}", tau.content(&name)),
                         origin: Origin::Function { function: f.clone() },
                     }));
                 }
@@ -482,6 +579,96 @@ mod tests {
         let problem = DesignProblem::new(target).with_function("f", dtd("r -> a"));
         let doc = DistributedDoc::parse("s(f f)", ["f"]).unwrap();
         assert!(agree(&problem, &doc));
+    }
+
+    #[test]
+    fn typecheck_reuses_the_cached_target() {
+        let problem = DesignProblem::new(dtd("s -> a, b*\nb -> c?"))
+            .with_function("f", dtd("r -> b, b\nb -> c?"));
+        let doc = DistributedDoc::parse("s(a f)", ["f"]).unwrap();
+        assert!(!problem.target_cache_ready());
+        assert!(problem.typecheck(&doc).unwrap().is_valid());
+        assert!(problem.target_cache_ready());
+        // Repeated decisions hand back the very same determinised target.
+        let first = problem.target_cache().duta() as *const _;
+        assert!(problem.typecheck(&doc).unwrap().is_valid());
+        assert!(problem.verify_local(&doc).unwrap().is_valid());
+        let second = problem.target_cache().duta() as *const _;
+        assert!(std::ptr::eq(first, second), "typecheck must not re-determinise the target");
+        // Replacing the target invalidates the cache.
+        let mut changed = problem.clone();
+        changed.set_doc_schema(dtd("s -> a"));
+        assert!(!changed.target_cache_ready());
+        assert!(!changed.typecheck(&doc).unwrap().is_valid());
+    }
+
+    #[test]
+    fn agreement_on_unproductive_recursive_schemas() {
+        // Target with an empty language: `a -> a` never bottoms out, and the
+        // start symbol requires an `a`. The kernel r(a) cannot validate; both
+        // routes must refute, exercising the `bound_names` fixpoint.
+        let empty_target = dtd("r -> a\na -> a");
+        let problem = DesignProblem::new(empty_target);
+        let doc = DistributedDoc::parse("r(a)", [] as [&str; 0]).unwrap();
+        assert!(!agree(&problem, &doc));
+
+        // Target whose unproductive branch is avoidable: `s -> b | a` with
+        // `a -> a`; a kernel using only `b` stays valid.
+        let avoidable = dtd("s -> b | a\na -> a");
+        let problem2 = DesignProblem::new(avoidable.clone());
+        assert!(agree(&problem2, &DistributedDoc::parse("s(b)", [] as [&str; 0]).unwrap()));
+        assert!(!agree(&problem2, &DistributedDoc::parse("s(a)", [] as [&str; 0]).unwrap()));
+
+        // Function schema with an unproductive-recursive branch: the reduced
+        // forest language is just `b`, and the design is valid.
+        let problem3 = DesignProblem::new(dtd("s -> b*"))
+            .with_function("f", dtd("r -> b | a\na -> a"));
+        let doc3 = DistributedDoc::parse("s(f)", ["f"]).unwrap();
+        assert!(agree(&problem3, &doc3));
+
+        // Mutually-recursive unproductive function schema: empty language,
+        // vacuously valid (no extension exists).
+        let problem4 = DesignProblem::new(dtd("s -> a"))
+            .with_function("f", dtd("r -> a\na -> b\nb -> a"));
+        assert!(agree(&problem4, &doc3));
+    }
+
+    #[test]
+    fn agreement_when_element_names_overlap_function_names() {
+        // The target declares an *element* literally named `f`, while the
+        // kernel also calls a *function* named `f`. The docking-point leaf is
+        // a call; the trees the call returns contain `f`-elements.
+        let target = dtd("s -> f, a\nf -> a?");
+        let problem = DesignProblem::new(target.clone())
+            .with_function("f", dtd("r -> f\nf -> a?"));
+        let doc = DistributedDoc::parse("s(f a)", ["f"]).unwrap();
+        assert!(agree(&problem, &doc));
+
+        // An f-forest violating the target's `f` content model is caught.
+        let bad = DesignProblem::new(target).with_function("f", dtd("r -> f\nf -> a, a"));
+        assert!(!agree(&bad, &doc));
+
+        // Elements whose names textually embed the mangling prefixes used by
+        // the extension automaton (`f$…`, `#k…`) must not collide. `$` is
+        // not parseable syntax, so the schemas and kernel are built directly.
+        let fa = Symbol::new("f$a");
+        let mut tricky_target = RDtd::new(dxml_automata::RFormalism::Nre, "s");
+        tricky_target.set_rule(
+            "s",
+            dxml_automata::RSpec::Nre(dxml_automata::Regex::concat(vec![
+                dxml_automata::Regex::Sym(fa.clone()),
+                dxml_automata::Regex::sym("#k0").star(),
+            ])),
+        );
+        let mut gschema = RDtd::new(dxml_automata::RFormalism::Nre, "r");
+        gschema.set_rule("r", dxml_automata::RSpec::Nre(dxml_automata::Regex::sym("#k0").star()));
+        let tricky = DesignProblem::new(tricky_target).with_function("g", gschema);
+        let kernel = dxml_tree::XTree::node(
+            Symbol::new("s"),
+            vec![dxml_tree::XTree::leaf(fa), dxml_tree::XTree::leaf(Symbol::new("g"))],
+        );
+        let tricky_doc = DistributedDoc::new(kernel, ["g"]).unwrap();
+        assert!(agree(&tricky, &tricky_doc));
     }
 
     #[test]

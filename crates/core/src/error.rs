@@ -31,6 +31,29 @@ pub enum DesignError {
         /// The function without a result.
         function: Symbol,
     },
+    /// Perfect-schema synthesis was requested for a function that labels no
+    /// docking point of the document, so no constraint — and no maximal
+    /// schema — exists.
+    FunctionNotCalled {
+        /// The function without a docking point.
+        function: Symbol,
+    },
+    /// The occurrences of a function interact in a way that admits several
+    /// incomparable maximal schemas, so no single most-permissive schema
+    /// exists (e.g. two docking points of the same function under a content
+    /// model such as `(a, a) | (b, b)`).
+    NoMaximalSchema {
+        /// The function whose docking points interact.
+        function: Symbol,
+    },
+    /// Two internal decision procedures that must agree disagreed — a broken
+    /// invariant of this library, not a property of the input. Distinguished
+    /// from ordinary verdicts so callers never mistake a bug for a real
+    /// typing violation.
+    InvariantViolation {
+        /// What disagreed, with the offending witness rendered in.
+        detail: String,
+    },
     /// A term or expression failed to parse.
     Term(AutomataError),
     /// An underlying schema error.
@@ -51,6 +74,18 @@ impl fmt::Display for DesignError {
             }
             DesignError::MissingFunctionResult { function } => {
                 write!(f, "no result document supplied for called function `{function}`")
+            }
+            DesignError::FunctionNotCalled { function } => {
+                write!(f, "function `{function}` labels no docking point, so no maximal schema exists")
+            }
+            DesignError::NoMaximalSchema { function } => {
+                write!(
+                    f,
+                    "the docking points of `{function}` interact; no single maximal schema exists"
+                )
+            }
+            DesignError::InvariantViolation { detail } => {
+                write!(f, "internal invariant violated: {detail}")
             }
             DesignError::Term(e) => write!(f, "{e}"),
             DesignError::Schema(e) => write!(f, "{e}"),

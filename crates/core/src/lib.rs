@@ -12,7 +12,15 @@
 //! * [`DesignProblem::typecheck`] — typing verification via tree-automaton
 //!   inclusion of the extension language, with counterexample documents;
 //! * [`DesignProblem::verify_local`] — the string-inclusion fast path for
-//!   DTD targets, with counterexample words.
+//!   DTD targets, with counterexample words;
+//! * [`DesignProblem::perfect_schema`] — perfect typing (Section 6): the
+//!   most permissive function schema for which the design still
+//!   typechecks, synthesised by residual construction with a
+//!   counterexample-driven refinement loop.
+//!
+//! The target-derived artefacts (determinised tree automaton, content
+//! NFAs, productive names) are computed once per problem and shared by all
+//! three decision procedures — see [`design::TargetCache`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,7 +28,8 @@
 pub mod design;
 pub mod doc;
 pub mod error;
+pub mod perfect;
 
-pub use design::{DesignProblem, LocalVerdict, LocalViolation, Origin, TypingVerdict};
+pub use design::{DesignProblem, LocalVerdict, LocalViolation, Origin, TargetCache, TypingVerdict};
 pub use doc::DistributedDoc;
 pub use error::DesignError;

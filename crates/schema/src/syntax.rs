@@ -85,7 +85,18 @@ pub fn parse_w3c_dtd(formalism: RFormalism, input: &str) -> Result<RDtd, SchemaE
     let mut consumed = 0usize;
     while let Some(open) = rest.find('<') {
         let at = consumed + open;
-        let line_of = |pos: usize| input[..pos].lines().count().max(1);
+        let line_of = |pos: usize| input[..pos].matches('\n').count() + 1;
+        // Only whitespace may separate declarations; silently skipping
+        // arbitrary text would hide typos such as a mangled `<!ELEMENT`.
+        if let Some((junk_off, _)) = rest[..open].char_indices().find(|(_, c)| !c.is_whitespace()) {
+            return Err(SchemaError::Parse {
+                line: line_of(consumed + junk_off),
+                message: format!(
+                    "unexpected text `{}` between declarations",
+                    rest[junk_off..open].trim()
+                ),
+            });
+        }
         let tail = &rest[open..];
         if let Some(stripped) = tail.strip_prefix("<!--") {
             let end = stripped.find("-->").ok_or_else(|| SchemaError::Parse {
@@ -135,6 +146,12 @@ pub fn parse_w3c_dtd(formalism: RFormalism, input: &str) -> Result<RDtd, SchemaE
         }
         consumed = at + "<!ELEMENT".len() + close + 1;
         rest = &input[consumed..];
+    }
+    if let Some((junk_off, _)) = rest.char_indices().find(|(_, c)| !c.is_whitespace()) {
+        return Err(SchemaError::Parse {
+            line: input[..consumed + junk_off].matches('\n').count() + 1,
+            message: format!("unexpected text `{}` after the last declaration", rest[junk_off..].trim()),
+        });
     }
     dtd.ok_or_else(|| SchemaError::Parse { line: 1, message: "no `<!ELEMENT` declarations found".into() })
 }
@@ -200,6 +217,60 @@ mod tests {
         assert!(dtd.accepts(&parse_term("s(a)").unwrap()));
         assert!(dtd.accepts(&parse_term("s(a b)").unwrap()));
         assert!(!dtd.accepts(&parse_term("s(b)").unwrap()));
+    }
+
+    #[test]
+    fn compact_syntax_rejects_empty_content_operands() {
+        // Regression: `a,,b` used to parse as `a b`, silently dropping the
+        // empty operand. Same for trailing commas and empty alternation arms.
+        for rhs in ["a,,b", "a,", ",a", ",,", "a | | b", "(a,)"] {
+            let input = format!("s -> {rhs}");
+            match parse_dtd(RFormalism::Nre, &input) {
+                Err(SchemaError::Parse { line: 1, message }) => {
+                    assert!(!message.is_empty(), "error for `{rhs}` must explain itself")
+                }
+                other => panic!("`{input}` must not parse, got {other:?}"),
+            }
+        }
+        // `| |` as a whole content model is a leading-empty-arm error too.
+        assert!(parse_dtd(RFormalism::Nre, "s -> | |").is_err());
+    }
+
+    #[test]
+    fn w3c_syntax_rejects_empty_content_operands() {
+        for spec in ["(a,,b)", "(a,)", "(a | | b)"] {
+            let input = format!("<!ELEMENT s {spec}>");
+            assert!(
+                parse_w3c_dtd(RFormalism::Nre, &input).is_err(),
+                "`{input}` must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn w3c_syntax_rejects_junk_between_declarations() {
+        assert!(parse_w3c_dtd(
+            RFormalism::Nre,
+            "<!ELEMENT s (a)> stray text <!ELEMENT a EMPTY>"
+        )
+        .is_err());
+        assert!(parse_w3c_dtd(RFormalism::Nre, "<!ELEMENT s (a)> trailing junk").is_err());
+        assert!(parse_w3c_dtd(RFormalism::Nre, "no declarations here").is_err());
+        // The diagnostic names the line the junk is on, also at line starts.
+        match parse_w3c_dtd(RFormalism::Nre, "<!ELEMENT s (a)>\njunk") {
+            Err(SchemaError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected a parse error, got {other:?}"),
+        }
+        match parse_w3c_dtd(RFormalism::Nre, "<!ELEMENT s (a)>\nx\n<!ELEMENT a EMPTY>") {
+            Err(SchemaError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected a parse error, got {other:?}"),
+        }
+        // Whitespace and comments between declarations stay fine.
+        assert!(parse_w3c_dtd(
+            RFormalism::Nre,
+            "<!ELEMENT s (a)>\n  <!-- comment -->\n<!ELEMENT a EMPTY>"
+        )
+        .is_ok());
     }
 
     #[test]

@@ -540,35 +540,55 @@ impl fmt::Debug for Duta {
 // ----------------------------------------------------------------------
 
 /// All pairs `(subset state of a, subset state of b)` jointly reachable by
-/// some tree, each with a witness tree. The label universe is the union of
-/// both automata's labels.
-fn reachable_pairs(a: &Duta, b: &Duta) -> Vec<(usize, usize, XTree)> {
-    let labels = a.labels().union(b.labels());
-    let mut pairs: Vec<(usize, usize, XTree)> = Vec::new();
-    let mut pair_index: BTreeSet<(usize, usize)> = BTreeSet::new();
+/// some tree over `a`'s label universe, each with a witness tree.
+///
+/// `b` may have been determinised over a *smaller* label universe than `a`
+/// (the point of caching a determinised target across inclusion checks): a
+/// label unknown to `b` sends the `b`-component to a virtual dead state,
+/// rendered as `None`, which propagates upward — exactly the semantics of
+/// [`Duta::run`] returning `None` on out-of-universe labels. Labels in
+/// `b`'s universe but outside `a`'s are not explored; trees using them are
+/// rejected by `a` and therefore irrelevant both as counterexamples and as
+/// subtrees of counterexamples.
+fn reachable_pairs(a: &Duta, b: &Duta) -> Vec<(usize, Option<usize>, XTree)> {
+    let labels = a.labels().clone();
+    let mut pairs: Vec<(usize, Option<usize>, XTree)> = Vec::new();
+    let mut pair_index: BTreeSet<(usize, Option<usize>)> = BTreeSet::new();
     loop {
         let snapshot_len = pairs.len();
         for label in &labels {
-            let (ma, mb) = match (a.machine(label), b.machine(label)) {
-                (Some(ma), Some(mb)) => (ma, mb),
-                _ => continue,
+            let ma = match a.machine(label) {
+                Some(ma) => ma,
+                None => continue,
             };
+            let mb = b.machine(label);
             // BFS over configurations of the synchronous product, using the
-            // currently known pairs as letters.
-            let start = (ma.start(), mb.start());
-            let mut seen: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
+            // currently known pairs as letters. A `None` configuration on
+            // the `b` side is the dead state.
+            let start = (ma.start(), mb.map(LabelMachine::start));
+            let mut seen: BTreeMap<(usize, Option<usize>), Vec<usize>> = BTreeMap::new();
             seen.insert(start, Vec::new());
             let mut queue = VecDeque::from([start]);
             while let Some((ca, cb)) = queue.pop_front() {
                 let path = seen[&(ca, cb)].clone();
-                let out = (ma.output[ca], mb.output[cb]);
+                let out = (
+                    ma.output[ca],
+                    match (cb, mb) {
+                        (Some(cb), Some(mb)) => Some(mb.output[cb]),
+                        _ => None,
+                    },
+                );
                 if pair_index.insert(out) {
                     let children: Vec<XTree> =
                         path.iter().map(|&p| pairs[p].2.clone()).collect();
                     pairs.push((out.0, out.1, XTree::node(label.clone(), children)));
                 }
                 for (letter, (pa, pb, _)) in pairs.iter().enumerate().take(snapshot_len) {
-                    let next = (ma.step(ca, *pa), mb.step(cb, *pb));
+                    let next_b = match (cb, pb, mb) {
+                        (Some(cb), Some(pb), Some(mb)) => Some(mb.step(cb, *pb)),
+                        _ => None,
+                    };
+                    let next = (ma.step(ca, *pa), next_b);
                     if let std::collections::btree_map::Entry::Vacant(slot) = seen.entry(next) {
                         let mut next_path = path.clone();
                         next_path.push(letter);
@@ -587,11 +607,19 @@ fn reachable_pairs(a: &Duta, b: &Duta) -> Vec<(usize, usize, XTree)> {
 /// Checks `[a] ⊆ [b]` as tree languages; on failure returns a tree accepted
 /// by `a` but not by `b`.
 pub fn included(a: &Nuta, b: &Nuta) -> Result<(), XTree> {
-    let labels = a.labels().union(b.labels());
-    let da = a.determinize(&labels);
-    let db = b.determinize(&labels);
-    for (ia, ib, witness) in reachable_pairs(&da, &db) {
-        if da.is_final(ia) && !db.is_final(ib) {
+    included_in_duta(a, &b.determinize(b.labels()))
+}
+
+/// Checks `[a] ⊆ [db]` against an already-determinised right-hand side; on
+/// failure returns a tree accepted by `a` but not by `db`.
+///
+/// This is the entry point for callers that check many left-hand sides
+/// against the same target (typing verification, perfect-schema synthesis):
+/// the expensive determinisation of the target happens once, outside.
+pub fn included_in_duta(a: &Nuta, db: &Duta) -> Result<(), XTree> {
+    let da = a.determinize(a.labels());
+    for (ia, ib, witness) in reachable_pairs(&da, db) {
+        if da.is_final(ia) && !ib.is_some_and(|i| db.is_final(i)) {
             return Err(witness);
         }
     }
@@ -605,7 +633,10 @@ pub fn equivalent(a: &Nuta, b: &Nuta) -> Result<(), (XTree, bool)> {
     let da = a.determinize(&labels);
     let db = b.determinize(&labels);
     for (ia, ib, witness) in reachable_pairs(&da, &db) {
-        match (da.is_final(ia), db.is_final(ib)) {
+        // Both sides are determinised over the same universe, so the dead
+        // state never arises and `ib` is always `Some`.
+        let b_final = ib.is_some_and(|i| db.is_final(i));
+        match (da.is_final(ia), b_final) {
             (true, false) => return Err((witness, true)),
             (false, true) => return Err((witness, false)),
             _ => {}
@@ -786,6 +817,41 @@ mod tests {
         l3.set_rule("qa", "a", Nfa::epsilon());
         l3.set_final("qs");
         assert!(is_equivalent(&l1, &l3));
+    }
+
+    #[test]
+    fn included_in_duta_handles_out_of_universe_labels() {
+        // Target: s(a*) — determinised only over its own labels {s, a}.
+        let mut target = Nuta::new();
+        target.set_rule("qs", "s", Nfa::symbol("qa").star());
+        target.set_rule("qa", "a", Nfa::epsilon());
+        target.set_final("qs");
+        let dt = target.determinize(target.labels());
+
+        // Left side within the universe: s(aa) ⊆ target.
+        let mut ok = Nuta::new();
+        ok.set_rule("qs", "s", Nfa::literal(&[Symbol::new("qa"), Symbol::new("qa")]));
+        ok.set_rule("qa", "a", Nfa::epsilon());
+        ok.set_final("qs");
+        assert!(included_in_duta(&ok, &dt).is_ok());
+
+        // Left side using a label the target was never determinised over:
+        // s(a x) must yield a counterexample containing the foreign label.
+        let mut bad = Nuta::new();
+        bad.set_rule("qs", "s", Nfa::literal(&[Symbol::new("qa"), Symbol::new("qx")]));
+        bad.set_rule("qa", "a", Nfa::epsilon());
+        bad.set_rule("qx", "x", Nfa::epsilon());
+        bad.set_final("qs");
+        let witness = included_in_duta(&bad, &dt).unwrap_err();
+        assert!(bad.accepts(&witness));
+        assert!(!target.accepts(&witness));
+
+        // And a root-level foreign label alone is already a counterexample.
+        let mut foreign = Nuta::new();
+        foreign.set_rule("qt", "t", Nfa::epsilon());
+        foreign.set_final("qt");
+        let w2 = included_in_duta(&foreign, &dt).unwrap_err();
+        assert_eq!(w2, parse_term("t").unwrap());
     }
 
     #[test]

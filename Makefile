@@ -2,7 +2,14 @@
 
 CARGO ?= cargo
 
-.PHONY: all build test clippy fmt-check bench bench-smoke examples verify
+# Every bench target, read off crates/bench/Cargo.toml so the list cannot
+# drift when benches are added or renamed; bench-smoke fails if any of them
+# stops emitting its BENCH_<name>.json timing file (the perf-trajectory
+# pipeline reads these).
+BENCH_TARGETS := $(shell sed -n 's/^name = "\([a-z0-9_]*\)"$$/\1/p' \
+                 crates/bench/Cargo.toml | grep -v '^dxml')
+
+.PHONY: all build test clippy doc fmt-check bench bench-smoke examples verify
 
 all: verify
 
@@ -15,14 +22,28 @@ test:
 clippy:
 	$(CARGO) clippy --all-targets -- -D warnings
 
+# API docs must build cleanly: broken intra-doc links and missing docs are
+# errors.
+doc:
+	RUSTDOCFLAGS="-D warnings" $(CARGO) doc --no-deps -q
+
 bench:
 	$(CARGO) check --benches
 
 # Run every bench target once (release profile): exercises the real bench
 # code paths and their assertions, and emits machine-readable
 # BENCH_<name>.json timing files (DXML_BENCH_DIR overrides the destination).
+# Fails when a bench target stops emitting its timing file.
 bench-smoke:
+	@test -n "$(BENCH_TARGETS)" || { \
+		echo "bench-smoke: no bench targets found in crates/bench/Cargo.toml" >&2; exit 1; }
+	@rm -f $(foreach b,$(BENCH_TARGETS),"$(CURDIR)/BENCH_$(b).json")
 	DXML_BENCH_SMOKE=1 DXML_BENCH_DIR=$(CURDIR) $(CARGO) bench -q
+	@for b in $(BENCH_TARGETS); do \
+		test -f "$(CURDIR)/BENCH_$$b.json" || { \
+			echo "bench-smoke: BENCH_$$b.json was not emitted" >&2; exit 1; }; \
+	done
+	@echo "bench-smoke: all $(words $(BENCH_TARGETS)) timing files emitted"
 
 examples:
 	$(CARGO) run -q --release --example quickstart
@@ -30,7 +51,8 @@ examples:
 	$(CARGO) run -q --release --example perfect_typing_words
 	$(CARGO) run -q --release --example eurostat_ncpi
 	$(CARGO) run -q --release --example perfect_schema
+	$(CARGO) run -q --release --example box_design
 
-# The tier-1 gate plus lints and bench compilation.
-verify: build test clippy bench
+# The tier-1 gate plus lints, docs and bench compilation.
+verify: build test clippy doc bench
 	@echo "verify: OK"

@@ -6,11 +6,26 @@
 //! reduce the R-EDTD design problems on trees to design problems on strings
 //! whose constant parts are boxes rather than single words (Section 7,
 //! Definition 21).
+//!
+//! Besides the box datatype itself, this module provides the automaton
+//! operations the Section-7 reduction needs:
+//!
+//! * [`BoxLang::intersect`] / [`BoxLang::is_disjoint_from`] — slot-wise
+//!   boolean structure of boxes (boxes of different widths are disjoint);
+//! * [`BoxLang::product_nfa`] — the box↔NFA product `[B] ∩ [A]`, built
+//!   directly on the layered structure of the box (no subset construction);
+//! * [`Nfa::residual_by_box`] / [`Nfa::right_residual_by_box`] — the
+//!   existential residuals `B⁻¹[A]` and `[A]·B⁻¹` of an NFA by a box,
+//!   computed by stepping state sets through the slots;
+//! * [`Nfa::expand_symbols`] — the slot substitution `σ(a) ⊆ Σ'` applied to
+//!   every transition, turning a word automaton over constant symbols into
+//!   one over *boxes* of specialised names (the inverse-morphism step of the
+//!   reduction from R-EDTD tree problems to string problems).
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-use crate::nfa::Nfa;
+use crate::nfa::{Nfa, StateId};
 use crate::symbol::{Alphabet, Symbol, Word};
 
 /// A box `Σ1 Σ2 … Σn`: a finite regular language that is a cartesian product
@@ -106,6 +121,61 @@ impl BoxLang {
         nfa
     }
 
+    /// The slot-wise intersection `[self] ∩ [other]` as a box. Boxes of
+    /// different widths have no word in common; the result is then a box of
+    /// `self`'s width whose first slot is empty (so its language is empty).
+    pub fn intersect(&self, other: &BoxLang) -> BoxLang {
+        if self.width() != other.width() {
+            let mut slots = vec![BTreeSet::new()];
+            slots.extend(self.slots.iter().skip(1).cloned());
+            return BoxLang { slots };
+        }
+        BoxLang {
+            slots: self
+                .slots
+                .iter()
+                .zip(&other.slots)
+                .map(|(a, b)| a.intersection(b).cloned().collect())
+                .collect(),
+        }
+    }
+
+    /// Whether the two boxes share no word (`[self] ∩ [other] = ∅`).
+    pub fn is_disjoint_from(&self, other: &BoxLang) -> bool {
+        self.intersect(other).is_empty_language()
+    }
+
+    /// The box↔NFA product: an NFA for `[self] ∩ [nfa]`, built layer by
+    /// layer on the box structure — state `(i, q)` means "`i` slots read,
+    /// `nfa` in state `q`" — rather than through a generic product of
+    /// subset constructions.
+    pub fn product_nfa(&self, nfa: &Nfa) -> Nfa {
+        if self.is_empty_language() {
+            return Nfa::empty();
+        }
+        let n = nfa.num_states();
+        let layers = self.width() + 1;
+        let mut out = Nfa::new(layers * n, nfa.start());
+        let id = |layer: usize, q: StateId| layer * n + q;
+        for layer in 0..layers {
+            for (q, lbl, t) in nfa.transitions() {
+                match lbl {
+                    // ε-transitions stay inside their layer.
+                    None => out.add_epsilon(id(layer, q), id(layer, t)),
+                    Some(sym) => {
+                        if layer < self.width() && self.slots[layer].contains(sym) {
+                            out.add_transition(id(layer, q), sym.clone(), id(layer + 1, t));
+                        }
+                    }
+                }
+            }
+        }
+        for &f in nfa.finals() {
+            out.set_final(id(self.width(), f));
+        }
+        out.trim()
+    }
+
     /// Enumerates the words of the box in lexicographic slot order, up to
     /// `limit` words.
     pub fn enumerate(&self, limit: usize) -> Vec<Word> {
@@ -128,6 +198,101 @@ impl BoxLang {
             words = next;
         }
         words
+    }
+}
+
+impl Nfa {
+    /// The set of states reachable from the (ε-closed) start set by reading
+    /// some word of the box: one slot step unions the plain [`Nfa::step`]
+    /// over the slot's symbols.
+    fn states_after_box(&self, b: &BoxLang) -> BTreeSet<StateId> {
+        let mut current = self.epsilon_closure(&BTreeSet::from([self.start()]));
+        for slot in b.slots() {
+            let mut next = BTreeSet::new();
+            for sym in slot {
+                next.extend(self.step(&current, sym));
+            }
+            current = next;
+            if current.is_empty() {
+                break;
+            }
+        }
+        current
+    }
+
+    /// The existential left residual of the automaton by a box:
+    /// `B⁻¹[self] = { w : ∃u ∈ [B], u·w ∈ [self] }`.
+    ///
+    /// Unlike the generic [`Nfa::left_quotient`] this never determinises:
+    /// it steps the state set once per slot (a box is a finite language with
+    /// a single "spine"), then grafts a fresh start state.
+    pub fn residual_by_box(&self, b: &BoxLang) -> Nfa {
+        let entry = self.states_after_box(b);
+        let mut out = self.clone();
+        let start = out.add_state();
+        out.set_start(start);
+        for q in entry {
+            out.add_epsilon(start, q);
+        }
+        out.trim()
+    }
+
+    /// The existential right residual of the automaton by a box:
+    /// `[self]·B⁻¹ = { w : ∃v ∈ [B], w·v ∈ [self] }`.
+    pub fn right_residual_by_box(&self, b: &BoxLang) -> Nfa {
+        // `q` is final in the residual iff some box word leads from `q` to a
+        // final state: step `{q}` through the slots.
+        let mut out = self.clone();
+        let finals: Vec<StateId> = out.finals().iter().copied().collect();
+        for f in finals {
+            out.unset_final(f);
+        }
+        for q in 0..self.num_states() {
+            let mut current = self.epsilon_closure(&BTreeSet::from([q]));
+            for slot in b.slots() {
+                let mut next = BTreeSet::new();
+                for sym in slot {
+                    next.extend(self.step(&current, sym));
+                }
+                current = next;
+                if current.is_empty() {
+                    break;
+                }
+            }
+            if current.iter().any(|&s| self.is_final(s)) {
+                out.set_final(q);
+            }
+        }
+        out.trim()
+    }
+
+    /// Substitutes every transition symbol by a *slot* (a set of symbols):
+    /// the language becomes `{ b1…bn : a1…an ∈ [self], bi ∈ slots(ai) }`.
+    ///
+    /// This is the inverse-morphism step of the Section-7 reduction: a
+    /// content model over element names turns into an automaton over the
+    /// specialised names (or determinised subset states) each element can
+    /// stand for. Symbols mapped to an empty slot lose their transitions —
+    /// words using them become unrealizable.
+    pub fn expand_symbols(&self, slots: &BTreeMap<Symbol, BTreeSet<Symbol>>) -> Nfa {
+        let mut out = Nfa::new(self.num_states(), self.start());
+        for (q, lbl, t) in self.transitions() {
+            match lbl {
+                None => out.add_epsilon(q, t),
+                Some(sym) => match slots.get(sym) {
+                    Some(slot) => {
+                        for b in slot {
+                            out.add_transition(q, b.clone(), t);
+                        }
+                    }
+                    None => out.add_transition(q, sym.clone(), t),
+                },
+            }
+        }
+        for &f in self.finals() {
+            out.set_final(f);
+        }
+        out
     }
 }
 
@@ -221,5 +386,95 @@ mod tests {
     fn display_format() {
         let b = sample_box();
         assert_eq!(format!("{b}"), "{a,b} c {a,d}");
+    }
+
+    #[test]
+    fn intersection_is_slotwise() {
+        let mut other = BoxLang::epsilon();
+        other.push_slot(["b", "c"]);
+        other.push_slot(["c", "d"]);
+        other.push_slot(["d"]);
+        let inter = sample_box().intersect(&other);
+        assert_eq!(inter.width(), 3);
+        assert!(inter.contains(&word_chars("bcd")));
+        assert_eq!(inter.num_words(), 1);
+        assert!(!sample_box().is_disjoint_from(&other));
+        // Different widths are disjoint, and the intersection is empty.
+        let narrow = BoxLang::from_word(&word_chars("ac"));
+        assert!(sample_box().intersect(&narrow).is_empty_language());
+        assert!(sample_box().is_disjoint_from(&narrow));
+        assert!(sample_box().is_disjoint_from(&BoxLang::epsilon()));
+        assert!(!BoxLang::epsilon().is_disjoint_from(&BoxLang::epsilon()));
+    }
+
+    #[test]
+    fn product_with_nfa_agrees_with_generic_intersection() {
+        let b = sample_box();
+        // (a|b) c* (a|d)* — overlaps the box on acd? no: on aca, acd, bca, bcd
+        // minus whatever c* rules out.
+        let lang = Nfa::any_of(["a", "b"])
+            .concat(&Nfa::symbol("c").star())
+            .concat(&Nfa::any_of(["a", "d"]).star());
+        let product = b.product_nfa(&lang);
+        let generic = b.to_nfa().intersect(&lang);
+        for w in b.enumerate(100) {
+            assert_eq!(product.accepts(&w), generic.accepts(&w), "word {w:?}");
+        }
+        assert!(product.accepts(&word_chars("aca")));
+        assert!(!product.accepts(&word_chars("ac")));
+        assert!(!product.accepts(&word_chars("acc")));
+        // Width-0 boxes intersect to {ε} ∩ L.
+        assert!(BoxLang::epsilon().product_nfa(&Nfa::epsilon()).accepts(&[]));
+        assert!(BoxLang::epsilon().product_nfa(&Nfa::symbol("a")).is_empty());
+        // An empty-slot box yields the empty language.
+        let mut dead = sample_box();
+        dead.push_slot(Vec::<Symbol>::new());
+        assert!(dead.product_nfa(&lang).is_empty());
+    }
+
+    #[test]
+    fn residuals_by_box() {
+        // L = (a|b) c (a|d) e*; residual by the sample box is e*.
+        let lang = sample_box().to_nfa().concat(&Nfa::symbol("e").star());
+        let res = lang.residual_by_box(&sample_box());
+        assert!(res.accepts(&[]));
+        assert!(res.accepts(&word_chars("ee")));
+        assert!(!res.accepts(&word_chars("a")));
+        // Residual by a disjoint box is empty.
+        let off = BoxLang::from_word(&word_chars("ccc"));
+        assert!(lang.residual_by_box(&off).is_empty());
+        // Right residual: {w : w · (aca|…|bcd) ∈ L} = {ε, e…}? No: e* comes
+        // after the box, so the right residual of L by the box is {ε} only.
+        let rres = lang.right_residual_by_box(&sample_box());
+        assert!(rres.accepts(&[]));
+        assert!(!rres.accepts(&word_chars("e")));
+        // And on e* ◦ box, the right residual is e*.
+        let lang2 = Nfa::symbol("e").star().concat(&sample_box().to_nfa());
+        let rres2 = lang2.right_residual_by_box(&sample_box());
+        assert!(rres2.accepts(&[]));
+        assert!(rres2.accepts(&word_chars("eee")));
+        assert!(!rres2.accepts(&word_chars("a")));
+    }
+
+    #[test]
+    fn expand_symbols_substitutes_slots() {
+        use std::collections::BTreeMap;
+        // a b → ({a1,a2}) ({b1}); `c` has no mapping and passes through.
+        let lang = Nfa::literal(&word_chars("ab")).union(&Nfa::symbol("c"));
+        let mut slots: BTreeMap<Symbol, BTreeSet<Symbol>> = BTreeMap::new();
+        slots.insert(Symbol::new("a"), BTreeSet::from([Symbol::new("a1"), Symbol::new("a2")]));
+        slots.insert(Symbol::new("b"), BTreeSet::from([Symbol::new("b1")]));
+        let expanded = lang.expand_symbols(&slots);
+        for w in [["a1", "b1"], ["a2", "b1"]] {
+            let w: Vec<Symbol> = w.iter().map(Symbol::new).collect();
+            assert!(expanded.accepts(&w), "word {w:?}");
+        }
+        assert!(expanded.accepts(&[Symbol::new("c")]));
+        assert!(!expanded.accepts(&word_chars("ab")));
+        // Empty slots kill the words using them.
+        slots.insert(Symbol::new("b"), BTreeSet::new());
+        let dead = lang.expand_symbols(&slots);
+        assert!(!dead.accepts(&[Symbol::new("a1"), Symbol::new("b1")]));
+        assert!(dead.accepts(&[Symbol::new("c")]));
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! The workload generators produce *seeded* families of schemas, documents
 //! and design problems of controlled size `n`, so every bench run measures
-//! the same inputs. The harness ([`bench`]) is a minimal warmup +
+//! the same inputs. The harness ([`fn@bench`]) is a minimal warmup +
 //! median-of-iterations timer: the workspace builds offline, so the bench
 //! targets are plain `fn main()` programs (`harness = false`) rather than
 //! criterion benches; the reporting format is criterion-inspired.
@@ -24,8 +24,8 @@
 use std::time::{Duration, Instant};
 
 use dxml_automata::{RFormalism, Regex, RSpec, Symbol};
-use dxml_core::{DesignProblem, DistributedDoc};
-use dxml_schema::RDtd;
+use dxml_core::{BoxDesignProblem, DesignProblem, DistributedDoc};
+use dxml_schema::{RDtd, REdtd};
 use dxml_tree::generate::SplitRng;
 use dxml_tree::XTree;
 
@@ -116,6 +116,52 @@ pub fn design_workload(n: usize, fns: usize, seed: u64) -> (DesignProblem, Distr
     (problem, doc)
 }
 
+/// A genuinely specialised (non-DTD-definable) EDTD target of size `n`:
+/// the root requires its `a`-children to be typed `x1 x2 … xn`, where the
+/// specialisation `xi` of `a` demands a single `bi` leaf. No DTD can
+/// distinguish the positions, since every child carries the same label `a`.
+pub fn box_target(n: usize) -> REdtd {
+    assert!(n >= 1, "need at least one specialisation");
+    let mut target = REdtd::new(RFormalism::Nre, "s", "s");
+    let mut root = Vec::with_capacity(n);
+    for i in 0..n {
+        let spec = Symbol::new(format!("x{i}"));
+        target.add_specialization(spec.clone(), "a");
+        target.set_rule(spec.clone(), RSpec::Nre(Regex::sym(elem(i))));
+        root.push(Regex::Sym(spec));
+    }
+    target.set_rule("s", RSpec::Nre(Regex::concat(root)));
+    target
+}
+
+/// A box-design workload of size `n`: the [`box_target`] with a kernel
+/// storing the first `n/2` children `a(e<i>)` locally and docking the rest
+/// at a single call `f`, whose EDTD schema supplies exactly the missing
+/// specialised trees — so the design typechecks, and the perfect schema of
+/// `f` is non-trivial but unique.
+pub fn box_workload(n: usize) -> (BoxDesignProblem, DistributedDoc) {
+    let n = n.max(2);
+    let split = n / 2;
+    let mut kernel = XTree::leaf(Symbol::new("s"));
+    for i in 0..split {
+        let a = kernel.add_child(0, Symbol::new("a"));
+        kernel.add_child(a, elem(i));
+    }
+    kernel.add_child(0, Symbol::new("f"));
+    let mut schema = REdtd::new(RFormalism::Nre, "r", "r");
+    let mut forest = Vec::with_capacity(n - split);
+    for i in split..n {
+        let spec = Symbol::new(format!("y{i}"));
+        schema.add_specialization(spec.clone(), "a");
+        schema.set_rule(spec.clone(), RSpec::Nre(Regex::sym(elem(i))));
+        forest.push(Regex::Sym(spec));
+    }
+    schema.set_rule("r", RSpec::Nre(Regex::concat(forest)));
+    let problem = BoxDesignProblem::new(box_target(n)).with_function("f", schema);
+    let doc = DistributedDoc::new(kernel, ["f"]).expect("kernel invariants hold");
+    (problem, doc)
+}
+
 // ----------------------------------------------------------------------
 // Timing harness
 // ----------------------------------------------------------------------
@@ -196,7 +242,7 @@ impl Session {
         Session { name: name.to_string(), results: Vec::new() }
     }
 
-    /// Runs one case through [`bench`] and records the result.
+    /// Runs one case through [`fn@bench`] and records the result.
     pub fn bench<R>(&mut self, name: &str, iters: u32, f: impl FnMut() -> R) -> BenchResult {
         let result = bench(name, iters, f);
         self.results.push(result.clone());
@@ -301,6 +347,19 @@ mod tests {
         assert_eq!(doc.num_calls(), 2);
         assert!(problem.typecheck(&doc).unwrap().is_valid());
         assert!(problem.verify_local(&doc).unwrap().is_valid());
+    }
+
+    #[test]
+    fn box_workload_typechecks_and_synthesises() {
+        let (problem, doc) = box_workload(6);
+        assert_eq!(doc.num_calls(), 1);
+        assert!(problem.typecheck(&doc).unwrap().is_valid());
+        assert!(problem.verify_local(&doc).unwrap().is_valid());
+        let perfect = problem.perfect_schema(&doc, "f").unwrap();
+        let solved = problem.clone().with_function("f", perfect);
+        assert!(solved.typecheck(&doc).unwrap().is_valid());
+        // The target is genuinely specialised: two specialisations of `a`.
+        assert!(box_target(4).specializations_of(&Symbol::new("a")).len() >= 2);
     }
 
     #[test]

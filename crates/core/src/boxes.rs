@@ -1,0 +1,1167 @@
+//! Box-design subsystem: the design problems for **R-EDTD targets**
+//! (Section 7).
+//!
+//! [`crate::DesignProblem`] decides typing verification against DTD targets,
+//! where validation is per-node-local and the string-level fast path only
+//! needs plain words. Section 7 of the paper lifts every design problem to
+//! full R-EDTD targets (unranked regular tree languages) by reducing the
+//! tree problems to string problems whose constant parts are *boxes*
+//! `B(fn)` ([`BoxLang`], Definition 21): with the target in the normal form
+//! of Lemma 4.10 — operationally, its bottom-up **determinised** specialised
+//! automaton — every kernel subtree evaluates to a unique subset of
+//! specialised names, so a sequence of fixed kernel children contributes a
+//! box `Σ1 Σ2 … Σn` of specialised names, and every docking point
+//! contributes a regular gap language over the same specialised alphabet.
+//!
+//! [`BoxDesignProblem`] packages an [`REdtd`] target with one [`REdtd`]
+//! schema per function (DTD schemas embed through [`RDtd::to_edtd`]) and
+//! offers the same three decision procedures as the DTD layer:
+//!
+//! * [`BoxDesignProblem::typecheck`] — the ground-truth tree-automaton
+//!   route: extension automaton vs. determinised target, with a full
+//!   counterexample document on failure;
+//! * [`BoxDesignProblem::verify_local`] — the Section-7 string route: a
+//!   single bottom-up pass over the kernel computing, per node, the set of
+//!   achievable subset states from the words-with-box-gaps language of its
+//!   children (Moore-machine image, [`Duta::outputs_over`]); sound **and**
+//!   complete because the determinised run is unique, with the offending
+//!   realizable child word reported as a box;
+//! * [`BoxDesignProblem::perfect_schema`] — perfect typing for EDTD
+//!   targets: the admissible gap language is propagated top-down along the
+//!   spine from the root to the docking parent by universal context
+//!   residuals over the per-label Moore machines, and the resulting maximal
+//!   schema is itself an [`REdtd`] (one specialised name per inhabited
+//!   `(label, subset state)` pair) — which a DTD could not express. The
+//!   candidate is confirmed by the [`BoxDesignProblem::typecheck`] oracle in
+//!   the refute-and-refine style of [`crate::perfect`].
+//!
+//! All target- and schema-derived artefacts (the determinised specialised
+//! target, the per-function gap languages over subset states) are built
+//! lazily once per problem in a [`BoxTargetCache`] behind an `OnceLock`,
+//! mirroring [`crate::design::TargetCache`].
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+use std::sync::OnceLock;
+
+use dxml_automata::{BoxLang, Nfa, RFormalism, RSpec, Symbol};
+use dxml_schema::{RDtd, REdtd};
+use dxml_tree::uta::Duta;
+use dxml_tree::{uta, NodeId, Nuta};
+
+use crate::design::{Origin, TypingVerdict};
+use crate::doc::DistributedDoc;
+use crate::error::DesignError;
+
+/// The symbol standing for the determinised target's subset state `i` in
+/// the string languages of the reduction (`#` cannot occur in parsed
+/// element names, so these never collide with real labels).
+fn state_sym(i: usize) -> Symbol {
+    Symbol::new(format!("#s{i}"))
+}
+
+/// The inverse of [`state_sym`].
+fn letter_of(sym: &Symbol) -> Option<usize> {
+    sym.as_str().strip_prefix("#s").and_then(|t| t.parse().ok())
+}
+
+/// An NFA accepting exactly the single-symbol words of a subset-state set
+/// (one box slot of the reduction).
+fn state_set_nfa(states: &BTreeSet<usize>) -> Nfa {
+    Nfa::any_of(states.iter().map(|&i| state_sym(i)))
+}
+
+/// The language of child words whose Moore output under `label` lies in
+/// `outputs`, over subset-state symbols. The per-state variant is
+/// [`Duta::content_nfa`]; this one marks every configuration with an
+/// admissible output final at once.
+fn machine_content_nfa(duta: &Duta, label: &Symbol, outputs: &BTreeSet<usize>) -> Nfa {
+    let machine = match duta.machine(label) {
+        Some(m) => m,
+        None => return Nfa::empty(),
+    };
+    let mut nfa = Nfa::new(machine.num_configs(), machine.start());
+    for (config, letter, next) in machine.transitions() {
+        nfa.add_transition(config, state_sym(letter), next);
+    }
+    for config in 0..machine.num_configs() {
+        if outputs.contains(&machine.output(config)) {
+            nfa.set_final(config);
+        }
+    }
+    nfa
+}
+
+// ----------------------------------------------------------------------
+// Cached artefacts
+// ----------------------------------------------------------------------
+
+/// Per-function artefacts of the box reduction: which trees the function can
+/// realize, expressed in the determinised target's subset states.
+#[derive(Clone, Debug)]
+struct FunArtifacts {
+    /// The gap language: the exact image of the function's forest language
+    /// under the tree → subset-state evaluation, as an NFA over
+    /// [`state_sym`] symbols.
+    forest_states: Nfa,
+    /// Whether the function can return no document at all (empty schema
+    /// language — the design is vacuous).
+    forest_empty: bool,
+    /// A realizable element label unknown to the target, if any (every
+    /// extension is then invalid no matter the kernel).
+    unknown: Option<Symbol>,
+}
+
+impl FunArtifacts {
+    fn build(schema: &REdtd, duta: &Duta) -> FunArtifacts {
+        let nuta = schema.to_nuta();
+        let inhabited = nuta.inhabited_witnesses();
+        let restrict =
+            |nfa: Nfa| nfa.filter_symbols(|s| inhabited.contains_key(s)).trim();
+        // Realizable specialised names: reachable from the start content
+        // through content models restricted to inhabited names — after the
+        // restriction every remaining transition lies on a realizable word,
+        // so reachability is occurrence-exact (the analogue of
+        // `RDtd::reduce`).
+        let forest_restricted = restrict(schema.content(schema.start()).to_nfa());
+        let mut realizable: BTreeSet<Symbol> = forest_restricted.alphabet().iter().cloned().collect();
+        let mut contents: BTreeMap<Symbol, Nfa> = BTreeMap::new();
+        let mut queue: VecDeque<Symbol> = realizable.iter().cloned().collect();
+        while let Some(spec) = queue.pop_front() {
+            let content = restrict(schema.content(&spec).to_nfa());
+            for next in content.alphabet().iter() {
+                if realizable.insert(next.clone()) {
+                    queue.push_back(next.clone());
+                }
+            }
+            contents.insert(spec, content);
+        }
+        let forest_empty = forest_restricted.is_empty();
+        let label_of = |spec: &Symbol| {
+            schema.label_of(spec).cloned().unwrap_or_else(|| spec.clone())
+        };
+        let unknown = realizable
+            .iter()
+            .map(&label_of)
+            .find(|label| !duta.labels().contains(label));
+
+        // Least fixpoint: `d[ã]` = the subset states achievable by trees
+        // derivable from ã. Exact by induction — independent subtrees make
+        // independent state choices, so the image of a content word is the
+        // full product of the per-name sets.
+        let mut d: BTreeMap<Symbol, BTreeSet<usize>> =
+            realizable.iter().map(|s| (s.clone(), BTreeSet::new())).collect();
+        let slot_map = |d: &BTreeMap<Symbol, BTreeSet<usize>>| -> BTreeMap<Symbol, BTreeSet<Symbol>> {
+            d.iter()
+                .map(|(spec, states)| {
+                    (spec.clone(), states.iter().map(|&i| state_sym(i)).collect())
+                })
+                .collect()
+        };
+        if unknown.is_none() && !forest_empty {
+            loop {
+                let mut changed = false;
+                for spec in &realizable {
+                    let word_lang = contents[spec].expand_symbols(&slot_map(&d));
+                    let outs = duta.outputs_over(&label_of(spec), &word_lang, letter_of);
+                    let entry = d.get_mut(spec).expect("d covers every realizable name");
+                    for &o in outs.keys() {
+                        changed |= entry.insert(o);
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+        }
+        let forest_states = forest_restricted.expand_symbols(&slot_map(&d)).trim();
+        FunArtifacts { forest_states, forest_empty, unknown }
+    }
+}
+
+/// Problem artefacts of a [`BoxDesignProblem`] that are expensive to build
+/// and independent of the document being checked: the determinised
+/// specialised target and the per-function gap languages. Computed lazily
+/// on the first decision and shared by every subsequent
+/// [`BoxDesignProblem::typecheck`], [`BoxDesignProblem::verify_local`] and
+/// [`BoxDesignProblem::perfect_schema`] call; mutating the problem
+/// invalidates it.
+#[derive(Clone, Debug)]
+pub struct BoxTargetCache {
+    duta: Duta,
+    accepting: BTreeSet<usize>,
+    empty_subset: Option<usize>,
+    funs: BTreeMap<Symbol, FunArtifacts>,
+}
+
+impl BoxTargetCache {
+    fn build(target: &REdtd, fun_schemas: &BTreeMap<Symbol, REdtd>) -> BoxTargetCache {
+        let duta = target.to_nuta().determinize(&target.labels());
+        let accepting = duta.accepting_states();
+        let empty_subset = duta.empty_subset();
+        let funs = fun_schemas
+            .iter()
+            .map(|(f, schema)| (f.clone(), FunArtifacts::build(schema, &duta)))
+            .collect();
+        BoxTargetCache { duta, accepting, empty_subset, funs }
+    }
+
+    /// The target's specialised tree automaton, determinised (bottom-up)
+    /// over the target's label universe. Its subset states are the slots of
+    /// the kernel boxes.
+    pub fn duta(&self) -> &Duta {
+        &self.duta
+    }
+
+    /// The gap language of a declared function: the exact image of its
+    /// forest language under tree → subset-state evaluation, over
+    /// `#s<i>` state symbols. Exposed so tests and benches can pin that
+    /// repeated decisions reuse it.
+    pub fn forest_states(&self, function: &Symbol) -> Option<&Nfa> {
+        self.funs.get(function).map(|fa| &fa.forest_states)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Verdicts
+// ----------------------------------------------------------------------
+
+/// A violation found by the box (string-level) typing check of an EDTD
+/// target.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BoxViolation {
+    /// An element name can occur in some extension but is not part of the
+    /// target's label universe.
+    UnknownElement {
+        /// The undeclared element name.
+        element: Symbol,
+        /// Where the element comes from.
+        origin: Origin,
+    },
+    /// A realizable child word of `element` breaks the typing: rendered as
+    /// a box whose slots are the exact sets of specialised types the
+    /// children can take.
+    Content {
+        /// The element whose children break the typing.
+        element: Symbol,
+        /// A shortest realizable child word, as a box of specialised-name
+        /// sets.
+        counterexample: BoxLang,
+        /// The specialised types the element still admits under that child
+        /// word — empty when no typing exists at all; non-empty (at the
+        /// root) when types exist but the start name is not among them.
+        admitted: Vec<Symbol>,
+        /// Where the bad word can be realised.
+        origin: Origin,
+    },
+}
+
+impl fmt::Display for BoxViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let origin = |o: &Origin| match o {
+            Origin::Kernel { path } => {
+                let p: Vec<&str> = path.iter().map(Symbol::as_str).collect();
+                format!("kernel node /{}", p.join("/"))
+            }
+            Origin::Function { function } => format!("documents returned by `{function}`"),
+        };
+        match self {
+            BoxViolation::UnknownElement { element, origin: o } => {
+                write!(f, "element `{element}` ({}) is not declared in the target schema", origin(o))
+            }
+            BoxViolation::Content { element, counterexample, admitted, origin: o } => {
+                if admitted.is_empty() {
+                    write!(
+                        f,
+                        "children ⟨{counterexample}⟩ of `{element}` ({}) are realizable but admit \
+                         no typing under the target",
+                        origin(o)
+                    )
+                } else {
+                    let names: Vec<&str> = admitted.iter().map(Symbol::as_str).collect();
+                    write!(
+                        f,
+                        "children ⟨{counterexample}⟩ of `{element}` ({}) type the node as \
+                         [{}], which does not include the start name",
+                        origin(o),
+                        names.join(", ")
+                    )
+                }
+            }
+        }
+    }
+}
+
+/// The outcome of the box typing check.
+#[derive(Clone, Debug)]
+pub enum BoxVerdict {
+    /// All achievable subset states are admissible; every extension
+    /// validates against the EDTD target.
+    Valid,
+    /// A realizable violation exists.
+    Invalid(BoxViolation),
+}
+
+impl BoxVerdict {
+    /// Whether the verdict is [`BoxVerdict::Valid`].
+    pub fn is_valid(&self) -> bool {
+        matches!(self, BoxVerdict::Valid)
+    }
+}
+
+// ----------------------------------------------------------------------
+// The problem
+// ----------------------------------------------------------------------
+
+/// A typing-verification instance with an **R-EDTD target**: the target
+/// schema `τ` plus one R-EDTD schema per function symbol. The EDTD analogue
+/// of [`crate::DesignProblem`] — DTD targets embed through
+/// [`RDtd::to_edtd`] / [`From<&DesignProblem>`](BoxDesignProblem::from) and
+/// produce identical verdicts (asserted by the test suite).
+#[derive(Clone)]
+pub struct BoxDesignProblem {
+    doc_schema: REdtd,
+    fun_schemas: BTreeMap<Symbol, REdtd>,
+    target: OnceLock<BoxTargetCache>,
+}
+
+impl fmt::Debug for BoxDesignProblem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BoxDesignProblem")
+            .field("doc_schema", &self.doc_schema)
+            .field("fun_schemas", &self.fun_schemas)
+            .field("target_cache_ready", &self.target_cache_ready())
+            .finish()
+    }
+}
+
+impl From<&crate::DesignProblem> for BoxDesignProblem {
+    /// Embeds a DTD design problem as a box design problem with trivial
+    /// specialisations (every element name is its own specialisation).
+    fn from(problem: &crate::DesignProblem) -> BoxDesignProblem {
+        let mut out = BoxDesignProblem::new(problem.doc_schema().to_edtd());
+        for (f, schema) in problem.fun_schemas() {
+            out.add_function(f.clone(), schema.to_edtd());
+        }
+        out
+    }
+}
+
+impl BoxDesignProblem {
+    /// Creates a box design problem with no function schemas.
+    pub fn new(doc_schema: REdtd) -> BoxDesignProblem {
+        BoxDesignProblem { doc_schema, fun_schemas: BTreeMap::new(), target: OnceLock::new() }
+    }
+
+    /// Declares the R-EDTD schema of a function (builder style).
+    pub fn with_function(mut self, function: impl Into<Symbol>, schema: REdtd) -> BoxDesignProblem {
+        self.add_function(function, schema);
+        self
+    }
+
+    /// Declares a DTD schema for a function, embedded as a trivial EDTD
+    /// (builder style).
+    pub fn with_function_dtd(self, function: impl Into<Symbol>, schema: &RDtd) -> BoxDesignProblem {
+        self.with_function(function, schema.to_edtd())
+    }
+
+    /// Declares the R-EDTD schema of a function, invalidating the cached
+    /// problem artefacts.
+    pub fn add_function(&mut self, function: impl Into<Symbol>, schema: REdtd) {
+        self.fun_schemas.insert(function.into(), schema);
+        self.target = OnceLock::new();
+    }
+
+    /// The target document schema `τ`.
+    pub fn doc_schema(&self) -> &REdtd {
+        &self.doc_schema
+    }
+
+    /// Replaces the target schema, invalidating the cached determinised
+    /// target.
+    pub fn set_doc_schema(&mut self, doc_schema: REdtd) {
+        self.doc_schema = doc_schema;
+        self.target = OnceLock::new();
+    }
+
+    /// The declared function schemas.
+    pub fn fun_schemas(&self) -> &BTreeMap<Symbol, REdtd> {
+        &self.fun_schemas
+    }
+
+    /// The schema of a function, if declared.
+    pub fn fun_schema(&self, function: &Symbol) -> Option<&REdtd> {
+        self.fun_schemas.get(function)
+    }
+
+    /// The lazily built problem artefacts (determinised specialised target,
+    /// per-function gap languages). The first call pays for the
+    /// determinisation; later calls are free.
+    pub fn target_cache(&self) -> &BoxTargetCache {
+        self.target.get_or_init(|| BoxTargetCache::build(&self.doc_schema, &self.fun_schemas))
+    }
+
+    /// Whether the cache has been built (used by tests and benches to pin
+    /// that repeated decisions do not re-determinise).
+    pub fn target_cache_ready(&self) -> bool {
+        self.target.get().is_some()
+    }
+
+    fn require_schemas(&self, doc: &DistributedDoc) -> Result<(), DesignError> {
+        for f in doc.called_functions() {
+            if !self.fun_schemas.contains_key(&f) {
+                return Err(DesignError::MissingFunctionSchema { function: f });
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Kernel boxes
+    // ------------------------------------------------------------------
+
+    /// The kernel box `B` of a node (Definition 21): one slot per child,
+    /// each the exact set of specialised names the child's subtree can be
+    /// typed as under the target. Defined for nodes whose children carry no
+    /// docking point anywhere below them (and that are not docking points
+    /// themselves); `None` otherwise. A child using a label unknown to the
+    /// target contributes an empty slot (the box language is then empty).
+    pub fn kernel_box(&self, doc: &DistributedDoc, node: NodeId) -> Option<BoxLang> {
+        let kernel = doc.kernel();
+        if doc.is_function(kernel.label(node)) {
+            return None;
+        }
+        let cache = self.target_cache();
+        let mut b = BoxLang::epsilon();
+        for &child in kernel.children(node) {
+            let sub = kernel.subtree(child);
+            if sub.document_order().iter().any(|&n| doc.is_function(sub.label(n))) {
+                return None;
+            }
+            match cache.duta.run(&sub) {
+                Some(states) => b.push_slot(cache.duta.subset(states[sub.root()]).iter().cloned()),
+                None => b.push_slot(Vec::<Symbol>::new()),
+            }
+        }
+        Some(b)
+    }
+
+    // ------------------------------------------------------------------
+    // Typing verification — tree route
+    // ------------------------------------------------------------------
+
+    /// A [`Nuta`] recognising exactly the extensions of `doc`: the kernel
+    /// with every docking point `f` replaced by a forest of trees valid
+    /// under `τf`'s specialised rules. The construction mirrors
+    /// [`crate::DesignProblem::extension_nuta`] with specialised names as
+    /// the per-function states.
+    pub fn extension_nuta(&self, doc: &DistributedDoc) -> Result<Nuta, DesignError> {
+        self.require_schemas(doc)?;
+        let kernel = doc.kernel();
+        let mut a = Nuta::new();
+
+        let mut forest_nfas: BTreeMap<Symbol, Nfa> = BTreeMap::new();
+        for f in doc.called_functions() {
+            let schema = &self.fun_schemas[&f];
+            let prefix = |name: &Symbol| Symbol::new(format!("{f}${name}"));
+            for spec in schema.specialized_names().iter() {
+                let content = schema.content(spec).to_nfa().map_symbols(prefix);
+                let label = schema.label_of(spec).cloned().unwrap_or_else(|| spec.clone());
+                a.set_rule(prefix(spec), label, content);
+            }
+            let forest = schema.content(schema.start()).to_nfa().map_symbols(prefix);
+            forest_nfas.insert(f.clone(), forest);
+        }
+
+        let state_of = |node: usize| Symbol::new(format!("#k{node}"));
+        for node in kernel.document_order() {
+            if doc.is_function(kernel.label(node)) {
+                continue;
+            }
+            let mut content = Nfa::epsilon();
+            for &child in kernel.children(node) {
+                let label = kernel.label(child);
+                let piece = match forest_nfas.get(label) {
+                    Some(forest) => forest.clone(),
+                    None => Nfa::symbol(state_of(child)),
+                };
+                content = content.concat(&piece);
+            }
+            a.set_rule(state_of(node), kernel.label(node).clone(), content);
+        }
+        a.set_final(state_of(kernel.root()));
+        Ok(a)
+    }
+
+    /// Decides whether every extension of `doc` validates against the EDTD
+    /// target, via tree-language inclusion of the extension automaton in
+    /// the determinised specialised target. On failure the verdict carries
+    /// a full counterexample document and the typing failure it triggers
+    /// ([`REdtd::validate`]).
+    pub fn typecheck(&self, doc: &DistributedDoc) -> Result<TypingVerdict, DesignError> {
+        let ext = self.extension_nuta(doc)?;
+        match uta::included_in_duta(&ext, &self.target_cache().duta) {
+            Ok(()) => Ok(TypingVerdict::Valid),
+            Err(counterexample) => match self.doc_schema.validate(&counterexample) {
+                Err(violation) => Ok(TypingVerdict::Invalid { counterexample, violation }),
+                Ok(()) => Err(DesignError::InvariantViolation {
+                    detail: format!(
+                        "tree-inclusion counterexample `{counterexample}` unexpectedly \
+                         validates against the EDTD target"
+                    ),
+                }),
+            },
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Typing verification — box/string route
+    // ------------------------------------------------------------------
+
+    /// Renders a witness word over subset-state symbols as a box of
+    /// specialised-name sets.
+    fn box_of(&self, cache: &BoxTargetCache, witness: &[Symbol]) -> BoxLang {
+        let mut b = BoxLang::epsilon();
+        for sym in witness {
+            match letter_of(sym) {
+                Some(i) => b.push_slot(cache.duta.subset(i).iter().cloned()),
+                None => b.push_slot(Vec::<Symbol>::new()),
+            }
+        }
+        b
+    }
+
+    /// The Section-7 string route: typing verification without tree
+    /// automata on the extension side. One bottom-up pass over the kernel
+    /// computes, per node, the **exact** set of subset states its subtree
+    /// can evaluate to — fixed children contribute box slots, docking
+    /// points their gap languages — via the Moore-machine image
+    /// [`Duta::outputs_over`]. Sound and complete for every R-EDTD target
+    /// because the determinised run is unique; agrees with
+    /// [`BoxDesignProblem::typecheck`] on every input (asserted by the
+    /// tests).
+    ///
+    /// If some called function has an empty schema language no extension
+    /// exists and the verdict is vacuously valid.
+    pub fn verify_local(&self, doc: &DistributedDoc) -> Result<BoxVerdict, DesignError> {
+        self.require_schemas(doc)?;
+        let cache = self.target_cache();
+        let kernel = doc.kernel();
+        let called = doc.called_functions();
+
+        for f in &called {
+            if cache.funs[f].forest_empty {
+                return Ok(BoxVerdict::Valid);
+            }
+        }
+        for f in &called {
+            if let Some(label) = &cache.funs[f].unknown {
+                return Ok(BoxVerdict::Invalid(BoxViolation::UnknownElement {
+                    element: label.clone(),
+                    origin: Origin::Function { function: f.clone() },
+                }));
+            }
+        }
+
+        let mut achievable: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); kernel.size()];
+        for node in kernel.bottom_up_order() {
+            let label = kernel.label(node);
+            if doc.is_function(label) {
+                continue;
+            }
+            let origin = || Origin::Kernel { path: kernel.anc_str(node) };
+            if !cache.duta.labels().contains(label) {
+                return Ok(BoxVerdict::Invalid(BoxViolation::UnknownElement {
+                    element: label.clone(),
+                    origin: origin(),
+                }));
+            }
+            let mut word = Nfa::epsilon();
+            for &child in kernel.children(node) {
+                let child_label = kernel.label(child);
+                let piece = match cache.funs.get(child_label) {
+                    Some(fa) if doc.is_function(child_label) => fa.forest_states.clone(),
+                    _ => state_set_nfa(&achievable[child]),
+                };
+                word = word.concat(&piece);
+            }
+            let outs = cache.duta.outputs_over(label, &word, letter_of);
+            // A realizable child word with no typing at all is already a
+            // violation — the surrounding kernel always completes it to a
+            // full extension (all gap languages are non-empty), and the
+            // empty subset propagates to a non-accepting root.
+            if let Some(ei) = cache.empty_subset {
+                if let Some(witness) = outs.get(&ei) {
+                    return Ok(BoxVerdict::Invalid(BoxViolation::Content {
+                        element: label.clone(),
+                        counterexample: self.box_of(cache, witness),
+                        admitted: Vec::new(),
+                        origin: origin(),
+                    }));
+                }
+            }
+            if node == kernel.root() {
+                for (&state, witness) in &outs {
+                    if !cache.accepting.contains(&state) {
+                        return Ok(BoxVerdict::Invalid(BoxViolation::Content {
+                            element: label.clone(),
+                            counterexample: self.box_of(cache, witness),
+                            admitted: cache.duta.subset(state).iter().cloned().collect(),
+                            origin: origin(),
+                        }));
+                    }
+                }
+            }
+            achievable[node] = outs.keys().copied().collect();
+        }
+        Ok(BoxVerdict::Valid)
+    }
+
+    // ------------------------------------------------------------------
+    // Perfect typing for EDTD targets
+    // ------------------------------------------------------------------
+
+    /// Computes the **perfect schema** of `function` for the EDTD target:
+    /// the most permissive R-EDTD schema under which the design still
+    /// typechecks, the other functions keeping their declared schemas.
+    ///
+    /// The admissible gap language is computed exactly by walking the spine
+    /// from the root down to the docking parent: at each level the set of
+    /// *safe* subset states is the universal context residual of the
+    /// admissible-children language (the per-label Moore machine with every
+    /// admissible output marked final) by the
+    /// realizable sibling languages, restricted to single states; at the
+    /// parent the full residual (uniform for several docking points,
+    /// [`Nfa::uniform_context_residual`]) is the gap language. The schema
+    /// materialises it with one specialised name per inhabited
+    /// `(label, subset state)` pair — maximal per construction, confirmed
+    /// by the [`BoxDesignProblem::typecheck`] oracle.
+    ///
+    /// # Errors
+    ///
+    /// * [`DesignError::FunctionNotCalled`] — `function` labels no docking
+    ///   point of `doc`.
+    /// * [`DesignError::MissingFunctionSchema`] — another called function
+    ///   has no declared schema.
+    /// * [`DesignError::NoMaximalSchema`] — another function's language is
+    ///   empty (the design is vacuous), or several docking points under the
+    ///   same parent interact without a unique maximum.
+    /// * [`DesignError::SynthesisUnsupported`] — the docking points of
+    ///   `function` sit under several distinct parents; the per-parent
+    ///   residuals of this construction cannot bound that case for EDTD
+    ///   targets.
+    /// * [`DesignError::InvariantViolation`] — the oracle refuted a
+    ///   candidate the construction proves maximal; a bug in this library,
+    ///   never a property of the input.
+    pub fn perfect_schema(
+        &self,
+        doc: &DistributedDoc,
+        function: impl Into<Symbol>,
+    ) -> Result<REdtd, DesignError> {
+        let f = function.into();
+        let kernel = doc.kernel();
+
+        let mut docking: BTreeMap<NodeId, Vec<usize>> = BTreeMap::new();
+        for parent in kernel.document_order() {
+            if doc.is_function(kernel.label(parent)) {
+                continue;
+            }
+            for (position, &child) in kernel.children(parent).iter().enumerate() {
+                if kernel.label(child) == &f {
+                    docking.entry(parent).or_default().push(position);
+                }
+            }
+        }
+        if !doc.is_function(&f) || docking.is_empty() {
+            return Err(DesignError::FunctionNotCalled { function: f });
+        }
+        if docking.len() > 1 {
+            return Err(DesignError::SynthesisUnsupported {
+                function: f,
+                detail: "its docking points sit under several distinct parents".into(),
+            });
+        }
+        let cache = self.target_cache();
+        let mut forced_empty = false;
+        for g in doc.called_functions() {
+            if g == f {
+                continue;
+            }
+            let art = cache
+                .funs
+                .get(&g)
+                .ok_or_else(|| DesignError::MissingFunctionSchema { function: g.clone() })?;
+            if art.forest_empty {
+                return Err(DesignError::NoMaximalSchema { function: f });
+            }
+            if art.unknown.is_some() {
+                // A sibling realizes trees outside the target's universe:
+                // every non-vacuous design fails, independent of `f`.
+                forced_empty = true;
+            }
+        }
+        let (&parent, positions) = docking.iter().next().expect("docking is non-empty");
+
+        // The spine from the root down to the docking parent; everything
+        // off the spine is free of `f` and gets an exact achievable set.
+        let mut spine = vec![parent];
+        let mut cursor = parent;
+        while let Some(p) = kernel.parent(cursor) {
+            spine.push(p);
+            cursor = p;
+        }
+        spine.reverse();
+        let spine_set: BTreeSet<NodeId> = spine.iter().copied().collect();
+
+        let mut achievable: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); kernel.size()];
+        for node in kernel.bottom_up_order() {
+            let label = kernel.label(node);
+            if spine_set.contains(&node) || doc.is_function(label) {
+                continue;
+            }
+            if !cache.duta.labels().contains(label) {
+                forced_empty = true;
+                continue;
+            }
+            let mut word = Nfa::epsilon();
+            for &child in kernel.children(node) {
+                let child_label = kernel.label(child);
+                let piece = match cache.funs.get(child_label) {
+                    Some(fa) if doc.is_function(child_label) => fa.forest_states.clone(),
+                    _ => state_set_nfa(&achievable[child]),
+                };
+                word = word.concat(&piece);
+            }
+            achievable[node] = cache
+                .duta
+                .outputs_over(label, &word, letter_of)
+                .keys()
+                .copied()
+                .collect();
+        }
+
+        // Top-down: the safe subset states per spine level, then the gap
+        // language at the parent.
+        let piece_for = |child: NodeId| -> Nfa {
+            let child_label = kernel.label(child);
+            match cache.funs.get(child_label) {
+                Some(fa) if doc.is_function(child_label) => fa.forest_states.clone(),
+                _ => state_set_nfa(&achievable[child]),
+            }
+        };
+        let segment = |range: &[NodeId]| {
+            range.iter().fold(Nfa::epsilon(), |acc, &c| acc.concat(&piece_for(c)))
+        };
+        let mut safe: BTreeSet<usize> = cache.accepting.clone();
+        let mut gap = Nfa::empty();
+        for (level, &x) in spine.iter().enumerate() {
+            if forced_empty {
+                break;
+            }
+            let label = kernel.label(x);
+            if !cache.duta.labels().contains(label) {
+                forced_empty = true;
+                break;
+            }
+            let admissible_children = machine_content_nfa(&cache.duta, label, &safe);
+            let children = kernel.children(x);
+            if level + 1 < spine.len() {
+                let next = spine[level + 1];
+                let position = children
+                    .iter()
+                    .position(|&c| c == next)
+                    .expect("spine child is a child of its spine parent");
+                let prefix = segment(&children[..position]);
+                let suffix = segment(&children[position + 1..]);
+                let residual = admissible_children.universal_context_residual(&prefix, &suffix);
+                safe = (0..cache.duta.num_states())
+                    .filter(|&j| residual.accepts(&[state_sym(j)]))
+                    .collect();
+                if safe.is_empty() {
+                    forced_empty = true;
+                }
+            } else {
+                // The docking parent: residual over the gap(s).
+                let mut contexts: Vec<Nfa> = Vec::with_capacity(positions.len() + 1);
+                let mut prev = 0usize;
+                for &position in positions {
+                    contexts.push(segment(&children[prev..position]));
+                    prev = position + 1;
+                }
+                contexts.push(segment(&children[prev..]));
+                gap = if positions.len() == 1 {
+                    admissible_children.universal_context_residual(&contexts[0], &contexts[1])
+                } else {
+                    admissible_children.uniform_context_residual(&contexts)
+                };
+            }
+        }
+        let gap = if forced_empty { Nfa::empty() } else { gap };
+
+        let schema = self.build_perfect(&gap, cache);
+        let candidate = self.clone().with_function(f.clone(), schema.clone());
+        match candidate.typecheck(doc)? {
+            TypingVerdict::Valid => Ok(schema),
+            TypingVerdict::Invalid { counterexample, .. } => {
+                if positions.len() > 1 {
+                    // The uniform candidate is an upper bound on every
+                    // valid gap language (substituting any of its words at
+                    // every docking point stays valid), so a refutation
+                    // proves incomparable maximal languages exist.
+                    Err(DesignError::NoMaximalSchema { function: f })
+                } else {
+                    Err(DesignError::InvariantViolation {
+                        detail: format!(
+                            "typecheck refuted the maximal box candidate for `{f}` \
+                             with `{counterexample}`"
+                        ),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Perfect schemas for every called function of `doc`, each synthesised
+    /// with the other functions keeping their declared schemas.
+    pub fn perfect_schemas(
+        &self,
+        doc: &DistributedDoc,
+    ) -> Result<BTreeMap<Symbol, REdtd>, DesignError> {
+        doc.called_functions()
+            .into_iter()
+            .map(|f| self.perfect_schema(doc, f.clone()).map(|s| (f, s)))
+            .collect()
+    }
+
+    /// Materialises a gap language over subset-state symbols as an R-EDTD:
+    /// a fresh start whose content model is the gap language with every
+    /// state expanded to the inhabited `(label, state)` pairs carrying it,
+    /// plus one specialised rule per reachable pair holding the target's
+    /// exact content language for that pair.
+    fn build_perfect(&self, gap: &Nfa, cache: &BoxTargetCache) -> REdtd {
+        let duta = &cache.duta;
+        let pairs = duta.inhabited_label_states();
+        let mut slots: BTreeMap<Symbol, BTreeSet<Symbol>> = BTreeMap::new();
+        let mut pair_index: BTreeMap<Symbol, (Symbol, usize)> = BTreeMap::new();
+        for (label, states) in &pairs {
+            for &i in states {
+                let name = label.specialize(i);
+                slots.entry(state_sym(i)).or_default().insert(name.clone());
+                pair_index.insert(name, (label.clone(), i));
+            }
+        }
+        let mut start = String::from("result");
+        while duta.labels().contains(&Symbol::new(&start)) {
+            start.push('_');
+        }
+        let mut schema = REdtd::new(RFormalism::Nfa, start.as_str(), start.as_str());
+        let forest = gap.trim().expand_symbols(&slots);
+        schema.set_rule(start.as_str(), RSpec::Nfa(forest.clone()));
+        let mut queue: VecDeque<Symbol> = forest.alphabet().iter().cloned().collect();
+        let mut seen: BTreeSet<Symbol> = queue.iter().cloned().collect();
+        while let Some(name) = queue.pop_front() {
+            let (label, i) = pair_index[&name].clone();
+            let content = duta
+                .content_nfa(i, &label, state_sym)
+                .expand_symbols(&slots)
+                .trim();
+            for next in content.alphabet().iter() {
+                if seen.insert(next.clone()) {
+                    queue.push_back(next.clone());
+                }
+            }
+            schema.add_specialization(name.clone(), label);
+            schema.set_rule(name, RSpec::Nfa(content));
+        }
+        schema
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dxml_automata::Regex;
+    use dxml_tree::term::parse_term;
+
+    fn dtd(rules: &str) -> RDtd {
+        RDtd::parse(RFormalism::Nre, rules).unwrap()
+    }
+
+    /// The classic non-DTD-definable target: `s` has `a`-children of which
+    /// exactly one contains a `c`, the rest contain a `b`.
+    fn one_c_target() -> REdtd {
+        let mut e = REdtd::new(RFormalism::Nre, "s", "s");
+        e.add_specialization("ab", "a");
+        e.add_specialization("ac", "a");
+        e.set_rule("s", RSpec::Nre(Regex::parse("ab* ac ab*").unwrap()));
+        e.set_rule("ab", RSpec::Nre(Regex::parse("b").unwrap()));
+        e.set_rule("ac", RSpec::Nre(Regex::parse("c").unwrap()));
+        e
+    }
+
+    /// An EDTD function schema returning forests of `a(c)`-trees: start
+    /// content `x*` with `µ(x) = a`, `x → c`.
+    fn ac_forest_schema(star: bool) -> REdtd {
+        let mut e = REdtd::new(RFormalism::Nre, "r", "r");
+        e.add_specialization("x", "a");
+        let content = if star { "x*" } else { "x" };
+        e.set_rule("r", RSpec::Nre(Regex::parse(content).unwrap()));
+        e.set_rule("x", RSpec::Nre(Regex::parse("c").unwrap()));
+        e
+    }
+
+    fn agree(problem: &BoxDesignProblem, doc: &DistributedDoc) -> bool {
+        let global = problem.typecheck(doc).unwrap();
+        let local = problem.verify_local(doc).unwrap();
+        assert_eq!(
+            global.is_valid(),
+            local.is_valid(),
+            "typecheck ({global:?}) and verify_local ({local:?}) disagree on {doc:?}"
+        );
+        global.is_valid()
+    }
+
+    #[test]
+    fn specialised_target_typechecks_the_right_forests() {
+        let target = one_c_target();
+        // f returns exactly one a(c): the kernel supplies the a(b)'s.
+        let good = BoxDesignProblem::new(target.clone())
+            .with_function("f", ac_forest_schema(false));
+        let doc = DistributedDoc::parse("s(a(b) f)", ["f"]).unwrap();
+        assert!(agree(&good, &doc));
+        // f returning any number of a(c)'s can produce zero or two: invalid.
+        let bad = BoxDesignProblem::new(target).with_function("f", ac_forest_schema(true));
+        assert!(!agree(&bad, &doc));
+        match bad.typecheck(&doc).unwrap() {
+            TypingVerdict::Invalid { counterexample, violation } => {
+                assert!(!bad.doc_schema().accepts(&counterexample));
+                assert!(bad.extension_nuta(&doc).unwrap().accepts(&counterexample));
+                let _ = format!("{violation}");
+            }
+            TypingVerdict::Valid => panic!("expected invalid"),
+        }
+        match bad.verify_local(&doc).unwrap() {
+            BoxVerdict::Invalid(ref v @ BoxViolation::Content { ref counterexample, .. }) => {
+                assert!(counterexample.width() >= 1);
+                let _ = format!("{v}");
+            }
+            other => panic!("expected a Content violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_elements_are_reported_with_origin() {
+        let target = one_c_target();
+        // Kernel element outside the target universe.
+        let p = BoxDesignProblem::new(target.clone());
+        let doc = DistributedDoc::parse("s(a(b) zz)", [] as [&str; 0]).unwrap();
+        assert!(!agree(&p, &doc));
+        assert!(matches!(
+            p.verify_local(&doc).unwrap(),
+            BoxVerdict::Invalid(BoxViolation::UnknownElement { ref element, origin: Origin::Kernel { .. } })
+                if element.as_str() == "zz"
+        ));
+        // Function forest realizing an unknown element.
+        let mut schema = REdtd::new(RFormalism::Nre, "r", "r");
+        schema.add_specialization("x", "a");
+        schema.set_rule("r", RSpec::Nre(Regex::parse("x").unwrap()));
+        schema.set_rule("x", RSpec::Nre(Regex::parse("zz?").unwrap()));
+        let p2 = BoxDesignProblem::new(target).with_function("f", schema);
+        let doc2 = DistributedDoc::parse("s(a(b) a(c) f)", ["f"]).unwrap();
+        assert!(!agree(&p2, &doc2));
+        assert!(matches!(
+            p2.verify_local(&doc2).unwrap(),
+            BoxVerdict::Invalid(BoxViolation::UnknownElement { origin: Origin::Function { .. }, .. })
+        ));
+    }
+
+    #[test]
+    fn vacuous_designs_are_valid() {
+        // The function's specialised language is empty: x → x never
+        // bottoms out.
+        let mut schema = REdtd::new(RFormalism::Nre, "r", "r");
+        schema.add_specialization("x", "a");
+        schema.set_rule("r", RSpec::Nre(Regex::parse("x").unwrap()));
+        schema.set_rule("x", RSpec::Nre(Regex::parse("x").unwrap()));
+        let p = BoxDesignProblem::new(one_c_target()).with_function("f", schema);
+        let doc = DistributedDoc::parse("s(f)", ["f"]).unwrap();
+        assert!(agree(&p, &doc));
+    }
+
+    #[test]
+    fn missing_schema_is_an_error() {
+        let p = BoxDesignProblem::new(one_c_target());
+        let doc = DistributedDoc::parse("s(f)", ["f"]).unwrap();
+        assert!(matches!(p.typecheck(&doc), Err(DesignError::MissingFunctionSchema { .. })));
+        assert!(matches!(p.verify_local(&doc), Err(DesignError::MissingFunctionSchema { .. })));
+    }
+
+    #[test]
+    fn kernel_boxes_expose_the_specialised_slots() {
+        let p = BoxDesignProblem::new(one_c_target());
+        let doc = DistributedDoc::parse("s(a(b) a(c) f)", ["f"]).unwrap();
+        let kernel_box = p.kernel_box(&doc, doc.kernel().root());
+        assert!(kernel_box.is_none(), "root has a docking child");
+        // The box of the first a-child: its `b` subtree types exactly as a
+        // leaf typable by no specialisation other than… `b` itself has no
+        // rule in the target, so check the a-node instead: a(b) types
+        // exactly as {ab}.
+        let a_node = doc.kernel().children(doc.kernel().root())[0];
+        let b = p.kernel_box(&doc, a_node).unwrap();
+        assert_eq!(b.width(), 1, "a(b) has one child");
+        // And the box of the whole fixed prefix via a synthetic doc without
+        // the docking point: slots are the exact specialised-type sets.
+        let plain = DistributedDoc::parse("s(a(b) a(c))", [] as [&str; 0]).unwrap();
+        let pb = p.kernel_box(&plain, plain.kernel().root()).unwrap();
+        assert_eq!(pb.width(), 2);
+        assert_eq!(pb.slots()[0], BTreeSet::from([Symbol::new("ab")]));
+        assert_eq!(pb.slots()[1], BTreeSet::from([Symbol::new("ac")]));
+        assert!(pb.contains(&[Symbol::new("ab"), Symbol::new("ac")]));
+    }
+
+    #[test]
+    fn dtd_embedding_agrees_with_design_problem() {
+        let target = dtd("s -> a, b*\nb -> c?");
+        let problem = crate::DesignProblem::new(target).with_function("f", dtd("r -> b, b\nb -> c?"));
+        let doc = DistributedDoc::parse("s(a f)", ["f"]).unwrap();
+        let boxed = BoxDesignProblem::from(&problem);
+        assert!(agree(&boxed, &doc));
+        assert_eq!(
+            problem.typecheck(&doc).unwrap().is_valid(),
+            boxed.typecheck(&doc).unwrap().is_valid()
+        );
+        // And on an invalid design.
+        let bad = crate::DesignProblem::new(dtd("s -> a, b*\nb -> c?"))
+            .with_function("f", dtd("r -> b*\nb -> d?"));
+        let boxed_bad = BoxDesignProblem::from(&bad);
+        assert!(!agree(&boxed_bad, &doc));
+        assert!(!bad.typecheck(&doc).unwrap().is_valid());
+    }
+
+    #[test]
+    fn repeated_decisions_reuse_the_cache() {
+        let p = BoxDesignProblem::new(one_c_target()).with_function("f", ac_forest_schema(false));
+        let doc = DistributedDoc::parse("s(a(b) f)", ["f"]).unwrap();
+        assert!(!p.target_cache_ready());
+        assert!(p.verify_local(&doc).unwrap().is_valid());
+        assert!(p.target_cache_ready());
+        let first = p.target_cache().duta() as *const _;
+        assert!(p.typecheck(&doc).unwrap().is_valid());
+        let second = p.target_cache().duta() as *const _;
+        assert!(std::ptr::eq(first, second), "decisions must not re-determinise the target");
+        let f = Symbol::new("f");
+        let fs1 = p.target_cache().forest_states(&f).unwrap() as *const _;
+        assert!(p.verify_local(&doc).unwrap().is_valid());
+        let fs2 = p.target_cache().forest_states(&f).unwrap() as *const _;
+        assert!(std::ptr::eq(fs1, fs2), "gap languages must be reused across calls");
+        // Mutation invalidates.
+        let mut changed = p.clone();
+        changed.set_doc_schema(one_c_target());
+        assert!(!changed.target_cache_ready());
+    }
+
+    #[test]
+    fn perfect_schema_for_a_specialised_target() {
+        // Kernel s(a(b) f): the perfect gap language is a's typed ab* ac ab*
+        // — expressible as an EDTD, not as a DTD.
+        let p = BoxDesignProblem::new(one_c_target());
+        let doc = DistributedDoc::parse("s(a(b) f)", ["f"]).unwrap();
+        let perfect = p.perfect_schema(&doc, "f").unwrap();
+        let solved = p.clone().with_function("f", perfect.clone());
+        assert!(solved.typecheck(&doc).unwrap().is_valid());
+        assert!(solved.verify_local(&doc).unwrap().is_valid());
+        // The synthesised schema accepts a lone a(c) forest …
+        let forest_ac = parse_term("r(a(c))").unwrap();
+        // … by embedding it under the fresh start (whose name we read off).
+        let start = perfect.start().clone();
+        let embed = |forest: &str| {
+            parse_term(&format!("{}({forest})", start.as_str())).unwrap()
+        };
+        assert!(perfect.accepts(&embed("a(c)")));
+        assert!(perfect.accepts(&embed("a(b) a(c) a(b)")));
+        assert!(!perfect.accepts(&embed("a(b)")));
+        assert!(!perfect.accepts(&embed("a(c) a(c)")));
+        let _ = forest_ac;
+        // Declared valid schemas are subsumed: the single-a(c) schema's
+        // forests are all accepted by the perfect one.
+        let declared = ac_forest_schema(false);
+        let with_declared = p.clone().with_function("f", declared);
+        assert!(with_declared.typecheck(&doc).unwrap().is_valid());
+    }
+
+    #[test]
+    fn perfect_schema_error_cases() {
+        let p = BoxDesignProblem::new(one_c_target());
+        let doc = DistributedDoc::parse("s(a(b) f)", ["f"]).unwrap();
+        assert!(matches!(
+            p.perfect_schema(&doc, "g"),
+            Err(DesignError::FunctionNotCalled { .. })
+        ));
+        // Docking under two distinct parents is unsupported for EDTD
+        // targets.
+        let mut nested = REdtd::new(RFormalism::Nre, "s", "s");
+        nested.set_rule("s", RSpec::Nre(Regex::parse("t t").unwrap()));
+        nested.set_rule("t", RSpec::Nre(Regex::parse("a*").unwrap()));
+        let p2 = BoxDesignProblem::new(nested);
+        let doc2 = DistributedDoc::parse("s(t(f) t(f))", ["f"]).unwrap();
+        assert!(matches!(
+            p2.perfect_schema(&doc2, "f"),
+            Err(DesignError::SynthesisUnsupported { .. })
+        ));
+        // Interacting docking points under one parent: (ab ac | ac ab)
+        // admits {ab-word} and {ac-word}… use the DTD-style (a,a)|(b,b).
+        let mut t = REdtd::new(RFormalism::Nre, "s", "s");
+        t.set_rule("s", RSpec::Nre(Regex::parse("a a | b b").unwrap()));
+        let p3 = BoxDesignProblem::new(t);
+        let doc3 = DistributedDoc::parse("s(f f)", ["f"]).unwrap();
+        assert!(matches!(
+            p3.perfect_schema(&doc3, "f"),
+            Err(DesignError::NoMaximalSchema { .. })
+        ));
+        // A sibling with an empty language makes the design vacuous.
+        let mut empty = REdtd::new(RFormalism::Nre, "r", "r");
+        empty.set_rule("r", RSpec::Nre(Regex::parse("r").unwrap()));
+        let p4 = BoxDesignProblem::new(one_c_target()).with_function("g", empty);
+        let doc4 = DistributedDoc::parse("s(a(b) f g)", ["f", "g"]).unwrap();
+        assert!(matches!(
+            p4.perfect_schema(&doc4, "f"),
+            Err(DesignError::NoMaximalSchema { .. })
+        ));
+    }
+
+    #[test]
+    fn perfect_schema_with_repeated_docking_points() {
+        // τ(s) = (ab)* over specialised pairs: s → (x y)* with µ(x)=a,
+        // µ(y)=b; kernel s(f f): the uniform candidate (x y)* is closed
+        // under concatenation, hence the unique maximum.
+        let mut t = REdtd::new(RFormalism::Nre, "s", "s");
+        t.add_specialization("x", "a");
+        t.add_specialization("y", "b");
+        t.set_rule("s", RSpec::Nre(Regex::parse("(x y)*").unwrap()));
+        let p = BoxDesignProblem::new(t);
+        let doc = DistributedDoc::parse("s(f f)", ["f"]).unwrap();
+        let perfect = p.perfect_schema(&doc, "f").unwrap();
+        let solved = p.clone().with_function("f", perfect.clone());
+        assert!(solved.typecheck(&doc).unwrap().is_valid());
+        let start = perfect.start().clone();
+        let embed = |forest: &str| parse_term(&format!("{}({forest})", start.as_str())).unwrap();
+        assert!(perfect.accepts(&embed("a b")));
+        assert!(!perfect.accepts(&embed("a")));
+    }
+
+    #[test]
+    fn independent_violations_force_the_empty_gap() {
+        // The kernel's `zz` child violates the target whatever f returns:
+        // the perfect gap language is empty (vacuously valid).
+        let mut t = REdtd::new(RFormalism::Nre, "s", "s");
+        t.set_rule("s", RSpec::Nre(Regex::parse("t a*").unwrap()));
+        t.set_rule("t", RSpec::Nre(Regex::parse("b").unwrap()));
+        let p = BoxDesignProblem::new(t);
+        let doc = DistributedDoc::parse("s(t(zz) f)", ["f"]).unwrap();
+        let perfect = p.perfect_schema(&doc, "f").unwrap();
+        let forest = perfect.content(perfect.start()).to_nfa();
+        assert!(forest.is_empty());
+        let solved = p.clone().with_function("f", perfect);
+        assert!(solved.typecheck(&doc).unwrap().is_valid());
+    }
+}

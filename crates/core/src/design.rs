@@ -21,7 +21,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
-use std::sync::OnceLock;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use dxml_automata::equiv::included as str_included;
 use dxml_automata::{Nfa, Symbol};
@@ -32,20 +32,63 @@ use dxml_tree::{uta, Nuta, XTree};
 use crate::doc::DistributedDoc;
 use crate::error::DesignError;
 
-/// Target-schema artefacts that are expensive to build and independent of
-/// the document being checked: computed lazily on first use and shared by
+/// How many `(document, extension automaton)` pairs a problem memoises —
+/// enough for the few documents a problem is typically checked against
+/// back-to-back, small enough that stale documents do not accumulate.
+const EXT_CACHE_CAP: usize = 4;
+
+/// A function schema reduced once per problem (every surviving name
+/// realizable, Definition 5) together with its *forest* language — the
+/// root-word language its documents contribute at a docking point.
+#[derive(Clone, Debug)]
+pub struct ReducedFun {
+    schema: RDtd,
+    forest: Nfa,
+    empty: bool,
+}
+
+impl ReducedFun {
+    fn build(schema: &RDtd) -> ReducedFun {
+        let schema = schema.reduce();
+        let empty = schema.language_is_empty();
+        let forest = schema.content(schema.start()).to_nfa();
+        ReducedFun { schema, forest, empty }
+    }
+
+    /// The reduced schema.
+    pub fn schema(&self) -> &RDtd {
+        &self.schema
+    }
+
+    /// The forest language: the content model of the reduced start symbol.
+    pub fn forest(&self) -> &Nfa {
+        &self.forest
+    }
+
+    /// Whether the schema's language is empty (the function can return no
+    /// document at all).
+    pub fn language_is_empty(&self) -> bool {
+        self.empty
+    }
+}
+
+/// Problem artefacts that are expensive to build and independent of the
+/// document being checked: computed lazily on first use and shared by
 /// [`DesignProblem::typecheck`], [`DesignProblem::verify_local`] and the
-/// perfect-schema synthesis of [`crate::perfect`].
+/// perfect-schema synthesis of [`crate::perfect`]. Besides the
+/// target-derived artefacts this caches the *reduced* function schemas, so
+/// repeated local verification stops re-reducing them per call.
 #[derive(Clone, Debug)]
 pub struct TargetCache {
     duta: Duta,
     content_nfas: BTreeMap<Symbol, Nfa>,
     epsilon: Nfa,
     productive: BTreeSet<Symbol>,
+    reduced_fun: BTreeMap<Symbol, ReducedFun>,
 }
 
 impl TargetCache {
-    fn build(target: &RDtd) -> TargetCache {
+    fn build(target: &RDtd, fun_schemas: &BTreeMap<Symbol, RDtd>) -> TargetCache {
         let nuta = target.to_uta();
         let duta = nuta.determinize(target.alphabet());
         let content_nfas = target
@@ -53,11 +96,16 @@ impl TargetCache {
             .iter()
             .map(|a| (a.clone(), target.content(a).to_nfa()))
             .collect();
+        let reduced_fun = fun_schemas
+            .iter()
+            .map(|(f, schema)| (f.clone(), ReducedFun::build(schema)))
+            .collect();
         TargetCache {
             duta,
             content_nfas,
             epsilon: Nfa::epsilon(),
             productive: target.bound_names(),
+            reduced_fun,
         }
     }
 
@@ -78,22 +126,45 @@ impl TargetCache {
     pub fn productive(&self) -> &BTreeSet<Symbol> {
         &self.productive
     }
+
+    /// The reduced schema of a declared function (with its forest language
+    /// and emptiness), reduced once per problem.
+    pub fn reduced_fun(&self, function: &Symbol) -> Option<&ReducedFun> {
+        self.reduced_fun.get(function)
+    }
 }
 
 /// A typing-verification instance: the target document schema `τ` plus one
 /// schema per function symbol.
 ///
-/// The determinised target automaton (and the other target-derived
-/// artefacts in [`TargetCache`]) is computed lazily on the first decision
-/// and reused by every subsequent [`DesignProblem::typecheck`],
-/// [`DesignProblem::verify_local`] and
-/// [`DesignProblem::perfect_schema`](crate::perfect) call — mutating the
-/// target through [`DesignProblem::set_doc_schema`] invalidates it.
-#[derive(Clone)]
+/// The determinised target automaton (and the other problem-derived
+/// artefacts in [`TargetCache`], including the reduced function schemas) is
+/// computed lazily on the first decision and reused by every subsequent
+/// [`DesignProblem::typecheck`], [`DesignProblem::verify_local`] and
+/// [`DesignProblem::perfect_schema`](crate::perfect) call. The *extension*
+/// automaton is additionally memoised per document, so back-to-back
+/// decisions on the same document stop rebuilding it. Mutating the problem
+/// through [`DesignProblem::set_doc_schema`] or
+/// [`DesignProblem::add_function`] invalidates both caches.
 pub struct DesignProblem {
     doc_schema: RDtd,
     fun_schemas: BTreeMap<Symbol, RDtd>,
     target: OnceLock<TargetCache>,
+    /// FIFO memo of extension automata, keyed by the document.
+    ext_cache: Mutex<Vec<(DistributedDoc, Arc<Nuta>)>>,
+}
+
+impl Clone for DesignProblem {
+    fn clone(&self) -> Self {
+        DesignProblem {
+            doc_schema: self.doc_schema.clone(),
+            fun_schemas: self.fun_schemas.clone(),
+            target: self.target.clone(),
+            ext_cache: Mutex::new(
+                self.ext_cache.lock().map(|entries| entries.clone()).unwrap_or_default(),
+            ),
+        }
+    }
 }
 
 impl fmt::Debug for DesignProblem {
@@ -224,7 +295,12 @@ impl LocalVerdict {
 impl DesignProblem {
     /// Creates a design problem with no function schemas.
     pub fn new(doc_schema: RDtd) -> DesignProblem {
-        DesignProblem { doc_schema, fun_schemas: BTreeMap::new(), target: OnceLock::new() }
+        DesignProblem {
+            doc_schema,
+            fun_schemas: BTreeMap::new(),
+            target: OnceLock::new(),
+            ext_cache: Mutex::new(Vec::new()),
+        }
     }
 
     /// Declares the schema of a function (builder style).
@@ -233,9 +309,12 @@ impl DesignProblem {
         self
     }
 
-    /// Declares the schema of a function.
+    /// Declares the schema of a function, invalidating the cached
+    /// problem artefacts (the reduced form of the new schema is cached, and
+    /// the memoised extension automata depend on the function schemas).
     pub fn add_function(&mut self, function: impl Into<Symbol>, schema: RDtd) {
         self.fun_schemas.insert(function.into(), schema);
+        self.invalidate_caches();
     }
 
     /// The target document schema `τ`.
@@ -247,7 +326,14 @@ impl DesignProblem {
     /// determinised target.
     pub fn set_doc_schema(&mut self, doc_schema: RDtd) {
         self.doc_schema = doc_schema;
+        self.invalidate_caches();
+    }
+
+    fn invalidate_caches(&mut self) {
         self.target = OnceLock::new();
+        if let Ok(entries) = self.ext_cache.get_mut() {
+            entries.clear();
+        }
     }
 
     /// The declared function schemas.
@@ -260,11 +346,12 @@ impl DesignProblem {
         self.fun_schemas.get(function)
     }
 
-    /// The lazily built target-derived artefacts (determinised automaton,
-    /// content NFAs, productive names). The first call pays for the
-    /// determinisation; later calls are free.
+    /// The lazily built problem artefacts (determinised target automaton,
+    /// content NFAs, productive names, reduced function schemas). The first
+    /// call pays for the determinisation and the reductions; later calls
+    /// are free.
     pub fn target_cache(&self) -> &TargetCache {
-        self.target.get_or_init(|| TargetCache::build(&self.doc_schema))
+        self.target.get_or_init(|| TargetCache::build(&self.doc_schema, &self.fun_schemas))
     }
 
     /// Whether the target cache has already been built (used by tests and
@@ -297,8 +384,31 @@ impl DesignProblem {
     /// automaton over-approximates snapshot materialisation when the same
     /// function occurs twice — matching the paper, where every docking point
     /// is its own call.
-    pub fn extension_nuta(&self, doc: &DistributedDoc) -> Result<Nuta, DesignError> {
+    ///
+    /// The automaton is memoised per document (FIFO of the last few
+    /// documents): back-to-back decisions on the same document hand back
+    /// the very same `Arc` without rebuilding. Mutating the problem clears
+    /// the memo.
+    pub fn extension_nuta(&self, doc: &DistributedDoc) -> Result<Arc<Nuta>, DesignError> {
         self.require_schemas(doc)?;
+        if let Ok(entries) = self.ext_cache.lock() {
+            if let Some((_, ext)) = entries.iter().find(|(d, _)| d == doc) {
+                return Ok(Arc::clone(ext));
+            }
+        }
+        let ext = Arc::new(self.build_extension_nuta(doc));
+        if let Ok(mut entries) = self.ext_cache.lock() {
+            if entries.len() >= EXT_CACHE_CAP {
+                entries.remove(0);
+            }
+            entries.push((doc.clone(), Arc::clone(&ext)));
+        }
+        Ok(ext)
+    }
+
+    /// Builds the extension automaton (no memoisation; callers go through
+    /// [`DesignProblem::extension_nuta`]).
+    fn build_extension_nuta(&self, doc: &DistributedDoc) -> Nuta {
         let kernel = doc.kernel();
         let mut a = Nuta::new();
 
@@ -334,7 +444,7 @@ impl DesignProblem {
             a.set_rule(state_of(node), kernel.label(node).clone(), content);
         }
         a.set_final(state_of(kernel.root()));
-        Ok(a)
+        a
     }
 
     // ------------------------------------------------------------------
@@ -389,12 +499,13 @@ impl DesignProblem {
         let cache = self.target_cache();
         let called = doc.called_functions();
 
-        // Reduce the function schemas so that every surviving name is
-        // realizable — this is what makes counterexample words realizable
-        // and the check complete.
-        let mut reduced: BTreeMap<Symbol, RDtd> = BTreeMap::new();
+        // The reduced function schemas (every surviving name realizable —
+        // what makes counterexample words realizable and the check
+        // complete) come from the problem cache: reduced once, reused by
+        // every later call.
+        let mut reduced: BTreeMap<Symbol, &ReducedFun> = BTreeMap::new();
         for f in &called {
-            let r = self.fun_schemas[f].reduce();
+            let r = cache.reduced_fun(f).expect("require_schemas admitted only declared functions");
             if r.language_is_empty() {
                 return Ok(LocalVerdict::Valid);
             }
@@ -425,7 +536,7 @@ impl DesignProblem {
             for &child in kernel.children(node) {
                 let child_label = kernel.label(child);
                 let piece = match reduced.get(child_label) {
-                    Some(r) => r.content(r.start()).to_nfa(),
+                    Some(r) => r.forest().clone(),
                     None => Nfa::symbol(child_label.clone()),
                 };
                 realizable = realizable.concat(&piece);
@@ -442,7 +553,7 @@ impl DesignProblem {
 
         // (3) function forests: every name reachable below an attached root.
         for f in &called {
-            let r = &reduced[f];
+            let r = reduced[f].schema();
             let mut seen: BTreeSet<Symbol> = r
                 .content(r.start())
                 .alphabet()
@@ -600,6 +711,64 @@ mod tests {
         changed.set_doc_schema(dtd("s -> a"));
         assert!(!changed.target_cache_ready());
         assert!(!changed.typecheck(&doc).unwrap().is_valid());
+    }
+
+    #[test]
+    fn verify_local_reuses_cached_reduced_schemas() {
+        let problem = DesignProblem::new(dtd("s -> a, b*\nb -> c?"))
+            .with_function("f", dtd("r -> b, b\nb -> c?\njunk -> junk"));
+        let doc = DistributedDoc::parse("s(a f)", ["f"]).unwrap();
+        assert!(problem.verify_local(&doc).unwrap().is_valid());
+        let f = Symbol::new("f");
+        let first = problem.target_cache().reduced_fun(&f).unwrap() as *const _;
+        // The cached reduction dropped the unprofitable `junk` rule.
+        assert!(!problem
+            .target_cache()
+            .reduced_fun(&f)
+            .unwrap()
+            .schema()
+            .alphabet()
+            .contains(&Symbol::new("junk")));
+        assert!(problem.verify_local(&doc).unwrap().is_valid());
+        assert!(problem.typecheck(&doc).unwrap().is_valid());
+        let second = problem.target_cache().reduced_fun(&f).unwrap() as *const _;
+        assert!(std::ptr::eq(first, second), "verify_local must not re-reduce function schemas");
+        // Declaring a new function invalidates the problem cache.
+        let mut changed = problem.clone();
+        changed.add_function("g", dtd("r -> b"));
+        assert!(!changed.target_cache_ready());
+        assert!(changed.target_cache().reduced_fun(&Symbol::new("g")).is_some());
+    }
+
+    #[test]
+    fn extension_nuta_is_memoised_per_document() {
+        let problem = DesignProblem::new(dtd("s -> a, b*\nb -> c?"))
+            .with_function("f", dtd("r -> b, b\nb -> c?"));
+        let doc = DistributedDoc::parse("s(a f)", ["f"]).unwrap();
+        let first = problem.extension_nuta(&doc).unwrap();
+        let second = problem.extension_nuta(&doc).unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "same document must reuse the extension automaton");
+        // typecheck goes through the same memo.
+        assert!(problem.typecheck(&doc).unwrap().is_valid());
+        assert!(Arc::ptr_eq(&first, &problem.extension_nuta(&doc).unwrap()));
+        // A different document gets its own automaton …
+        let other = DistributedDoc::parse("s(a b f)", ["f"]).unwrap();
+        let third = problem.extension_nuta(&other).unwrap();
+        assert!(!Arc::ptr_eq(&first, &third));
+        // … and both stay cached side by side.
+        assert!(Arc::ptr_eq(&third, &problem.extension_nuta(&other).unwrap()));
+        assert!(Arc::ptr_eq(&first, &problem.extension_nuta(&doc).unwrap()));
+        // Mutating the schemas drops the memo.
+        let mut changed = problem.clone();
+        changed.add_function("f", dtd("r -> b"));
+        assert!(!Arc::ptr_eq(&first, &changed.extension_nuta(&doc).unwrap()));
+        // The FIFO is bounded: flooding it evicts the oldest entry.
+        for i in 0..super::EXT_CACHE_CAP {
+            let flood = DistributedDoc::parse(&format!("s(a {} f)", "b ".repeat(i + 2)), ["f"])
+                .unwrap();
+            problem.extension_nuta(&flood).unwrap();
+        }
+        assert!(!Arc::ptr_eq(&first, &problem.extension_nuta(&doc).unwrap()));
     }
 
     #[test]

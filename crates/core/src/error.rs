@@ -46,6 +46,17 @@ pub enum DesignError {
         /// The function whose docking points interact.
         function: Symbol,
     },
+    /// Perfect-schema synthesis on a box design problem was requested in a
+    /// configuration the construction does not cover yet (docking points of
+    /// the same function under several distinct parents interact through
+    /// the specialised target in a way the per-parent residuals cannot
+    /// bound).
+    SynthesisUnsupported {
+        /// The function whose synthesis is unsupported.
+        function: Symbol,
+        /// Which configuration is not covered.
+        detail: String,
+    },
     /// Two internal decision procedures that must agree disagreed — a broken
     /// invariant of this library, not a property of the input. Distinguished
     /// from ordinary verdicts so callers never mistake a bug for a real
@@ -83,6 +94,9 @@ impl fmt::Display for DesignError {
                     f,
                     "the docking points of `{function}` interact; no single maximal schema exists"
                 )
+            }
+            DesignError::SynthesisUnsupported { function, detail } => {
+                write!(f, "perfect-schema synthesis for `{function}` is not supported: {detail}")
             }
             DesignError::InvariantViolation { detail } => {
                 write!(f, "internal invariant violated: {detail}")

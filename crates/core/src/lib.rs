@@ -16,20 +16,29 @@
 //! * [`DesignProblem::perfect_schema`] — perfect typing (Section 6): the
 //!   most permissive function schema for which the design still
 //!   typechecks, synthesised by residual construction with a
-//!   counterexample-driven refinement loop.
+//!   counterexample-driven refinement loop;
+//! * [`BoxDesignProblem`] — the box-design subsystem (Section 7): the same
+//!   three decision procedures for full **R-EDTD targets**, reduced to
+//!   string problems over the determinised specialised alphabet whose
+//!   constant parts are kernel boxes `B(fn)`.
 //!
-//! The target-derived artefacts (determinised tree automaton, content
-//! NFAs, productive names) are computed once per problem and shared by all
-//! three decision procedures — see [`design::TargetCache`].
+//! The problem-derived artefacts (determinised tree automaton, content
+//! NFAs, productive names, reduced function schemas, per-document extension
+//! automata) are computed once per problem and shared by all decision
+//! procedures — see [`design::TargetCache`] and [`boxes::BoxTargetCache`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod boxes;
 pub mod design;
 pub mod doc;
 pub mod error;
 pub mod perfect;
 
-pub use design::{DesignProblem, LocalVerdict, LocalViolation, Origin, TargetCache, TypingVerdict};
+pub use boxes::{BoxDesignProblem, BoxTargetCache, BoxVerdict, BoxViolation};
+pub use design::{
+    DesignProblem, LocalVerdict, LocalViolation, Origin, ReducedFun, TargetCache, TypingVerdict,
+};
 pub use doc::DistributedDoc;
 pub use error::DesignError;

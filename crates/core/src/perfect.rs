@@ -94,7 +94,7 @@ use dxml_automata::{Alphabet, Nfa, RFormalism, RSpec, Symbol};
 use dxml_schema::RDtd;
 use dxml_tree::NodeId;
 
-use crate::design::{DesignProblem, TargetCache, TypingVerdict};
+use crate::design::{DesignProblem, ReducedFun, TargetCache, TypingVerdict};
 use crate::doc::DistributedDoc;
 use crate::error::DesignError;
 
@@ -152,25 +152,23 @@ impl DesignProblem {
         }
 
         // Reduced schemas and forest languages of the *other* called
-        // functions. An empty one makes the design vacuous: every schema
+        // functions, straight from the problem cache (reduced once per
+        // problem). An empty one makes the design vacuous: every schema
         // for `f` typechecks and no maximal schema exists.
-        let mut siblings: BTreeMap<Symbol, (RDtd, Nfa)> = BTreeMap::new();
+        let cache = self.target_cache();
+        let mut siblings: BTreeMap<Symbol, &ReducedFun> = BTreeMap::new();
         for g in doc.called_functions() {
             if g == f {
                 continue;
             }
-            let schema = self
-                .fun_schema(&g)
+            let reduced = cache
+                .reduced_fun(&g)
                 .ok_or_else(|| DesignError::MissingFunctionSchema { function: g.clone() })?;
-            let reduced = schema.reduce();
             if reduced.language_is_empty() {
                 return Err(DesignError::NoMaximalSchema { function: f });
             }
-            let forest = reduced.content(reduced.start()).to_nfa();
-            siblings.insert(g, (reduced, forest));
+            siblings.insert(g, reduced);
         }
-
-        let cache = self.target_cache();
         let productive = Alphabet::from_iter(cache.productive().iter().cloned());
 
         // The candidate: intersection over all parents of the residual
@@ -238,11 +236,11 @@ impl DesignProblem {
         &self,
         doc: &DistributedDoc,
         child: NodeId,
-        siblings: &BTreeMap<Symbol, (RDtd, Nfa)>,
+        siblings: &BTreeMap<Symbol, &ReducedFun>,
     ) -> Nfa {
         let label = doc.kernel().label(child);
-        if let Some((_, forest)) = siblings.get(label) {
-            forest.clone()
+        if let Some(reduced) = siblings.get(label) {
+            reduced.forest().clone()
         } else {
             Nfa::symbol(label.clone())
         }
@@ -294,7 +292,7 @@ impl DesignProblem {
         doc: &DistributedDoc,
         f: &Symbol,
         docking: &BTreeMap<NodeId, Vec<usize>>,
-        siblings: &BTreeMap<Symbol, (RDtd, Nfa)>,
+        siblings: &BTreeMap<Symbol, &ReducedFun>,
         w: &Nfa,
         cache: &TargetCache,
     ) -> Result<RDtd, DesignError> {
@@ -344,7 +342,7 @@ impl DesignProblem {
         &self,
         doc: &DistributedDoc,
         docking: &BTreeMap<NodeId, Vec<usize>>,
-        siblings: &BTreeMap<Symbol, (RDtd, Nfa)>,
+        siblings: &BTreeMap<Symbol, &ReducedFun>,
         cache: &TargetCache,
     ) -> bool {
         let kernel = doc.kernel();
@@ -372,8 +370,10 @@ impl DesignProblem {
         }
         // Forests of the other functions: every reachable name must be
         // declared with a content model inside the target's.
-        for (reduced, forest) in siblings.values() {
-            let mut queue: VecDeque<Symbol> = forest
+        for sibling in siblings.values() {
+            let reduced = sibling.schema();
+            let mut queue: VecDeque<Symbol> = sibling
+                .forest()
                 .alphabet()
                 .iter()
                 .filter(|s| reduced.alphabet().contains(s))

@@ -10,11 +10,13 @@
 //! languages, operationally an [`Nuta`] whose states are the specialised
 //! names.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-use dxml_automata::{Alphabet, RFormalism, RSpec, Symbol};
+use dxml_automata::{Alphabet, Nfa, RFormalism, RSpec, Symbol};
 use dxml_tree::{uta, Nuta, XTree};
+
+use crate::error::SchemaError;
 
 /// An `R-EDTD` `⟨Σ, Σ', d, s⟩` (Definition 7).
 #[derive(Clone)]
@@ -138,6 +140,57 @@ impl REdtd {
         self.to_nuta().accepts(tree)
     }
 
+    /// Validates a tree, explaining the rejection: unlike [`REdtd::accepts`]
+    /// this reports *where* the typing breaks down — the first node (in
+    /// document order) that admits no specialised type although all of its
+    /// children do, or a root whose admissible types miss the start name.
+    pub fn validate(&self, tree: &XTree) -> Result<(), SchemaError> {
+        let nuta = self.to_nuta();
+        let possible = nuta.run(tree);
+        if possible[tree.root()].contains(&self.start) {
+            return Ok(());
+        }
+        if let Some(expected) = self.label_of(&self.start) {
+            if tree.root_label() != expected {
+                return Err(SchemaError::RootMismatch {
+                    expected: expected.clone(),
+                    found: tree.root_label().clone(),
+                });
+            }
+        }
+        let labels = self.labels();
+        for node in tree.document_order() {
+            if !possible[node].is_empty() {
+                continue;
+            }
+            if tree.children(node).iter().any(|&c| possible[c].is_empty()) {
+                continue; // blame the deepest untypable descendant instead
+            }
+            let label = tree.label(node);
+            if !labels.contains(label) {
+                return Err(SchemaError::UnknownElement { label: label.clone() });
+            }
+            let expected: Vec<String> = self
+                .specializations_of(label)
+                .iter()
+                .map(|s| format!("{s} -> {}", self.content(s)))
+                .collect();
+            return Err(SchemaError::InvalidContent {
+                path: tree.anc_str(node),
+                children: tree.child_str(node),
+                expected: expected.join("  |  "),
+            });
+        }
+        // Every node is typable, but the root types miss the start name.
+        let admitted: Vec<String> =
+            possible[tree.root()].iter().map(|s| s.to_string()).collect();
+        Err(SchemaError::Structural(format!(
+            "the root admits specialised types [{}] but not the start `{}`",
+            admitted.join(", "),
+            self.start
+        )))
+    }
+
     /// Whether the language is empty.
     pub fn language_is_empty(&self) -> bool {
         self.to_nuta().is_empty()
@@ -163,6 +216,91 @@ impl REdtd {
     /// failure.
     pub fn included_in(&self, other: &REdtd) -> Result<(), XTree> {
         uta::included(&self.to_nuta(), &other.to_nuta())
+    }
+
+    // ------------------------------------------------------------------
+    // Normal form (Lemma 4.10)
+    // ------------------------------------------------------------------
+
+    /// Whether the EDTD is in the *normal form* of Lemma 4.10: distinct
+    /// specialised names (of the same label) have pairwise disjoint tree
+    /// languages, so every tree admits at most one typing. The start name is
+    /// exempt — [`REdtd::normalize`] may introduce a start that aliases the
+    /// union of several root types, which cannot be avoided with a single
+    /// start symbol.
+    ///
+    /// Operationally: every reachable subset state of the determinised
+    /// specialised target contains at most one non-start name.
+    pub fn is_normal(&self) -> bool {
+        let duta = self.to_nuta().determinize(&self.labels());
+        duta.subsets()
+            .iter()
+            .all(|s| s.iter().filter(|q| **q != self.start).count() <= 1)
+    }
+
+    /// The normal form of the EDTD (Lemma 4.10): an equivalent EDTD whose
+    /// specialised names are the inhabited `(label, subset state)` pairs of
+    /// the *determinised* specialised target, so that every tree has exactly
+    /// one typing (up to the start alias). The construction is the
+    /// tree-automaton analogue of the subset construction and can be
+    /// exponential, exactly as the lemma announces.
+    ///
+    /// The name of the pair `(a, i)` is `a~i` ([`Symbol::specialize`]); when
+    /// several root types are accepting, a fresh start `a~start` aliases
+    /// their union (it occurs in no content model).
+    pub fn normalize(&self) -> REdtd {
+        let duta = self.to_nuta().determinize(&self.labels());
+        let pairs = duta.inhabited_label_states();
+        // Placeholder alphabet for the machine letters, expanded afterwards
+        // to every inhabited pair carrying that subset state. `#` cannot
+        // occur in parsed element names, so placeholders never collide.
+        let placeholder = |i: usize| Symbol::new(format!("#q{i}"));
+        let mut slots: BTreeMap<Symbol, BTreeSet<Symbol>> = BTreeMap::new();
+        for (label, states) in &pairs {
+            for &i in states {
+                slots
+                    .entry(placeholder(i))
+                    .or_default()
+                    .insert(label.specialize(i));
+            }
+        }
+        let root_label = self
+            .label_of(&self.start)
+            .cloned()
+            .unwrap_or_else(|| self.start.clone());
+        let accepting: Vec<usize> = pairs
+            .get(&root_label)
+            .map(|states| states.iter().copied().filter(|&i| duta.is_final(i)).collect())
+            .unwrap_or_default();
+        let content_of = |label: &Symbol, i: usize| -> Nfa {
+            duta.content_nfa(i, label, placeholder)
+                .expand_symbols(&slots)
+                .trim()
+        };
+        // Start: the unique accepting pair if there is one; otherwise a
+        // fresh alias for the union of the accepting pairs (possibly none —
+        // the empty language keeps an unsatisfiable start).
+        let mut out = match accepting.as_slice() {
+            [i] => REdtd::new(RFormalism::Nfa, root_label.specialize(*i), root_label.clone()),
+            many => {
+                let alias = Symbol::new(format!("{root_label}~start"));
+                let mut e = REdtd::new(RFormalism::Nfa, alias.clone(), root_label.clone());
+                let union = many
+                    .iter()
+                    .map(|&i| content_of(&root_label, i))
+                    .fold(Nfa::empty(), |acc, nfa| acc.union(&nfa));
+                e.set_rule(alias, RSpec::Nfa(union.trim()));
+                e
+            }
+        };
+        for (label, states) in &pairs {
+            for &i in states {
+                let name = label.specialize(i);
+                out.add_specialization(name.clone(), label.clone());
+                out.set_rule(name, RSpec::Nfa(content_of(label, i)));
+            }
+        }
+        out
     }
 }
 
@@ -257,5 +395,83 @@ mod tests {
     #[test]
     fn size_is_positive() {
         assert!(one_c_edtd().size() > 5);
+    }
+
+    #[test]
+    fn validate_explains_rejections() {
+        let e = one_c_edtd();
+        assert!(e.validate(&parse_term("s(a(b) a(c))").unwrap()).is_ok());
+        // Wrong root label.
+        assert!(matches!(
+            e.validate(&parse_term("t(a(c))").unwrap()),
+            Err(SchemaError::RootMismatch { .. })
+        ));
+        // An `a` whose content matches no specialisation.
+        match e.validate(&parse_term("s(a(b c) a(c))").unwrap()) {
+            Err(SchemaError::InvalidContent { path, children, expected }) => {
+                assert_eq!(path.last().unwrap().as_str(), "a");
+                assert_eq!(children.len(), 2);
+                assert!(expected.contains("ab") && expected.contains("ac"), "{expected}");
+            }
+            other => panic!("expected InvalidContent, got {other:?}"),
+        }
+        // Unknown element.
+        assert!(matches!(
+            e.validate(&parse_term("s(a(c) zz)").unwrap()),
+            Err(SchemaError::UnknownElement { .. })
+        ));
+        // Every node typable but the root word matches no start content:
+        // two c-specialisations.
+        match e.validate(&parse_term("s(a(c) a(c))").unwrap()) {
+            Err(SchemaError::InvalidContent { path, .. }) => {
+                assert_eq!(path, vec![Symbol::new("s")]);
+            }
+            other => panic!("expected InvalidContent at the root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn normalization_preserves_the_language() {
+        for e in [one_c_edtd(), {
+            // A deliberately ambiguous EDTD: x and y overlap on b-leaves.
+            let mut e = REdtd::new(RFormalism::Nre, "s", "s");
+            e.add_specialization("x", "a");
+            e.add_specialization("y", "a");
+            e.set_rule("s", RSpec::Nre(Regex::parse("x y").unwrap()));
+            e.set_rule("x", RSpec::Nre(Regex::parse("b*").unwrap()));
+            e.set_rule("y", RSpec::Nre(Regex::parse("b | c").unwrap()));
+            e
+        }] {
+            let n = e.normalize();
+            assert!(e.equivalent(&n), "normalisation changed the language of {e}");
+            assert!(n.is_normal(), "normal form is not normal: {n}");
+        }
+        // The ambiguous EDTD is not normal to begin with.
+        let e = {
+            let mut e = REdtd::new(RFormalism::Nre, "s", "s");
+            e.add_specialization("x", "a");
+            e.add_specialization("y", "a");
+            e.set_rule("s", RSpec::Nre(Regex::parse("x y").unwrap()));
+            e.set_rule("x", RSpec::Nre(Regex::parse("b*").unwrap()));
+            e.set_rule("y", RSpec::Nre(Regex::parse("b | c").unwrap()));
+            e
+        };
+        assert!(!e.is_normal());
+    }
+
+    #[test]
+    fn normalization_of_empty_and_dtd_like_languages() {
+        // Empty language: the normal form is empty too.
+        let mut empty = REdtd::new(RFormalism::Nre, "s", "s");
+        empty.set_rule("s", RSpec::Nre(Regex::sym("s")));
+        let n = empty.normalize();
+        assert!(n.language_is_empty());
+        // A trivial (DTD-like) EDTD stays equivalent and normal.
+        let mut plain = REdtd::new(RFormalism::Nre, "s", "s");
+        plain.set_rule("s", RSpec::Nre(Regex::parse("a*").unwrap()));
+        let np = plain.normalize();
+        assert!(plain.equivalent(&np));
+        assert!(np.is_normal());
+        assert!(np.accepts(&parse_term("s(a a)").unwrap()));
     }
 }

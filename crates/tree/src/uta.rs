@@ -267,9 +267,23 @@ impl LabelMachine {
         self.output[config]
     }
 
+    /// The subset-state index a configuration outputs (the Moore output).
+    pub fn output(&self, config: usize) -> usize {
+        self.output[config]
+    }
+
     /// Number of configurations.
     pub fn num_configs(&self) -> usize {
         self.output.len()
+    }
+
+    /// Iterates over the deterministic transitions as
+    /// `(config, child_subset, next_config)` triples.
+    pub fn transitions(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+        self.trans
+            .iter()
+            .enumerate()
+            .flat_map(|(c, m)| m.iter().map(move |(&letter, &next)| (c, letter, next)))
     }
 }
 
@@ -522,6 +536,113 @@ impl Duta {
             }
         }
         nfa
+    }
+
+    /// The accepting subset states (those containing an original final
+    /// state).
+    pub fn accepting_states(&self) -> BTreeSet<usize> {
+        (0..self.subsets.len()).filter(|&i| self.is_final(i)).collect()
+    }
+
+    /// The index of the *empty* subset state (the state of trees that admit
+    /// no typing at all), if it is reachable.
+    pub fn empty_subset(&self) -> Option<usize> {
+        self.subsets.iter().position(BTreeSet::is_empty)
+    }
+
+    /// Every subset state achievable by some tree whose root carries
+    /// `label`: the Moore outputs of all reachable configurations of the
+    /// label's machine. Every subset state of the automaton is inhabited by
+    /// construction (see [`Duta::witness`]), so all letters are available as
+    /// children.
+    pub fn label_outputs(&self, label: &Symbol) -> BTreeSet<usize> {
+        let machine = match self.machines.get(label) {
+            Some(m) => m,
+            None => return BTreeSet::new(),
+        };
+        let mut seen: BTreeSet<usize> = BTreeSet::from([machine.start]);
+        let mut queue = VecDeque::from([machine.start]);
+        while let Some(config) = queue.pop_front() {
+            for (&_letter, &next) in &machine.trans[config] {
+                if seen.insert(next) {
+                    queue.push_back(next);
+                }
+            }
+        }
+        seen.iter().map(|&c| machine.output[c]).collect()
+    }
+
+    /// The inhabited `(label, subset state)` pairs: for every label of the
+    /// universe, the subset states achievable by trees rooted at it. These
+    /// are exactly the specialised names of the normalised R-EDTD of
+    /// Lemma 4.10 (one per pair), and the sets the kernel boxes of
+    /// Section 7 are made of.
+    pub fn inhabited_label_states(&self) -> BTreeMap<Symbol, BTreeSet<usize>> {
+        self.labels
+            .iter()
+            .map(|l| (l.clone(), self.label_outputs(l)))
+            .collect()
+    }
+
+    /// The image of a word language under a label's Moore machine: for each
+    /// subset state `i` achievable as `machine.output_for(w)` for some word
+    /// `w ∈ [word_lang]` (reading the symbols of `word_lang` through
+    /// `letter_of`), a *shortest* such witness word.
+    ///
+    /// Symbols for which `letter_of` returns `None` (symbols that denote no
+    /// subset state) contribute no transition, so words using them are
+    /// unrealizable. An unknown label yields the empty map.
+    ///
+    /// This is the specialised-label validation primitive of the Section-7
+    /// reduction: the children of a kernel node form a word-with-box-gaps
+    /// language over subset states, and typing verification asks which
+    /// subset states the node itself can reach.
+    pub fn outputs_over(
+        &self,
+        label: &Symbol,
+        word_lang: &Nfa,
+        letter_of: impl Fn(&Symbol) -> Option<usize>,
+    ) -> BTreeMap<usize, Vec<Symbol>> {
+        let machine = match self.machines.get(label) {
+            Some(m) => m,
+            None => return BTreeMap::new(),
+        };
+        let alphabet = word_lang.alphabet();
+        let start = (
+            machine.start,
+            word_lang.epsilon_closure(&BTreeSet::from([word_lang.start()])),
+        );
+        // One BFS state: (machine configuration, NFA state set).
+        type Pair = (usize, BTreeSet<usize>);
+        let mut outputs: BTreeMap<usize, Vec<Symbol>> = BTreeMap::new();
+        let mut seen: BTreeSet<Pair> = BTreeSet::from([start.clone()]);
+        let mut queue: VecDeque<(Pair, Vec<Symbol>)> = VecDeque::from([(start, Vec::new())]);
+        while let Some(((config, set), word)) = queue.pop_front() {
+            if set.iter().any(|&q| word_lang.is_final(q)) {
+                outputs.entry(machine.output[config]).or_insert_with(|| word.clone());
+            }
+            for sym in &alphabet {
+                let letter = match letter_of(sym) {
+                    Some(l) => l,
+                    None => continue,
+                };
+                let next_config = match machine.trans[config].get(&letter) {
+                    Some(&c) => c,
+                    None => continue,
+                };
+                let next_set = word_lang.step(&set, sym);
+                if next_set.is_empty() {
+                    continue;
+                }
+                let state = (next_config, next_set);
+                if seen.insert(state.clone()) {
+                    let mut w = word.clone();
+                    w.push(sym.clone());
+                    queue.push_back((state, w));
+                }
+            }
+        }
+        outputs
     }
 }
 
@@ -865,6 +986,60 @@ mod tests {
         let (w, _) = equivalent(&l1, &l2).unwrap_err();
         assert!(l1.accepts(&w) != l2.accepts(&w));
         assert!(!is_included(&l1, &l2));
+    }
+
+    #[test]
+    fn label_outputs_and_inhabited_pairs() {
+        let a = ab_star_automaton();
+        let d = a.determinize(a.labels());
+        // An `a` leaf types to {qa}; an `a` with children to the empty
+        // subset — exactly two achievable states for the label.
+        let qa = Symbol::new("qa");
+        let a_outs = d.label_outputs(&Symbol::new("a"));
+        assert_eq!(a_outs.len(), 2);
+        assert!(a_outs.iter().any(|&i| d.subset(i).contains(&qa)));
+        assert!(a_outs.iter().any(|&i| d.subset(i).is_empty()));
+        // `s` can be typed qs (with a valid (ab)* child word) or not at all.
+        let s_outs = d.label_outputs(&Symbol::new("s"));
+        assert!(s_outs.iter().any(|&i| d.subset(i).contains(&Symbol::new("qs"))));
+        assert!(s_outs.iter().any(|&i| d.subset(i).is_empty()));
+        assert!(d.empty_subset().is_some());
+        let pairs = d.inhabited_label_states();
+        assert_eq!(pairs[&Symbol::new("b")].len(), 2);
+        assert!(pairs[&Symbol::new("a")].iter().all(|i| !d.is_final(*i)));
+        assert!(d.label_outputs(&Symbol::new("zz")).is_empty());
+        // Accepting states are exactly the qs-containing subsets.
+        for i in d.accepting_states() {
+            assert!(d.subset(i).contains(&Symbol::new("qs")));
+        }
+    }
+
+    #[test]
+    fn outputs_over_images_a_word_language() {
+        let a = ab_star_automaton();
+        let d = a.determinize(a.labels());
+        let state_sym = |i: usize| Symbol::new(format!("#s{i}"));
+        let letter_of = |s: &Symbol| s.as_str().strip_prefix("#s").and_then(|t| t.parse().ok());
+        let sa = *d.label_outputs(&Symbol::new("a")).iter().next().unwrap();
+        let sb = *d.label_outputs(&Symbol::new("b")).iter().next().unwrap();
+        // Children words (Sa Sb)*: the only output is the accepting state.
+        let good = Nfa::literal(&[state_sym(sa), state_sym(sb)]).star();
+        let outs = d.outputs_over(&Symbol::new("s"), &good, letter_of);
+        assert!(outs.keys().all(|&i| d.is_final(i)));
+        // Shortest witness is the empty word (a leaf s is valid).
+        assert_eq!(outs.values().next().unwrap().len(), 0);
+        // Children words (Sa Sb)* Sa: only the empty subset is achievable.
+        let bad = good.concat(&Nfa::symbol(state_sym(sa)));
+        let outs2 = d.outputs_over(&Symbol::new("s"), &bad, letter_of);
+        assert_eq!(outs2.len(), 1);
+        let (&o, w) = outs2.iter().next().unwrap();
+        assert!(d.subset(o).is_empty());
+        assert_eq!(w.len(), 1, "shortest witness is the single word Sa");
+        // Symbols that denote no subset state make words unrealizable.
+        let foreign = Nfa::symbol("not-a-state");
+        assert!(d.outputs_over(&Symbol::new("s"), &foreign, letter_of).is_empty());
+        // Unknown labels have no machine.
+        assert!(d.outputs_over(&Symbol::new("zz"), &good, letter_of).is_empty());
     }
 
     #[test]

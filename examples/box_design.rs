@@ -1,0 +1,85 @@
+//! Box-design end to end (Section 7): typing verification and perfect
+//! typing against a genuinely *specialised* R-EDTD target — a tree language
+//! no DTD can express.
+//!
+//! The target says: an `s`-document holds `a`-records of which **exactly
+//! one** carries a `c` payload (the rest carry `b`). The kernel stores one
+//! `a(b)` record locally and docks the remaining records at a single call
+//! `f`. We check designs against the target, inspect the kernel boxes
+//! `B(fn)` of Definition 21, and synthesise the perfect (most permissive)
+//! schema for `f` — itself an EDTD.
+//!
+//! Run with `cargo run --example box_design`.
+
+use dxml::automata::{RFormalism, Regex, RSpec};
+use dxml::core::{BoxDesignProblem, BoxVerdict, DistributedDoc, TypingVerdict};
+use dxml::schema::REdtd;
+use dxml::tree::term::parse_term;
+
+fn main() {
+    // The target: s → ab* ac ab*, with µ(ab) = µ(ac) = a.
+    let mut target = REdtd::new(RFormalism::Nre, "s", "s");
+    target.add_specialization("ab", "a");
+    target.add_specialization("ac", "a");
+    target.set_rule("s", RSpec::Nre(Regex::parse("ab* ac ab*").unwrap()));
+    target.set_rule("ab", RSpec::Nre(Regex::parse("b").unwrap()));
+    target.set_rule("ac", RSpec::Nre(Regex::parse("c").unwrap()));
+    println!("== the specialised target ==\n{target}");
+    assert!(target.is_normal(), "distinct specialisations are disjoint");
+
+    // The distributed document: one record kept locally, the rest docked.
+    let doc = DistributedDoc::parse("s(a(b) f)", ["f"]).unwrap();
+    println!("== the distributed document ==\n{doc}  (f is a docking point)\n");
+
+    // A kernel box: the fixed children of a materialised sibling document,
+    // rendered as slots of specialised names.
+    let problem = BoxDesignProblem::new(target.clone());
+    let plain = DistributedDoc::parse("s(a(b) a(c) a(b))", [] as [&str; 0]).unwrap();
+    let kernel_box = problem.kernel_box(&plain, plain.kernel().root()).unwrap();
+    println!("== kernel box of s(a(b) a(c) a(b)) ==\nB = {kernel_box}\n");
+
+    // A bad design: f may return any number of a(c) records.
+    let mut any_c = REdtd::new(RFormalism::Nre, "r", "r");
+    any_c.add_specialization("x", "a");
+    any_c.set_rule("r", RSpec::Nre(Regex::parse("x*").unwrap()));
+    any_c.set_rule("x", RSpec::Nre(Regex::parse("c").unwrap()));
+    let bad = problem.clone().with_function("f", any_c);
+    match bad.typecheck(&doc).unwrap() {
+        TypingVerdict::Invalid { counterexample, violation } => {
+            println!("== refuted design (f returns a(c)*) ==");
+            println!("counterexample document: {counterexample}");
+            println!("violation: {violation}");
+        }
+        TypingVerdict::Valid => unreachable!("a(c)* admits zero c-records"),
+    }
+    match bad.verify_local(&doc).unwrap() {
+        BoxVerdict::Invalid(v) => println!("string route: {v}\n"),
+        BoxVerdict::Valid => unreachable!(),
+    }
+
+    // Perfect typing: the most permissive schema for f. It must say
+    // "exactly one a(c), any number of a(b)" — expressible only with
+    // specialisations.
+    let perfect = problem.perfect_schema(&doc, "f").unwrap();
+    println!("== the perfect schema for f ==\n{perfect}");
+    let solved = problem.clone().with_function("f", perfect.clone());
+    assert!(solved.typecheck(&doc).unwrap().is_valid());
+    assert!(solved.verify_local(&doc).unwrap().is_valid());
+
+    let embed = |forest: &str| {
+        parse_term(&format!("{}({forest})", perfect.start().as_str())).unwrap()
+    };
+    for (forest, expected) in [
+        ("a(c)", true),
+        ("a(b) a(c)", true),
+        ("a(b) a(c) a(b) a(b)", true),
+        ("a(b)", false),
+        ("a(c) a(c)", false),
+    ] {
+        let verdict = perfect.accepts(&embed(forest));
+        assert_eq!(verdict, expected, "forest [{forest}]");
+        println!("forest [{forest:<20}] admitted: {verdict}");
+    }
+    println!("\nThe perfect schema admits exactly the forests completing the");
+    println!("kernel's a(b) to a one-c record list — a language with no DTD.");
+}

@@ -15,3 +15,9 @@ pub use dxml_automata as automata;
 pub use dxml_core as core;
 pub use dxml_schema as schema;
 pub use dxml_tree as tree;
+
+// The working set of the design layer, re-exported at the crate root so
+// downstream code can `use dxml::{DesignProblem, BoxDesignProblem, …}`.
+pub use dxml_automata::BoxLang;
+pub use dxml_core::{BoxDesignProblem, BoxVerdict, DesignProblem, DistributedDoc, TypingVerdict};
+pub use dxml_schema::{RDtd, REdtd, RSdtd};

@@ -9,7 +9,7 @@ CARGO ?= cargo
 BENCH_TARGETS := $(shell sed -n 's/^name = "\([a-z0-9_]*\)"$$/\1/p' \
                  crates/bench/Cargo.toml | grep -v '^dxml')
 
-.PHONY: all build test clippy doc fmt-check bench bench-smoke examples verify
+.PHONY: all build test clippy doc fmt-check bench bench-smoke bench-baselines bench-compare examples verify
 
 all: verify
 
@@ -44,6 +44,31 @@ bench-smoke:
 			echo "bench-smoke: BENCH_$$b.json was not emitted" >&2; exit 1; }; \
 	done
 	@echo "bench-smoke: all $(words $(BENCH_TARGETS)) timing files emitted"
+
+# Where the committed perf baselines live (full non-smoke runs; refresh
+# with `make bench-baselines` on the reference machine and commit).
+BASELINE_DIR := baselines
+
+bench-baselines:
+	@mkdir -p $(BASELINE_DIR)
+	DXML_BENCH_DIR=$(CURDIR)/$(BASELINE_DIR) $(CARGO) bench -q
+	@echo "bench-baselines: refreshed $(BASELINE_DIR)/ — review and commit"
+
+# Re-run every bench target (full timing mode) and diff the fresh
+# BENCH_<name>.json files against the committed baselines: any warm-path
+# median more than BENCH_COMPARE_THRESHOLD x its baseline fails the build.
+# The threshold is absolute-time based, so baselines and the comparing
+# machine must be in the same speed class; override the threshold (or
+# refresh the baselines from the CI runner's artifacts) when they are not.
+BENCH_COMPARE_THRESHOLD ?= 2
+
+bench-compare:
+	@test -d $(BASELINE_DIR) || { \
+		echo "bench-compare: no $(BASELINE_DIR)/ directory; run make bench-baselines first" >&2; exit 1; }
+	@rm -rf target/bench-current && mkdir -p target/bench-current
+	DXML_BENCH_DIR=$(CURDIR)/target/bench-current $(CARGO) bench -q
+	$(CARGO) run -q --release -p dxml-bench --bin bench_compare -- \
+		$(BASELINE_DIR) target/bench-current $(BENCH_COMPARE_THRESHOLD)
 
 examples:
 	$(CARGO) run -q --release --example quickstart

@@ -51,7 +51,7 @@ impl BoxLang {
     /// box whose language is exactly `{word}`).
     pub fn from_word(word: &[Symbol]) -> Self {
         BoxLang {
-            slots: word.iter().map(|s| BTreeSet::from([s.clone()])).collect(),
+            slots: word.iter().map(|s| BTreeSet::from([*s])).collect(),
         }
     }
 
@@ -114,7 +114,7 @@ impl BoxLang {
         let mut nfa = Nfa::new(self.slots.len() + 1, 0);
         for (i, slot) in self.slots.iter().enumerate() {
             for sym in slot {
-                nfa.add_transition(i, sym.clone(), i + 1);
+                nfa.add_transition(i, *sym, i + 1);
             }
         }
         nfa.set_final(self.slots.len());
@@ -164,7 +164,7 @@ impl BoxLang {
                     None => out.add_epsilon(id(layer, q), id(layer, t)),
                     Some(sym) => {
                         if layer < self.width() && self.slots[layer].contains(sym) {
-                            out.add_transition(id(layer, q), sym.clone(), id(layer + 1, t));
+                            out.add_transition(id(layer, q), *sym, id(layer + 1, t));
                         }
                     }
                 }
@@ -188,7 +188,7 @@ impl BoxLang {
             'outer: for w in &words {
                 for sym in slot {
                     let mut w2 = w.clone();
-                    w2.push(sym.clone());
+                    w2.push(*sym);
                     next.push(w2);
                     if next.len() >= limit {
                         break 'outer;
@@ -208,11 +208,7 @@ impl Nfa {
     fn states_after_box(&self, b: &BoxLang) -> BTreeSet<StateId> {
         let mut current = self.epsilon_closure(&BTreeSet::from([self.start()]));
         for slot in b.slots() {
-            let mut next = BTreeSet::new();
-            for sym in slot {
-                next.extend(self.step(&current, sym));
-            }
-            current = next;
+            current = self.step_all(&current, slot);
             if current.is_empty() {
                 break;
             }
@@ -250,11 +246,7 @@ impl Nfa {
         for q in 0..self.num_states() {
             let mut current = self.epsilon_closure(&BTreeSet::from([q]));
             for slot in b.slots() {
-                let mut next = BTreeSet::new();
-                for sym in slot {
-                    next.extend(self.step(&current, sym));
-                }
-                current = next;
+                current = self.step_all(&current, slot);
                 if current.is_empty() {
                     break;
                 }
@@ -282,10 +274,10 @@ impl Nfa {
                 Some(sym) => match slots.get(sym) {
                     Some(slot) => {
                         for b in slot {
-                            out.add_transition(q, b.clone(), t);
+                            out.add_transition(q, *b, t);
                         }
                     }
-                    None => out.add_transition(q, sym.clone(), t),
+                    None => out.add_transition(q, *sym, t),
                 },
             }
         }

@@ -9,48 +9,88 @@
 //! completion, complementation, partition-refinement minimisation
 //! ([`Dfa::minimize`]) and pairwise product. Minimal DFAs are the input of
 //! the Brüggemann-Klein/Wood one-unambiguity test in [`crate::dre`].
+//!
+//! Like [`Nfa`], the transition function is stored densely: a per-automaton
+//! symbol index maps each [`Symbol`] to a local `u32`, and every state keeps
+//! a sorted `(local symbol, successor)` vector with at most one entry per
+//! symbol. `δ(q, a)` is a hash of an interned id plus a binary search —
+//! no string is ever compared. The determinism-sensitive search procedures
+//! (subset construction, product, shortest-word BFS) still *scan* alphabets
+//! in text order so state numbering and witness words stay canonical.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 
+use crate::hash::FxHashMap;
 use crate::nfa::{Nfa, StateId};
 use crate::symbol::{Alphabet, Symbol, Word};
 
 /// A deterministic finite automaton with a (possibly partial) transition
 /// function.
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct Dfa {
     num_states: usize,
     start: StateId,
     finals: BTreeSet<StateId>,
-    trans: Vec<BTreeMap<Symbol, StateId>>,
+    /// Local symbol index → symbol, in first-seen order.
+    syms: Vec<Symbol>,
+    /// Symbol → local index into `syms`.
+    sym_index: FxHashMap<Symbol, u32>,
+    /// `trans[q]`: sorted by local symbol, at most one entry per symbol.
+    trans: Vec<Vec<(u32, StateId)>>,
 }
 
 impl Dfa {
     /// Creates a DFA with `num_states` states, the given start state, no
     /// transitions and no final states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_states == 0` — a DFA always has at least its start
+    /// state (see [`Nfa::new`] for the rationale).
     pub fn new(num_states: usize, start: StateId) -> Self {
-        assert!(start < num_states.max(1));
+        assert!(num_states > 0, "a Dfa needs at least one state (the start state)");
+        assert!(start < num_states, "start state out of range");
         Dfa {
-            num_states: num_states.max(1),
+            num_states,
             start,
             finals: BTreeSet::new(),
-            trans: vec![BTreeMap::new(); num_states.max(1)],
+            syms: Vec::new(),
+            sym_index: FxHashMap::default(),
+            trans: vec![Vec::new(); num_states],
         }
     }
 
     /// Adds a fresh state.
     pub fn add_state(&mut self) -> StateId {
-        self.trans.push(BTreeMap::new());
+        self.trans.push(Vec::new());
         self.num_states += 1;
         self.num_states - 1
+    }
+
+    /// The local index of `sym`, allocating one if it is new.
+    fn local_id(&mut self, sym: Symbol) -> u32 {
+        match self.sym_index.get(&sym) {
+            Some(&i) => i,
+            None => {
+                let i = u32::try_from(self.syms.len()).expect("alphabet exceeds u32 indices");
+                self.syms.push(sym);
+                self.sym_index.insert(sym, i);
+                i
+            }
+        }
     }
 
     /// Sets the (unique) transition `from --sym--> to`, replacing any
     /// existing transition on the same symbol.
     pub fn set_transition(&mut self, from: StateId, sym: impl Into<Symbol>, to: StateId) {
         assert!(from < self.num_states && to < self.num_states);
-        self.trans[from].insert(sym.into(), to);
+        let sid = self.local_id(sym.into());
+        let v = &mut self.trans[from];
+        match v.binary_search_by_key(&sid, |&(s, _)| s) {
+            Ok(pos) => v[pos].1 = to,
+            Err(pos) => v.insert(pos, (sid, to)),
+        }
     }
 
     /// Marks a state as final.
@@ -81,25 +121,47 @@ impl Dfa {
 
     /// The (partial) transition `δ(q, a)`.
     pub fn delta(&self, q: StateId, sym: &Symbol) -> Option<StateId> {
-        self.trans[q].get(sym).copied()
+        let sid = self.sym_id(sym)?;
+        self.delta_local(q, sid)
     }
 
-    /// Iterates over the outgoing transitions of a state.
+    // ------------------------------------------------------------------
+    // Local-index plumbing (crate-internal hot-path API)
+    // ------------------------------------------------------------------
+
+    /// The local index of `sym`, if it appears on any transition.
+    pub(crate) fn sym_id(&self, sym: &Symbol) -> Option<u32> {
+        self.sym_index.get(sym).copied()
+    }
+
+    /// `δ(q, a)` through the local symbol index.
+    pub(crate) fn delta_local(&self, q: StateId, sid: u32) -> Option<StateId> {
+        let v = &self.trans[q];
+        v.binary_search_by_key(&sid, |&(s, _)| s).ok().map(|pos| v[pos].1)
+    }
+
+    /// The `(symbol, local id)` pairs of `alphabet` resolved against this
+    /// automaton's index, in the iteration (text) order of `alphabet`.
+    /// Symbols the automaton never mentions resolve to `None`.
+    pub(crate) fn resolve_alphabet(&self, alphabet: &Alphabet) -> Vec<(Symbol, Option<u32>)> {
+        alphabet.iter().map(|&s| (s, self.sym_id(&s))).collect()
+    }
+
+    /// Iterates over the outgoing transitions of a state (in local-index
+    /// order, which is first-seen order — not text order).
     pub fn transitions_from(&self, q: StateId) -> impl Iterator<Item = (&Symbol, StateId)> + '_ {
-        self.trans[q].iter().map(|(s, &t)| (s, t))
+        self.trans[q].iter().map(|&(s, t)| (&self.syms[s as usize], t))
     }
 
     /// Iterates over all transitions `(from, symbol, to)`.
     pub fn transitions(&self) -> impl Iterator<Item = (StateId, &Symbol, StateId)> + '_ {
-        self.trans
-            .iter()
-            .enumerate()
-            .flat_map(|(q, m)| m.iter().map(move |(s, &t)| (q, s, t)))
+        (0..self.num_states)
+            .flat_map(move |q| self.trans[q].iter().map(move |&(s, t)| (q, &self.syms[s as usize], t)))
     }
 
     /// The alphabet of symbols appearing on transitions.
     pub fn alphabet(&self) -> Alphabet {
-        self.trans.iter().flat_map(|m| m.keys().cloned()).collect()
+        self.syms.iter().copied().collect()
     }
 
     /// Runs the automaton on `word`, returning the reached state (or `None`
@@ -133,9 +195,16 @@ impl Dfa {
 
     /// Subset construction: builds the DFA of reachable state sets of `nfa`.
     pub fn from_nfa(nfa: &Nfa) -> Dfa {
-        let alphabet = nfa.alphabet();
+        // Scan symbols in text order (canonical state numbering), step
+        // through the NFA's local ids.
+        let syms = {
+            let mut v: Vec<Symbol> = nfa.alphabet().to_vec();
+            v.sort_unstable();
+            v
+        };
+        let sids: Vec<u32> = syms.iter().map(|s| nfa.sym_id(s).expect("alphabet symbol")).collect();
         let start_set = nfa.epsilon_closure(&BTreeSet::from([nfa.start()]));
-        let mut index: BTreeMap<BTreeSet<StateId>, StateId> = BTreeMap::new();
+        let mut index: FxHashMap<BTreeSet<StateId>, StateId> = FxHashMap::default();
         let mut dfa = Dfa::new(1, 0);
         index.insert(start_set.clone(), 0);
         let mut queue = VecDeque::from([start_set]);
@@ -144,8 +213,8 @@ impl Dfa {
             if set.iter().any(|q| nfa.is_final(*q)) {
                 dfa.set_final(id);
             }
-            for sym in &alphabet {
-                let next = nfa.step(&set, sym);
+            for (sym, &sid) in syms.iter().zip(&sids) {
+                let next = nfa.step_local(&set, sid);
                 if next.is_empty() {
                     continue;
                 }
@@ -154,11 +223,11 @@ impl Dfa {
                     None => {
                         let i = dfa.add_state();
                         index.insert(next.clone(), i);
-                        queue.push_back(next.clone());
+                        queue.push_back(next);
                         i
                     }
                 };
-                dfa.set_transition(id, sym.clone(), next_id);
+                dfa.set_transition(id, *sym, next_id);
             }
         }
         dfa
@@ -170,16 +239,18 @@ impl Dfa {
     pub fn complete(&self, alphabet: &Alphabet) -> Dfa {
         let full = alphabet.union(&self.alphabet());
         let mut out = self.clone();
-        let needs_sink = (0..out.num_states)
-            .any(|q| full.iter().any(|s| out.delta(q, s).is_none()));
+        let needs_sink = (0..out.num_states).any(|q| out.trans[q].len() < full.len());
         if !needs_sink {
             return out;
         }
         let sink = out.add_state();
-        for q in 0..out.num_states {
-            for sym in &full {
-                if out.delta(q, sym).is_none() {
-                    out.set_transition(q, sym.clone(), sink);
+        for sym in &full {
+            let sid = out.local_id(*sym);
+            for q in 0..out.num_states {
+                if out.delta_local(q, sid).is_none() {
+                    let v = &mut out.trans[q];
+                    let pos = v.partition_point(|&(s, _)| s < sid);
+                    v.insert(pos, (sid, sink));
                 }
             }
         }
@@ -198,7 +269,7 @@ impl Dfa {
     pub fn to_nfa(&self) -> Nfa {
         let mut nfa = Nfa::new(self.num_states, self.start);
         for (q, sym, t) in self.transitions() {
-            nfa.add_transition(q, sym.clone(), t);
+            nfa.add_transition(q, *sym, t);
         }
         for &f in &self.finals {
             nfa.set_final(f);
@@ -211,7 +282,7 @@ impl Dfa {
         let mut seen = BTreeSet::from([self.start]);
         let mut stack = vec![self.start];
         while let Some(q) = stack.pop() {
-            for (_, t) in self.transitions_from(q) {
+            for &(_, t) in &self.trans[q] {
                 if seen.insert(t) {
                     stack.push(t);
                 }
@@ -223,7 +294,7 @@ impl Dfa {
         for &q in &keep {
             for (sym, t) in self.transitions_from(q) {
                 if let Some(&ti) = index.get(&t) {
-                    out.set_transition(index[&q], sym.clone(), ti);
+                    out.set_transition(index[&q], *sym, ti);
                 }
             }
             if self.is_final(q) {
@@ -255,7 +326,7 @@ impl Dfa {
             for q in 0..n {
                 let mut succ: Vec<(Symbol, usize)> = complete
                     .transitions_from(q)
-                    .map(|(s, t)| (s.clone(), class[t]))
+                    .map(|(s, t)| (*s, class[t]))
                     .collect();
                 succ.sort();
                 let key = (class[q], succ);
@@ -274,7 +345,7 @@ impl Dfa {
         let mut out = Dfa::new(num_classes, class[complete.start]);
         for q in 0..n {
             for (sym, t) in complete.transitions_from(q) {
-                out.set_transition(class[q], sym.clone(), class[t]);
+                out.set_transition(class[q], *sym, class[t]);
             }
             if complete.is_final(q) {
                 out.set_final(class[q]);
@@ -299,7 +370,7 @@ impl Dfa {
         for &q in &keep {
             for (sym, t) in self.transitions_from(q) {
                 if let Some(&ti) = index.get(&t) {
-                    out.set_transition(index[&q], sym.clone(), ti);
+                    out.set_transition(index[&q], *sym, ti);
                 }
             }
             if self.is_final(q) {
@@ -317,7 +388,19 @@ impl Dfa {
         let alphabet = self.alphabet().union(&other.alphabet());
         let a = self.complete(&alphabet);
         let b = other.complete(&alphabet);
-        let mut index: BTreeMap<(StateId, StateId), StateId> = BTreeMap::new();
+        // Both components are total over `alphabet` after completion, so
+        // every symbol resolves in both.
+        let syms: Vec<(Symbol, u32, u32)> = alphabet
+            .iter()
+            .map(|&s| {
+                (
+                    s,
+                    a.sym_id(&s).expect("completed over alphabet"),
+                    b.sym_id(&s).expect("completed over alphabet"),
+                )
+            })
+            .collect();
+        let mut index: FxHashMap<(StateId, StateId), StateId> = FxHashMap::default();
         let mut out = Dfa::new(1, 0);
         index.insert((a.start, b.start), 0);
         let mut queue = VecDeque::from([(a.start, b.start)]);
@@ -326,8 +409,8 @@ impl Dfa {
             if accept(a.is_final(p), b.is_final(q)) {
                 out.set_final(id);
             }
-            for sym in &alphabet {
-                let (tp, tq) = match (a.delta(p, sym), b.delta(q, sym)) {
+            for &(sym, sa, sb) in &syms {
+                let (tp, tq) = match (a.delta_local(p, sa), b.delta_local(q, sb)) {
                     (Some(tp), Some(tq)) => (tp, tq),
                     _ => continue,
                 };
@@ -340,12 +423,38 @@ impl Dfa {
                         i
                     }
                 };
-                out.set_transition(id, sym.clone(), tid);
+                out.set_transition(id, sym, tid);
             }
         }
         out
     }
 }
+
+impl PartialEq for Dfa {
+    /// Structural equality up to the (internal) local symbol numbering.
+    fn eq(&self, other: &Self) -> bool {
+        if self.num_states != other.num_states
+            || self.start != other.start
+            || self.finals != other.finals
+        {
+            return false;
+        }
+        (0..self.num_states).all(|q| {
+            if self.trans[q].len() != other.trans[q].len() {
+                return false;
+            }
+            let canon = |dfa: &Dfa, v: &[(u32, StateId)]| -> Vec<(Symbol, StateId)> {
+                let mut out: Vec<(Symbol, StateId)> =
+                    v.iter().map(|&(s, t)| (dfa.syms[s as usize], t)).collect();
+                out.sort_unstable();
+                out
+            };
+            canon(self, &self.trans[q]) == canon(other, &other.trans[q])
+        })
+    }
+}
+
+impl Eq for Dfa {}
 
 impl fmt::Debug for Dfa {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -356,7 +465,6 @@ impl fmt::Debug for Dfa {
         Ok(())
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -122,7 +122,7 @@ fn consistent_symbols(dfa: &Dfa) -> BTreeSet<Symbol> {
             }
         }
         if ok && target.is_some() {
-            out.insert(sym.clone());
+            out.insert(*sym);
         }
     }
     out
@@ -139,7 +139,7 @@ fn cut_transitions(dfa: &Dfa, symbols: &BTreeSet<Symbol>) -> (Dfa, bool) {
                 removed = true;
                 continue;
             }
-            out.set_transition(q, sym.clone(), t);
+            out.set_transition(q, *sym, t);
         }
         if dfa.is_final(q) {
             out.set_final(q);
@@ -240,7 +240,7 @@ fn has_orbit_property(dfa: &Dfa, orbits: &[BTreeSet<usize>]) -> bool {
             let outside: BTreeMap<Symbol, usize> = dfa
                 .transitions_from(q)
                 .filter(|(_, t)| !orbit.contains(t))
-                .map(|(s, t)| (s.clone(), t))
+                .map(|(s, t)| (*s, t))
                 .collect();
             (dfa.is_final(q), outside)
         };
@@ -261,7 +261,7 @@ fn orbit_automaton(dfa: &Dfa, orbit: &BTreeSet<usize>, q: usize) -> Dfa {
     for &s in &states {
         for (sym, t) in dfa.transitions_from(s) {
             if let Some(&ti) = index.get(&t) {
-                out.set_transition(index[&s], sym.clone(), ti);
+                out.set_transition(index[&s], *sym, ti);
             }
         }
     }
@@ -303,11 +303,11 @@ pub fn smallest_equivalent_dre_hint(re: &Regex) -> Option<Regex> {
                         let others: Vec<Regex> = symbols
                             .iter()
                             .filter(|s| *s != &x)
-                            .map(|s| Regex::Sym((*s).clone()))
+                            .map(|s| Regex::Sym(*(*s)))
                             .collect();
                         let candidate = Regex::concat(vec![
                             Regex::alt(others).star(),
-                            Regex::Sym(x.clone()),
+                            Regex::Sym(*x),
                         ])
                         .plus();
                         if one_unambiguous_expr(&candidate)

@@ -96,6 +96,18 @@ fn distinguishing_word(
     alphabet: &Alphabet,
     bad: impl Fn(bool, bool) -> bool,
 ) -> Option<Word> {
+    // Resolve each symbol against both local indices once; the BFS then
+    // moves on integer ids only. Scanning in text order keeps the witness
+    // lexicographically least among the shortest.
+    let ids: Vec<(Symbol, u32, u32)> = alphabet
+        .iter()
+        .filter_map(|&s| {
+            // Both DFAs are complete over `alphabet`, so a missing id only
+            // arises for symbols outside both alphabets — those never move
+            // the product.
+            Some((s, a.sym_id(&s)?, b.sym_id(&s)?))
+        })
+        .collect();
     let start = (a.start(), b.start());
     let mut parent: ParentMap = BTreeMap::new();
     let mut seen: BTreeSet<(usize, usize)> = BTreeSet::from([start]);
@@ -103,9 +115,9 @@ fn distinguishing_word(
     let reconstruct = |end: (usize, usize), parent: &ParentMap| {
         let mut word = Vec::new();
         let mut cur = end;
-        while let Some((prev, sym)) = parent.get(&cur) {
-            word.push(sym.clone());
-            cur = *prev;
+        while let Some(&(prev, sym)) = parent.get(&cur) {
+            word.push(sym);
+            cur = prev;
         }
         word.reverse();
         word
@@ -114,15 +126,13 @@ fn distinguishing_word(
         if bad(a.is_final(p), b.is_final(q)) {
             return Some(reconstruct((p, q), &parent));
         }
-        for sym in alphabet {
-            let (tp, tq) = match (a.delta(p, sym), b.delta(q, sym)) {
+        for &(sym, sa, sb) in &ids {
+            let (tp, tq) = match (a.delta_local(p, sa), b.delta_local(q, sb)) {
                 (Some(tp), Some(tq)) => (tp, tq),
-                // Both DFAs are complete over `alphabet`, so this only
-                // happens for symbols outside both alphabets.
                 _ => continue,
             };
             if seen.insert((tp, tq)) {
-                parent.insert((tp, tq), ((p, q), sym.clone()));
+                parent.insert((tp, tq), ((p, q), sym));
                 queue.push_back((tp, tq));
             }
         }

@@ -1,0 +1,127 @@
+//! A small in-repo FxHash-style hasher for the hot paths.
+//!
+//! The automata hot loops key `HashMap`s by dense `u32` ids (interned
+//! [`crate::Symbol`]s, per-automaton symbol indices, state ids). SipHash —
+//! the DoS-resistant default of `std::collections::HashMap` — costs more
+//! than the rest of such a lookup put together, and the build is offline, so
+//! pulling in `rustc-hash` is not an option. This module reimplements the
+//! same multiply-and-rotate construction (the Firefox/rustc "Fx" hash) on
+//! top of `std` only.
+//!
+//! The hasher is **not** collision-resistant against adversarial keys; it is
+//! meant for internal ids and interned symbols, never for untrusted input
+//! keys of unbounded shape.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The multiplier of the Fx construction (a 64-bit "random-looking" odd
+/// constant, the same one rustc uses).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, non-cryptographic [`Hasher`] in the Fx (rustc/Firefox) style:
+/// every machine word is folded in with a rotate-xor-multiply round.
+#[derive(Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+            // Fold the length in so prefixes hash differently from their
+            // zero-padded extensions.
+            self.add_to_hash(rest.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// [`std::hash::BuildHasher`] for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`] — the container of choice for id-keyed hot
+/// paths (symbol indices, subset-construction tables).
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Hashes one value with [`FxHasher`] (used to pick interner shards).
+#[inline]
+pub fn fx_hash_str(s: &str) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(s.as_bytes());
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_discriminating() {
+        assert_eq!(fx_hash_str("abc"), fx_hash_str("abc"));
+        assert_ne!(fx_hash_str("abc"), fx_hash_str("abd"));
+        assert_ne!(fx_hash_str("abc"), fx_hash_str("abc\0"));
+        assert_ne!(fx_hash_str(""), fx_hash_str("\0"));
+    }
+
+    #[test]
+    fn works_as_a_map_hasher() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert(i, "x");
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&999), Some(&"x"));
+        let mut s: FxHashSet<String> = FxHashSet::default();
+        s.insert("a".to_string());
+        assert!(s.contains("a"));
+    }
+}

@@ -37,6 +37,7 @@ pub mod dfa;
 pub mod dre;
 pub mod equiv;
 pub mod error;
+pub mod hash;
 pub mod nfa;
 pub mod quotient;
 pub mod regex;
@@ -47,6 +48,7 @@ pub use boxes::BoxLang;
 pub use dfa::Dfa;
 pub use equiv::{equivalent, included, Counterexample};
 pub use error::AutomataError;
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use nfa::Nfa;
 pub use regex::Regex;
 pub use rspec::{RFormalism, RSpec};

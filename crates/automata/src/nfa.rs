@@ -9,25 +9,52 @@
 //! `coreachable_to`, `transitions`) are exposed publicly because the perfect
 //! automaton construction of Section 6 manipulates the transition structure
 //! of the global type directly.
+//!
+//! # Dense transition storage
+//!
+//! Transitions are stored against a **per-automaton symbol index**: every
+//! [`Symbol`] on a transition gets a dense local `u32` the first time it is
+//! added, and each state keeps a sorted adjacency vector of
+//! `(local symbol, successor)` pairs (ε-transitions live in a separate
+//! per-state list). The invariants the hot paths rely on:
+//!
+//! * `trans.len() == eps.len() == num_states` at all times — states are
+//!   never implicit (see [`Nfa::new`] on the zero-state case);
+//! * every adjacency vector is sorted by `(local symbol, successor)` and
+//!   deduplicated, so one symbol's successors form a contiguous slice found
+//!   by binary search;
+//! * a symbol has a local index iff it appears on at least one transition
+//!   (transitions are never removed), so [`Nfa::alphabet`] is exactly the
+//!   registered index.
+//!
+//! The subset construction, products, quotients and equivalence checks all
+//! iterate these local ids; interned symbol ids only matter at the indexing
+//! boundary, and strings are never touched.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 
 use crate::dfa::Dfa;
+use crate::hash::FxHashMap;
 use crate::symbol::{Alphabet, Symbol, Word};
 
 /// A state identifier; states of an [`Nfa`] are `0..nfa.num_states()`.
 pub type StateId = usize;
 
 /// A nondeterministic finite automaton with ε-transitions.
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct Nfa {
     num_states: usize,
     start: StateId,
     finals: BTreeSet<StateId>,
-    /// `trans[q]` maps `Some(a)` (or `None` for ε) to the set of successor
-    /// states.
-    trans: Vec<BTreeMap<Option<Symbol>, BTreeSet<StateId>>>,
+    /// Local symbol index → symbol, in first-seen order.
+    syms: Vec<Symbol>,
+    /// Symbol → local index into `syms`.
+    sym_index: FxHashMap<Symbol, u32>,
+    /// `trans[q]`: sorted, deduplicated `(local symbol, successor)` pairs.
+    trans: Vec<Vec<(u32, StateId)>>,
+    /// `eps[q]`: sorted, deduplicated ε-successors.
+    eps: Vec<Vec<StateId>>,
 }
 
 impl Nfa {
@@ -37,13 +64,24 @@ impl Nfa {
 
     /// Creates an NFA with `num_states` states (no transitions, no final
     /// states) and the given start state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_states == 0`: an NFA always has at least its start
+    /// state, and the dense-index code relies on `states == trans.len()`
+    /// with every state id in range. Use [`Nfa::empty`] for the automaton of
+    /// the empty language (one state, no finals).
     pub fn new(num_states: usize, start: StateId) -> Self {
-        assert!(start < num_states.max(1), "start state out of range");
+        assert!(num_states > 0, "an Nfa needs at least one state (the start state)");
+        assert!(start < num_states, "start state out of range");
         Nfa {
-            num_states: num_states.max(1),
+            num_states,
             start,
             finals: BTreeSet::new(),
-            trans: vec![BTreeMap::new(); num_states.max(1)],
+            syms: Vec::new(),
+            sym_index: FxHashMap::default(),
+            trans: vec![Vec::new(); num_states],
+            eps: vec![Vec::new(); num_states],
         }
     }
 
@@ -71,7 +109,7 @@ impl Nfa {
     pub fn literal(word: &[Symbol]) -> Self {
         let mut a = Nfa::new(word.len() + 1, 0);
         for (i, sym) in word.iter().enumerate() {
-            a.add_transition(i, sym.clone(), i + 1);
+            a.add_transition(i, *sym, i + 1);
         }
         a.set_final(word.len());
         a
@@ -96,7 +134,7 @@ impl Nfa {
     pub fn sigma_star(alphabet: &Alphabet) -> Self {
         let mut a = Nfa::new(1, 0);
         for s in alphabet {
-            a.add_transition(0, s.clone(), 0);
+            a.add_transition(0, *s, 0);
         }
         a.set_final(0);
         a
@@ -109,21 +147,43 @@ impl Nfa {
 
     /// Adds a fresh state and returns its id.
     pub fn add_state(&mut self) -> StateId {
-        self.trans.push(BTreeMap::new());
+        self.trans.push(Vec::new());
+        self.eps.push(Vec::new());
         self.num_states += 1;
         self.num_states - 1
+    }
+
+    /// The local index of `sym`, allocating one if it is new.
+    fn local_id(&mut self, sym: Symbol) -> u32 {
+        match self.sym_index.get(&sym) {
+            Some(&i) => i,
+            None => {
+                let i = u32::try_from(self.syms.len()).expect("alphabet exceeds u32 indices");
+                self.syms.push(sym);
+                self.sym_index.insert(sym, i);
+                i
+            }
+        }
     }
 
     /// Adds a transition `from --sym--> to`.
     pub fn add_transition(&mut self, from: StateId, sym: impl Into<Symbol>, to: StateId) {
         assert!(from < self.num_states && to < self.num_states);
-        self.trans[from].entry(Some(sym.into())).or_default().insert(to);
+        let sid = self.local_id(sym.into());
+        let entry = (sid, to);
+        let v = &mut self.trans[from];
+        if let Err(pos) = v.binary_search(&entry) {
+            v.insert(pos, entry);
+        }
     }
 
     /// Adds an ε-transition `from --ε--> to`.
     pub fn add_epsilon(&mut self, from: StateId, to: StateId) {
         assert!(from < self.num_states && to < self.num_states);
-        self.trans[from].entry(None).or_default().insert(to);
+        let v = &mut self.eps[from];
+        if let Err(pos) = v.binary_search(&to) {
+            v.insert(pos, to);
+        }
     }
 
     /// Marks a state as final.
@@ -152,9 +212,10 @@ impl Nfa {
         self.num_states
     }
 
-    /// Total number of transitions (counting each `(q, a, q')` triple once).
+    /// Total number of transitions (counting each `(q, a, q')` triple once,
+    /// ε-transitions included).
     pub fn num_transitions(&self) -> usize {
-        self.trans.iter().map(|m| m.values().map(BTreeSet::len).sum::<usize>()).sum()
+        self.trans.iter().map(Vec::len).sum::<usize>() + self.eps.iter().map(Vec::len).sum::<usize>()
     }
 
     /// The start state.
@@ -175,28 +236,81 @@ impl Nfa {
     /// Iterates over all transitions as `(from, label, to)` where a label of
     /// `None` denotes ε.
     pub fn transitions(&self) -> impl Iterator<Item = (StateId, Option<&Symbol>, StateId)> + '_ {
-        self.trans.iter().enumerate().flat_map(|(q, m)| {
-            m.iter().flat_map(move |(lbl, tos)| tos.iter().map(move |t| (q, lbl.as_ref(), *t)))
+        (0..self.num_states).flat_map(move |q| {
+            self.eps[q]
+                .iter()
+                .map(move |&t| (q, None, t))
+                .chain(self.trans[q].iter().map(move |&(s, t)| (q, Some(&self.syms[s as usize]), t)))
         })
     }
 
     /// The successor set `Δ(q, a)`.
     pub fn delta(&self, q: StateId, sym: &Symbol) -> BTreeSet<StateId> {
-        self.trans[q].get(&Some(sym.clone())).cloned().unwrap_or_default()
+        match self.sym_id(sym) {
+            Some(sid) => self.succ_slice(q, sid).iter().map(|&(_, t)| t).collect(),
+            None => BTreeSet::new(),
+        }
     }
 
     /// The alphabet of symbols actually appearing on transitions.
     pub fn alphabet(&self) -> Alphabet {
-        self.trans
-            .iter()
-            .flat_map(|m| m.keys())
-            .filter_map(|k| k.clone())
-            .collect()
+        self.syms.iter().copied().collect()
     }
 
     /// Whether the automaton has any ε-transition.
     pub fn has_epsilon(&self) -> bool {
-        self.trans.iter().any(|m| m.contains_key(&None))
+        self.eps.iter().any(|v| !v.is_empty())
+    }
+
+    // ------------------------------------------------------------------
+    // Local-index plumbing (crate-internal hot-path API)
+    // ------------------------------------------------------------------
+
+    /// The local index of `sym`, if it appears on any transition.
+    pub(crate) fn sym_id(&self, sym: &Symbol) -> Option<u32> {
+        self.sym_index.get(sym).copied()
+    }
+
+    /// The sorted `(sym, local id)` pairs of the automaton's alphabet, in
+    /// symbol text order — the deterministic iteration order the search
+    /// procedures use so witnesses stay lexicographically least.
+    pub(crate) fn sorted_syms(&self) -> Vec<(Symbol, u32)> {
+        let mut out: Vec<(Symbol, u32)> =
+            self.syms.iter().enumerate().map(|(i, &s)| (s, i as u32)).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The contiguous adjacency slice of `q` on local symbol `sid`.
+    fn succ_slice(&self, q: StateId, sid: u32) -> &[(u32, StateId)] {
+        let v = &self.trans[q];
+        let lo = v.partition_point(|&(s, _)| s < sid);
+        let hi = lo + v[lo..].partition_point(|&(s, _)| s == sid);
+        &v[lo..hi]
+    }
+
+    /// One symbol step on a (ε-closed) state set via the local index,
+    /// returning the ε-closure of the successor set.
+    pub(crate) fn step_local(&self, set: &BTreeSet<StateId>, sid: u32) -> BTreeSet<StateId> {
+        let mut next = BTreeSet::new();
+        for &q in set {
+            next.extend(self.succ_slice(q, sid).iter().map(|&(_, t)| t));
+        }
+        self.epsilon_closure_inplace(next)
+    }
+
+    /// ε-closes `set` in place (the by-value twin of
+    /// [`Nfa::epsilon_closure`], saving the clone on the hot paths).
+    fn epsilon_closure_inplace(&self, mut closure: BTreeSet<StateId>) -> BTreeSet<StateId> {
+        let mut stack: Vec<StateId> = closure.iter().copied().collect();
+        while let Some(q) = stack.pop() {
+            for &t in &self.eps[q] {
+                if closure.insert(t) {
+                    stack.push(t);
+                }
+            }
+        }
+        closure
     }
 
     // ------------------------------------------------------------------
@@ -205,30 +319,37 @@ impl Nfa {
 
     /// The ε-closure of a set of states.
     pub fn epsilon_closure(&self, set: &BTreeSet<StateId>) -> BTreeSet<StateId> {
-        let mut closure = set.clone();
-        let mut stack: Vec<StateId> = set.iter().copied().collect();
-        while let Some(q) = stack.pop() {
-            if let Some(next) = self.trans[q].get(&None) {
-                for &t in next {
-                    if closure.insert(t) {
-                        stack.push(t);
-                    }
-                }
-            }
-        }
-        closure
+        self.epsilon_closure_inplace(set.clone())
     }
 
     /// One symbol step on a (ε-closed) state set, returning the ε-closure of
     /// the successor set.
     pub fn step(&self, set: &BTreeSet<StateId>, sym: &Symbol) -> BTreeSet<StateId> {
+        match self.sym_id(sym) {
+            Some(sid) => self.step_local(set, sid),
+            None => BTreeSet::new(),
+        }
+    }
+
+    /// One *multi-symbol* step: the ε-closure of the union of the successor
+    /// sets over every symbol of `syms`. Equivalent to unioning
+    /// [`Nfa::step`] per symbol, but ε-closes once — the inner loop of
+    /// box-slot stepping and of the bottom-up tree-automaton runs, where a
+    /// child can contribute any symbol of a set.
+    pub fn step_all<'a>(
+        &self,
+        set: &BTreeSet<StateId>,
+        syms: impl IntoIterator<Item = &'a Symbol>,
+    ) -> BTreeSet<StateId> {
         let mut next = BTreeSet::new();
-        for &q in set {
-            if let Some(ts) = self.trans[q].get(&Some(sym.clone())) {
-                next.extend(ts.iter().copied());
+        for sym in syms {
+            if let Some(sid) = self.sym_id(sym) {
+                for &q in set {
+                    next.extend(self.succ_slice(q, sid).iter().map(|&(_, t)| t));
+                }
             }
         }
-        self.epsilon_closure(&next)
+        self.epsilon_closure_inplace(next)
     }
 
     /// The set of states reachable from `set` by reading `word`
@@ -264,11 +385,14 @@ impl Nfa {
         let mut seen = from.clone();
         let mut stack: Vec<StateId> = from.iter().copied().collect();
         while let Some(q) = stack.pop() {
-            for tos in self.trans[q].values() {
-                for &t in tos {
-                    if seen.insert(t) {
-                        stack.push(t);
-                    }
+            for &(_, t) in &self.trans[q] {
+                if seen.insert(t) {
+                    stack.push(t);
+                }
+            }
+            for &t in &self.eps[q] {
+                if seen.insert(t) {
+                    stack.push(t);
                 }
             }
         }
@@ -279,11 +403,14 @@ impl Nfa {
     pub fn coreachable_to(&self, to: &BTreeSet<StateId>) -> BTreeSet<StateId> {
         // Build reverse adjacency.
         let mut rev: Vec<Vec<StateId>> = vec![Vec::new(); self.num_states];
-        for (q, m) in self.trans.iter().enumerate() {
-            for tos in m.values() {
-                for &t in tos {
-                    rev[t].push(q);
-                }
+        for (q, v) in self.trans.iter().enumerate() {
+            for &(_, t) in v {
+                rev[t].push(q);
+            }
+        }
+        for (q, v) in self.eps.iter().enumerate() {
+            for &t in v {
+                rev[t].push(q);
             }
         }
         let mut seen = to.clone();
@@ -311,9 +438,10 @@ impl Nfa {
 
     /// A shortest accepted word, if any (breadth-first search over state
     /// sets of the determinised automaton, so the result is genuinely
-    /// shortest).
+    /// shortest — and lexicographically least among the shortest, since the
+    /// alphabet is scanned in text order).
     pub fn shortest_accepted(&self) -> Option<Word> {
-        let alphabet = self.alphabet();
+        let syms = self.sorted_syms();
         let start = self.epsilon_closure(&BTreeSet::from([self.start]));
         let mut queue: VecDeque<(BTreeSet<StateId>, Word)> = VecDeque::new();
         let mut seen: BTreeSet<BTreeSet<StateId>> = BTreeSet::new();
@@ -323,14 +451,14 @@ impl Nfa {
             if set.iter().any(|q| self.finals.contains(q)) {
                 return Some(word);
             }
-            for sym in &alphabet {
-                let next = self.step(&set, sym);
+            for &(sym, sid) in &syms {
+                let next = self.step_local(&set, sid);
                 if next.is_empty() {
                     continue;
                 }
                 if seen.insert(next.clone()) {
                     let mut w = word.clone();
-                    w.push(sym.clone());
+                    w.push(sym);
                     queue.push_back((next, w));
                 }
             }
@@ -341,7 +469,7 @@ impl Nfa {
     /// Enumerates accepted words of length at most `max_len`, up to `limit`
     /// words, in length-lexicographic order. Intended for tests and examples.
     pub fn enumerate_accepted(&self, max_len: usize, limit: usize) -> Vec<Word> {
-        let alphabet = self.alphabet();
+        let syms = self.sorted_syms();
         let mut out = Vec::new();
         let start = self.epsilon_closure(&BTreeSet::from([self.start]));
         let mut frontier: Vec<(BTreeSet<StateId>, Word)> = vec![(start, Vec::new())];
@@ -356,11 +484,11 @@ impl Nfa {
                 }
             }
             for (set, word) in frontier {
-                for sym in &alphabet {
-                    let next = self.step(&set, sym);
+                for &(sym, sid) in &syms {
+                    let next = self.step_local(&set, sid);
                     if !next.is_empty() {
                         let mut w = word.clone();
-                        w.push(sym.clone());
+                        w.push(sym);
                         next_frontier.push((next, w));
                     }
                 }
@@ -389,14 +517,14 @@ impl Nfa {
             keep.iter().enumerate().map(|(i, &q)| (q, i)).collect();
         let mut out = Nfa::new(keep.len(), index[&self.start]);
         for &q in &keep {
-            for (lbl, tos) in &self.trans[q] {
-                for t in tos {
-                    if let Some(&ti) = index.get(t) {
-                        match lbl {
-                            Some(sym) => out.add_transition(index[&q], sym.clone(), ti),
-                            None => out.add_epsilon(index[&q], ti),
-                        }
-                    }
+            for &t in &self.eps[q] {
+                if let Some(&ti) = index.get(&t) {
+                    out.add_epsilon(index[&q], ti);
+                }
+            }
+            for &(sid, t) in &self.trans[q] {
+                if let Some(&ti) = index.get(&t) {
+                    out.add_transition(index[&q], self.syms[sid as usize], ti);
                 }
             }
             if self.finals.contains(&q) {
@@ -418,31 +546,33 @@ impl Nfa {
                 out.set_final(q);
             }
             for &c in &closure {
-                for (lbl, tos) in &self.trans[c] {
-                    if let Some(sym) = lbl {
-                        for &t in tos {
-                            out.add_transition(q, sym.clone(), t);
-                        }
-                    }
+                for &(sid, t) in &self.trans[c] {
+                    out.add_transition(q, self.syms[sid as usize], t);
                 }
             }
         }
         out.trim()
     }
 
-    /// Renames every symbol on every transition through `f` (used to apply
-    /// the specialisation-erasing morphism `µ` of SDTDs/EDTDs to content
+    /// Renames the symbols of the automaton through `f` (used to apply the
+    /// specialisation-erasing morphism `µ` of SDTDs/EDTDs to content
     /// models).
-    pub fn map_symbols(&self, mut f: impl FnMut(&Symbol) -> Symbol) -> Nfa {
+    ///
+    /// `f` is invoked **once per distinct symbol** (in first-registration
+    /// order), not once per transition — all transitions carrying the same
+    /// symbol receive the same image. A stateful closure that wants to
+    /// distinguish individual transitions should rebuild through
+    /// [`Nfa::transitions`] instead.
+    pub fn map_symbols(&self, f: impl FnMut(&Symbol) -> Symbol) -> Nfa {
         let mut out = Nfa::new(self.num_states, self.start);
+        // One rename per registered symbol, not one per transition.
+        let renamed: Vec<Symbol> = self.syms.iter().map(f).collect();
         for q in 0..self.num_states {
-            for (lbl, tos) in &self.trans[q] {
-                for &t in tos {
-                    match lbl {
-                        Some(sym) => out.add_transition(q, f(sym), t),
-                        None => out.add_epsilon(q, t),
-                    }
-                }
+            for &t in &self.eps[q] {
+                out.add_epsilon(q, t);
+            }
+            for &(sid, t) in &self.trans[q] {
+                out.add_transition(q, renamed[sid as usize], t);
             }
             if self.finals.contains(&q) {
                 out.set_final(q);
@@ -453,16 +583,20 @@ impl Nfa {
 
     /// Keeps only transitions whose symbol satisfies the predicate
     /// (ε-transitions are always kept).
-    pub fn filter_symbols(&self, mut keep: impl FnMut(&Symbol) -> bool) -> Nfa {
+    ///
+    /// Like [`Nfa::map_symbols`], the predicate is evaluated **once per
+    /// distinct symbol**, and the verdict applies to every transition
+    /// carrying it.
+    pub fn filter_symbols(&self, keep: impl FnMut(&Symbol) -> bool) -> Nfa {
         let mut out = Nfa::new(self.num_states, self.start);
+        let kept: Vec<bool> = self.syms.iter().map(keep).collect();
         for q in 0..self.num_states {
-            for (lbl, tos) in &self.trans[q] {
-                for &t in tos {
-                    match lbl {
-                        Some(sym) if keep(sym) => out.add_transition(q, sym.clone(), t),
-                        Some(_) => {}
-                        None => out.add_epsilon(q, t),
-                    }
+            for &t in &self.eps[q] {
+                out.add_epsilon(q, t);
+            }
+            for &(sid, t) in &self.trans[q] {
+                if kept[sid as usize] {
+                    out.add_transition(q, self.syms[sid as usize], t);
                 }
             }
             if self.finals.contains(&q) {
@@ -481,11 +615,16 @@ impl Nfa {
     fn absorb(&mut self, other: &Nfa) -> usize {
         let offset = self.num_states;
         self.num_states += other.num_states;
-        self.trans.extend(other.trans.iter().map(|m| {
-            m.iter()
-                .map(|(lbl, tos)| (lbl.clone(), tos.iter().map(|t| t + offset).collect()))
-                .collect()
+        // Remap other's local symbol ids into self's index once.
+        let remap: Vec<u32> = other.syms.iter().map(|&s| self.local_id(s)).collect();
+        self.trans.extend(other.trans.iter().map(|v| {
+            let mut adj: Vec<(u32, StateId)> =
+                v.iter().map(|&(s, t)| (remap[s as usize], t + offset)).collect();
+            adj.sort_unstable();
+            adj
         }));
+        self.eps
+            .extend(other.eps.iter().map(|v| v.iter().map(|&t| t + offset).collect::<Vec<_>>()));
         offset
     }
 
@@ -560,8 +699,10 @@ impl Nfa {
     pub fn intersect(&self, other: &Nfa) -> Nfa {
         let a = self.eps_free();
         let b = other.eps_free();
+        // b's local index for each of a's local symbols, resolved once.
+        let b_ids: Vec<Option<u32>> = a.syms.iter().map(|s| b.sym_id(s)).collect();
         // Product over pairs, built lazily from the reachable part.
-        let mut index: BTreeMap<(StateId, StateId), StateId> = BTreeMap::new();
+        let mut index: FxHashMap<(StateId, StateId), StateId> = FxHashMap::default();
         let mut out = Nfa::new(1, 0);
         index.insert((a.start, b.start), 0);
         let mut stack = vec![(a.start, b.start)];
@@ -570,24 +711,27 @@ impl Nfa {
             if a.is_final(p) && b.is_final(q) {
                 out.set_final(pid);
             }
-            for (lbl, tos) in &a.trans[p] {
-                let sym = match lbl {
-                    Some(s) => s,
-                    None => continue,
-                };
-                let b_tos = match b.trans[q].get(&Some(sym.clone())) {
-                    Some(t) => t,
-                    None => continue,
-                };
-                for &ta in tos {
-                    for &tb in b_tos {
-                        let tid = *index.entry((ta, tb)).or_insert_with(|| {
-                            stack.push((ta, tb));
-                            out.add_state()
-                        });
-                        out.add_transition(pid, sym.clone(), tid);
+            let adj = &a.trans[p];
+            let mut i = 0;
+            while i < adj.len() {
+                let sid = adj[i].0;
+                let run_end = i + adj[i..].partition_point(|&(s, _)| s == sid);
+                if let Some(bsid) = b_ids[sid as usize] {
+                    let b_tos = b.succ_slice(q, bsid);
+                    if !b_tos.is_empty() {
+                        let sym = a.syms[sid as usize];
+                        for &(_, ta) in &adj[i..run_end] {
+                            for &(_, tb) in b_tos {
+                                let tid = *index.entry((ta, tb)).or_insert_with(|| {
+                                    stack.push((ta, tb));
+                                    out.add_state()
+                                });
+                                out.add_transition(pid, sym, tid);
+                            }
+                        }
                     }
                 }
+                i = run_end;
             }
         }
         out.trim()
@@ -618,6 +762,34 @@ impl Nfa {
     }
 }
 
+impl PartialEq for Nfa {
+    /// Structural equality up to the (internal) local symbol numbering: two
+    /// automata are equal iff they have the same states, start, finals and
+    /// the same labelled transition sets.
+    fn eq(&self, other: &Self) -> bool {
+        if self.num_states != other.num_states
+            || self.start != other.start
+            || self.finals != other.finals
+        {
+            return false;
+        }
+        (0..self.num_states).all(|q| {
+            if self.eps[q] != other.eps[q] || self.trans[q].len() != other.trans[q].len() {
+                return false;
+            }
+            let canon = |nfa: &Nfa, v: &[(u32, StateId)]| -> Vec<(Symbol, StateId)> {
+                let mut out: Vec<(Symbol, StateId)> =
+                    v.iter().map(|&(s, t)| (nfa.syms[s as usize], t)).collect();
+                out.sort_unstable();
+                out
+            };
+            canon(self, &self.trans[q]) == canon(other, &other.trans[q])
+        })
+    }
+}
+
+impl Eq for Nfa {}
+
 impl fmt::Debug for Nfa {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Nfa(states={}, start={}, finals={:?})", self.num_states, self.start, self.finals)?;
@@ -630,7 +802,6 @@ impl fmt::Debug for Nfa {
         Ok(())
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -752,7 +923,7 @@ mod tests {
     #[test]
     fn map_and_filter_symbols() {
         let a = Nfa::literal(&word_chars("ab"));
-        let mapped = a.map_symbols(|s| if s.as_str() == "a" { Symbol::new("x") } else { s.clone() });
+        let mapped = a.map_symbols(|s| if s.as_str() == "a" { Symbol::new("x") } else { *s });
         assert!(mapped.accepts(&word_chars("xb")));
         assert!(!mapped.accepts(&word_chars("ab")));
         let filtered = a.filter_symbols(|s| s.as_str() != "b");

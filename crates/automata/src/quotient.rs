@@ -20,6 +20,13 @@
 //! involved alphabets. In particular, when `P` (or `S`) is the empty
 //! language the universal residual is vacuously `Σ*` over that union — the
 //! caller decides what to intersect it with.
+//!
+//! The universal residuals start by determinising the subject language. A
+//! caller that takes many residuals of the *same* language by varying
+//! contexts (the refute-and-refine synthesis loops re-enter here thousands
+//! of times) should determinise once and use the [`Dfa`] entry points
+//! [`Dfa::universal_context_residual`] / [`Dfa::uniform_context_residual`]
+//! instead — the `Nfa` methods are thin wrappers over them.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
@@ -71,48 +78,11 @@ impl Nfa {
     /// and right contexts stays inside the target content model. When
     /// `[prefixes]` (or `[suffixes]`) is empty the constraint is vacuous and
     /// the result is `Σ*` over the union of the three alphabets.
+    ///
+    /// Determinises `self` on every call; see
+    /// [`Dfa::universal_context_residual`] to reuse a cached determinisation.
     pub fn universal_context_residual(&self, prefixes: &Nfa, suffixes: &Nfa) -> Nfa {
-        let sigma = self
-            .alphabet()
-            .union(&prefixes.alphabet())
-            .union(&suffixes.alphabet());
-        let d = Dfa::from_nfa(self).complete(&sigma);
-        // States the target DFA can be in after reading any realizable
-        // prefix. `w` must be good from *all* of them simultaneously.
-        let entry = states_reachable_via(&d, prefixes);
-        // States from which every realizable suffix still accepts.
-        let safe = states_where_all_suffixes_accept(&d, suffixes);
-        // Deterministic set-simulation: track the set of states the entry
-        // set evolves into; accept iff it is entirely safe. The empty entry
-        // set (no realizable prefix) is vacuously safe, yielding Σ*.
-        let mut sets: Vec<BTreeSet<StateId>> = vec![entry.clone()];
-        let mut index: BTreeMap<BTreeSet<StateId>, usize> = BTreeMap::new();
-        index.insert(entry, 0);
-        let mut out = Nfa::new(1, 0);
-        let mut queue = VecDeque::from([0usize]);
-        while let Some(id) = queue.pop_front() {
-            if sets[id].iter().all(|q| safe.contains(q)) {
-                out.set_final(id);
-            }
-            for sym in &sigma {
-                let next: BTreeSet<StateId> = sets[id]
-                    .iter()
-                    .filter_map(|&q| d.delta(q, sym))
-                    .collect();
-                let next_id = match index.get(&next) {
-                    Some(&i) => i,
-                    None => {
-                        let i = out.add_state();
-                        sets.push(next.clone());
-                        index.insert(next, i);
-                        queue.push_back(i);
-                        i
-                    }
-                };
-                out.add_transition(id, sym.clone(), next_id);
-            }
-        }
-        out.trim()
+        Dfa::from_nfa(self).universal_context_residual(prefixes, suffixes)
     }
 
     /// The **uniform** context residual: the words `w` such that
@@ -137,6 +107,76 @@ impl Nfa {
     /// regular); the reachable transformation monoid is at most `|Q|^|Q|`
     /// but stays tiny for the content-model DFAs this is used on.
     ///
+    /// Determinises `self` on every call; see
+    /// [`Dfa::uniform_context_residual`] to reuse a cached determinisation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `contexts` has fewer than two entries (no gap to fill).
+    pub fn uniform_context_residual(&self, contexts: &[Nfa]) -> Nfa {
+        Dfa::from_nfa(self).uniform_context_residual(contexts)
+    }
+}
+
+impl Dfa {
+    /// [`Nfa::universal_context_residual`] against an already-determinised
+    /// subject language: `self` must recognise the subject (partial
+    /// transition functions are fine — completion over the union of the
+    /// alphabets happens here).
+    ///
+    /// This is the memoisation-friendly entry point: the synthesis loops
+    /// determinise each content model once per problem and take residuals by
+    /// many different contexts.
+    pub fn universal_context_residual(&self, prefixes: &Nfa, suffixes: &Nfa) -> Nfa {
+        let sigma = self
+            .alphabet()
+            .union(&prefixes.alphabet())
+            .union(&suffixes.alphabet());
+        let d = self.complete(&sigma);
+        let ids = d.resolve_alphabet(&sigma);
+        // States the target DFA can be in after reading any realizable
+        // prefix. `w` must be good from *all* of them simultaneously.
+        let entry = states_reachable_via(&d, prefixes);
+        // States from which every realizable suffix still accepts.
+        let safe = states_where_all_suffixes_accept(&d, suffixes);
+        // Deterministic set-simulation: track the set of states the entry
+        // set evolves into; accept iff it is entirely safe. The empty entry
+        // set (no realizable prefix) is vacuously safe, yielding Σ*.
+        let mut sets: Vec<BTreeSet<StateId>> = vec![entry.clone()];
+        let mut index: BTreeMap<BTreeSet<StateId>, usize> = BTreeMap::new();
+        index.insert(entry, 0);
+        let mut out = Nfa::new(1, 0);
+        let mut queue = VecDeque::from([0usize]);
+        while let Some(id) = queue.pop_front() {
+            if sets[id].iter().all(|q| safe.contains(q)) {
+                out.set_final(id);
+            }
+            for &(sym, sid) in &ids {
+                let sid = sid.expect("completed DFA mentions every alphabet symbol");
+                let next: BTreeSet<StateId> = sets[id]
+                    .iter()
+                    .filter_map(|&q| d.delta_local(q, sid))
+                    .collect();
+                let next_id = match index.get(&next) {
+                    Some(&i) => i,
+                    None => {
+                        let i = out.add_state();
+                        sets.push(next.clone());
+                        index.insert(next, i);
+                        queue.push_back(i);
+                        i
+                    }
+                };
+                out.add_transition(id, sym, next_id);
+            }
+        }
+        out.trim()
+    }
+
+    /// [`Nfa::uniform_context_residual`] against an already-determinised
+    /// subject language (see [`Dfa::universal_context_residual`] for the
+    /// caching rationale).
+    ///
     /// # Panics
     ///
     /// Panics if `contexts` has fewer than two entries (no gap to fill).
@@ -146,7 +186,8 @@ impl Nfa {
         for c in contexts {
             sigma = sigma.union(&c.alphabet());
         }
-        let d = Dfa::from_nfa(self).complete(&sigma);
+        let d = self.complete(&sigma);
+        let ids = d.resolve_alphabet(&sigma);
         let n = d.num_states();
         // Per inner context: the set-valued reachability map
         // q ↦ {δ*(q, u) : u ∈ [Cᵢ]} (the last context acts as a suffix
@@ -179,10 +220,11 @@ impl Nfa {
             if accepts(&trans[id]) {
                 out.set_final(id);
             }
-            for sym in &sigma {
+            for &(sym, sid) in &ids {
+                let sid = sid.expect("completed DFA mentions every alphabet symbol");
                 let next: Vec<StateId> = trans[id]
                     .iter()
-                    .map(|&q| d.delta(q, sym).expect("completed DFA is total"))
+                    .map(|&q| d.delta_local(q, sid).expect("completed DFA is total"))
                     .collect();
                 let next_id = match index.get(&next) {
                     Some(&i) => i,
@@ -194,7 +236,7 @@ impl Nfa {
                         i
                     }
                 };
-                out.add_transition(id, sym.clone(), next_id);
+                out.add_transition(id, sym, next_id);
             }
         }
         out.trim()
@@ -210,7 +252,9 @@ fn states_reachable_via(d: &Dfa, prefixes: &Nfa) -> BTreeSet<StateId> {
 /// The set `{ δ*(q, u) : u ∈ [lang] }` of states of `d` reachable by
 /// reading some word of `[lang]` from the state `q`.
 fn states_reachable_via_from(d: &Dfa, q: StateId, prefixes: &Nfa) -> BTreeSet<StateId> {
-    let sigma = union_alphabet(d, prefixes);
+    // The product only moves on symbols both machines know; resolve the
+    // local ids of the shared alphabet once.
+    let ids = shared_ids(d, prefixes);
     let p0 = prefixes.epsilon_closure(&BTreeSet::from([prefixes.start()]));
     let start = (p0, q);
     let mut seen: BTreeSet<(BTreeSet<StateId>, StateId)> = BTreeSet::from([start.clone()]);
@@ -220,12 +264,12 @@ fn states_reachable_via_from(d: &Dfa, q: StateId, prefixes: &Nfa) -> BTreeSet<St
         if pset.iter().any(|p| prefixes.is_final(*p)) {
             out.insert(q);
         }
-        for sym in &sigma {
-            let pnext = prefixes.step(&pset, sym);
+        for &(dsid, psid) in &ids {
+            let pnext = prefixes.step_local(&pset, psid);
             if pnext.is_empty() {
                 continue;
             }
-            let qnext = match d.delta(q, sym) {
+            let qnext = match d.delta_local(q, dsid) {
                 Some(t) => t,
                 None => continue,
             };
@@ -249,7 +293,14 @@ fn states_where_all_suffixes_accept(d: &Dfa, suffixes: &Nfa) -> BTreeSet<StateId
 
 /// Whether some word of `[suffixes]` read from `q` fails to accept in `d`.
 fn suffix_rejects_somewhere(d: &Dfa, q: StateId, suffixes: &Nfa) -> bool {
-    let sigma = union_alphabet(d, suffixes);
+    // Unlike the reachability walks, a suffix symbol *unknown* to `d` must
+    // still be explored: a missing transition counts as rejection, so the
+    // id list covers the whole suffix alphabet with an optional `d` side.
+    let ids: Vec<(Option<u32>, u32)> = suffixes
+        .alphabet()
+        .iter()
+        .filter_map(|s| Some((d.sym_id(s), suffixes.sym_id(s)?)))
+        .collect();
     let s0 = suffixes.epsilon_closure(&BTreeSet::from([suffixes.start()]));
     let start = (s0, Some(q));
     let mut seen: BTreeSet<(BTreeSet<StateId>, Option<StateId>)> = BTreeSet::from([start.clone()]);
@@ -260,12 +311,12 @@ fn suffix_rejects_somewhere(d: &Dfa, q: StateId, suffixes: &Nfa) -> bool {
         if suffix_ends_here && !accepts {
             return true;
         }
-        for sym in &sigma {
-            let snext = suffixes.step(&sset, sym);
+        for &(dsid, ssid) in &ids {
+            let snext = suffixes.step_local(&sset, ssid);
             if snext.is_empty() {
                 continue;
             }
-            let dnext = dq.and_then(|t| d.delta(t, sym));
+            let dnext = dq.and_then(|t| dsid.and_then(|sid| d.delta_local(t, sid)));
             let state = (snext, dnext);
             if seen.insert(state.clone()) {
                 queue.push_back(state);
@@ -278,7 +329,7 @@ fn suffix_rejects_somewhere(d: &Dfa, q: StateId, suffixes: &Nfa) -> bool {
 /// Whether some word of `[suffixes]` read from `q` reaches an accepting
 /// state of `d`.
 fn suffix_reaches_final(d: &Dfa, q: StateId, suffixes: &Nfa) -> bool {
-    let sigma = union_alphabet(d, suffixes);
+    let ids = shared_ids(d, suffixes);
     let s0 = suffixes.epsilon_closure(&BTreeSet::from([suffixes.start()]));
     let start = (s0, q);
     let mut seen: BTreeSet<(BTreeSet<StateId>, StateId)> = BTreeSet::from([start.clone()]);
@@ -287,12 +338,12 @@ fn suffix_reaches_final(d: &Dfa, q: StateId, suffixes: &Nfa) -> bool {
         if sset.iter().any(|s| suffixes.is_final(*s)) && d.is_final(dq) {
             return true;
         }
-        for sym in &sigma {
-            let snext = suffixes.step(&sset, sym);
+        for &(dsid, ssid) in &ids {
+            let snext = suffixes.step_local(&sset, ssid);
             if snext.is_empty() {
                 continue;
             }
-            let dnext = match d.delta(dq, sym) {
+            let dnext = match d.delta_local(dq, dsid) {
                 Some(t) => t,
                 None => continue,
             };
@@ -305,10 +356,21 @@ fn suffix_reaches_final(d: &Dfa, q: StateId, suffixes: &Nfa) -> bool {
     false
 }
 
+/// The `(dfa local id, nfa local id)` pairs of the symbols both automata
+/// mention. In the product walks above, symbols missing from either side
+/// never fire (either the context cannot produce them or the subject DFA is
+/// partial there and the walk stops anyway), so restricting to the shared
+/// alphabet is exact.
+fn shared_ids(d: &Dfa, other: &Nfa) -> Vec<(u32, u32)> {
+    union_alphabet(d, other)
+        .iter()
+        .filter_map(|s| Some((d.sym_id(s)?, other.sym_id(s)?)))
+        .collect()
+}
+
 fn union_alphabet(d: &Dfa, other: &Nfa) -> Alphabet {
     d.alphabet().union(&other.alphabet())
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

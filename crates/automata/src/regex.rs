@@ -136,7 +136,7 @@ impl Regex {
         match self {
             Regex::Empty | Regex::Epsilon => {}
             Regex::Sym(s) => {
-                out.insert(s.clone());
+                out.insert(*s);
             }
             Regex::Concat(parts) | Regex::Alt(parts) => {
                 for p in parts {
@@ -164,7 +164,7 @@ impl Regex {
         match self {
             Regex::Empty => Nfa::empty(),
             Regex::Epsilon => Nfa::epsilon(),
-            Regex::Sym(s) => Nfa::symbol(s.clone()),
+            Regex::Sym(s) => Nfa::symbol(*s),
             Regex::Concat(parts) => parts
                 .iter()
                 .map(Regex::to_nfa)
@@ -289,7 +289,7 @@ impl Glushkov {
                 Regex::Empty => Info { nullable: false, first: BTreeSet::new(), last: BTreeSet::new() },
                 Regex::Epsilon => Info { nullable: true, first: BTreeSet::new(), last: BTreeSet::new() },
                 Regex::Sym(s) => {
-                    ctx.symbols.push(s.clone());
+                    ctx.symbols.push(*s);
                     ctx.follow.push(BTreeSet::new());
                     let p = ctx.symbols.len() - 1; // positions counted from 1 via dummy below
                     Info {
@@ -399,11 +399,11 @@ impl Glushkov {
         let n = self.position_symbols.len();
         let mut nfa = Nfa::new(n, 0);
         for &p in &self.first {
-            nfa.add_transition(0, self.position_symbols[p].clone(), p);
+            nfa.add_transition(0, self.position_symbols[p], p);
         }
         for p in 1..n {
             for &q in &self.follow[p] {
-                nfa.add_transition(p, self.position_symbols[q].clone(), q);
+                nfa.add_transition(p, self.position_symbols[q], q);
             }
         }
         for &p in &self.last {

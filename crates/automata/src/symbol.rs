@@ -3,33 +3,199 @@
 //!
 //! The paper works with two alphabets: `Σ` of element names and `Σf` of
 //! function symbols (Section 2.3). Both are represented here by [`Symbol`],
-//! a cheaply clonable interned string. Distinguishing element names from
-//! function names is the responsibility of the higher layers (the kernel
-//! document knows which leaves are docking points).
+//! a **copyable `u32` id into a global intern table**. Distinguishing element
+//! names from function names is the responsibility of the higher layers (the
+//! kernel document knows which leaves are docking points).
+//!
+//! # Interning
+//!
+//! Every distinct string is interned exactly once, process-wide, in a
+//! lock-sharded table ([`Symbol::new`] hashes the text, takes one shard
+//! mutex, and allocates an id on first sight). Consequences the rest of the
+//! workspace relies on:
+//!
+//! * **Equality is an integer compare.** Two `Symbol`s built from the same
+//!   text always carry the same id, so `==`, and `Hash` (which hashes the
+//!   id), are O(1) and never touch the string.
+//! * **Ordering and `Debug`/`Display` are by text**, exactly as in the
+//!   string-keyed representation this replaced: `BTreeMap`/`BTreeSet`
+//!   iteration order, sorted alphabets and rendered words are unchanged.
+//! * **Specialisation links are cached.** `a.specialize(i)` (the paper's
+//!   `ã_i`, spelled `a~i`) and [`Symbol::base_name`] resolve through cached
+//!   id→id links instead of re-scanning and re-hashing strings.
+//! * The table is **append-only and leaked**: symbols live for the process
+//!   lifetime (the workload universe of element/function names is small and
+//!   bounded; this is what makes `as_str` borrows `'static`-backed and
+//!   `Symbol` `Copy`). Consequently a long-lived process must not intern an
+//!   unbounded stream of *distinct untrusted* names — memory grows with the
+//!   number of distinct strings ever seen, and the table caps out at 2²⁴
+//!   symbols (a panic, not UB). A service validating arbitrary user schemas
+//!   at scale needs an epoch/session-scoped interner first (tracked in
+//!   ROADMAP's performance levers).
+//!
+//! One caveat: because `Hash` hashes the id while `str` hashes its bytes, a
+//! `Borrow<str>` impl would silently break hashed-container lookups keyed by
+//! a raw `&str` — so `Symbol` deliberately does **not** implement it. Intern
+//! the key with [`Symbol::new`] first (a hash plus one shard lock on a hit);
+//! every comparison-based need is covered by `as_str`.
 
-use std::borrow::Borrow;
+use std::cmp::Ordering;
 use std::collections::BTreeSet;
 use std::fmt;
-use std::sync::Arc;
+use std::hash::{Hash, Hasher};
 
-/// An interned, cheaply clonable symbol (an element name such as `eurostat`,
-/// a specialised element name such as `natIndA`, or a function name such as
-/// `f1`).
+mod intern {
+    //! The global, lock-sharded intern table.
+    //!
+    //! Writes (first sight of a string) go through a per-shard mutex; reads
+    //! (`resolve`/`base_of`, which back `Symbol::as_str` and every `Ord`
+    //! comparison) are **lock-free**: ids index into fixed-size leaked
+    //! chunks whose slots are published once through `OnceLock` — a read is
+    //! two acquire loads, never an RMW, so concurrent readers share no
+    //! cache-line writes.
+
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::{Mutex, OnceLock};
+
+    use crate::hash::{fx_hash_str, FxHashMap};
+
+    /// Number of lookup shards (a power of two; the shard is picked from the
+    /// text hash, so unrelated symbols rarely contend on the same mutex).
+    const SHARDS: usize = 16;
+
+    /// log2 of the chunk size: ids `k·4096 .. (k+1)·4096` live in chunk `k`.
+    const CHUNK_BITS: usize = 12;
+    const CHUNK_SIZE: usize = 1 << CHUNK_BITS;
+    const CHUNK_MASK: usize = CHUNK_SIZE - 1;
+    /// Maximum number of chunks (2²⁴ symbols in total — far beyond any
+    /// element-name universe; exceeding it is a panic, not UB).
+    const MAX_CHUNKS: usize = 1 << 12;
+
+    /// One interned symbol: its text (leaked, hence `'static`) and the id of
+    /// its base name (`base == own id` for unspecialised names).
+    struct Record {
+        text: &'static str,
+        base: u32,
+    }
+
+    /// A chunk of the id → record table: each slot is written exactly once
+    /// (by the thread that allocated the id, under its shard lock) and read
+    /// lock-free ever after.
+    type Chunk = Box<[OnceLock<Record>]>;
+
+    pub(super) struct Interner {
+        /// text → id, sharded by text hash. Only taken on [`intern`].
+        shards: [Mutex<FxHashMap<&'static str, u32>>; SHARDS],
+        /// The next unallocated id (incremented under a shard lock).
+        next_id: AtomicU32,
+        /// id → record, in append-only leaked chunks (see [`Chunk`]).
+        chunks: [OnceLock<Chunk>; MAX_CHUNKS],
+        /// `(base id, index) → specialised id` links, so `specialize` skips
+        /// the format-and-rehash path after the first call.
+        spec: Mutex<FxHashMap<(u32, usize), u32>>,
+    }
+
+    fn global() -> &'static Interner {
+        static INTERNER: OnceLock<Interner> = OnceLock::new();
+        INTERNER.get_or_init(|| Interner {
+            shards: std::array::from_fn(|_| Mutex::new(FxHashMap::default())),
+            next_id: AtomicU32::new(0),
+            chunks: std::array::from_fn(|_| OnceLock::new()),
+            spec: Mutex::new(FxHashMap::default()),
+        })
+    }
+
+    /// The record of an interned id (lock-free: two acquire loads).
+    fn record(id: u32) -> &'static Record {
+        let interner = global();
+        let chunk = interner.chunks[id as usize >> CHUNK_BITS]
+            .get()
+            .expect("interned id precedes its chunk");
+        chunk[id as usize & CHUNK_MASK].get().expect("interned id precedes its record")
+    }
+
+    /// Interns `text`, returning its stable process-wide id.
+    pub(super) fn intern(text: &str) -> u32 {
+        let interner = global();
+        let shard = &interner.shards[(fx_hash_str(text) as usize) % SHARDS];
+        if let Some(&id) = shard.lock().expect("interner shard poisoned").get(text) {
+            return id;
+        }
+        // Miss: resolve the base id *outside* any lock (the base may hash to
+        // this very shard), then re-check under the shard lock — a racing
+        // thread may have interned the text in the meantime.
+        let base = text.rfind('~').map(|idx| intern(&text[..idx]));
+        let mut lookup = shard.lock().expect("interner shard poisoned");
+        if let Some(&id) = lookup.get(text) {
+            return id;
+        }
+        let leaked: &'static str = Box::leak(text.to_owned().into_boxed_str());
+        let id = interner.next_id.fetch_add(1, Ordering::Relaxed);
+        let chunk_index = id as usize >> CHUNK_BITS;
+        assert!(chunk_index < MAX_CHUNKS, "interner overflow: too many distinct symbols");
+        let chunk = interner.chunks[chunk_index]
+            .get_or_init(|| (0..CHUNK_SIZE).map(|_| OnceLock::new()).collect());
+        let slot_is_fresh = chunk[id as usize & CHUNK_MASK]
+            .set(Record { text: leaked, base: base.unwrap_or(id) })
+            .is_ok();
+        assert!(slot_is_fresh, "freshly allocated intern id was already populated");
+        lookup.insert(leaked, id);
+        id
+    }
+
+    /// The text of an interned id.
+    pub(super) fn resolve(id: u32) -> &'static str {
+        record(id).text
+    }
+
+    /// The base-name id of an interned id (`id` itself when unspecialised).
+    pub(super) fn base_of(id: u32) -> u32 {
+        record(id).base
+    }
+
+    /// The id of `base~index`, through the specialisation link cache.
+    pub(super) fn specialize(base: u32, index: usize) -> u32 {
+        let interner = global();
+        let mut spec = interner.spec.lock().expect("interner spec cache poisoned");
+        if let Some(&id) = spec.get(&(base, index)) {
+            return id;
+        }
+        let id = intern(&format!("{}~{}", resolve(base), index));
+        spec.insert((base, index), id);
+        id
+    }
+}
+
+/// An interned, copyable symbol (an element name such as `eurostat`, a
+/// specialised element name such as `natIndA`, or a function name such as
+/// `f1`): a dense `u32` id into the global intern table.
 ///
-/// Symbols are ordered and hashed by their textual content, so two `Symbol`s
-/// built from the same string are interchangeable.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct Symbol(Arc<str>);
+/// Symbols are **ordered, `Debug`-printed and `Display`ed by their textual
+/// content** — two `Symbol`s built from the same string are interchangeable,
+/// and sorted containers iterate in text order exactly as with a string-keyed
+/// representation. Equality and `Hash` go through the id (equal ids ⇔ equal
+/// texts), which is what makes `Symbol` keys cheap in the automata hot paths.
+/// See the [module docs](self) for the interning contract.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Symbol(u32);
 
 impl Symbol {
-    /// Creates a symbol from anything string-like.
+    /// Creates a symbol from anything string-like (interning the text on
+    /// first sight, process-wide).
     pub fn new(name: impl AsRef<str>) -> Self {
-        Symbol(Arc::from(name.as_ref()))
+        Symbol(intern::intern(name.as_ref()))
     }
 
     /// The textual content of the symbol.
     pub fn as_str(&self) -> &str {
-        &self.0
+        intern::resolve(self.0)
+    }
+
+    /// The dense intern id of the symbol. Stable for the process lifetime;
+    /// equal ids ⇔ equal texts. Hot paths use it to build per-automaton
+    /// symbol indices instead of hashing strings.
+    pub fn id(self) -> u32 {
+        self.0
     }
 
     /// Creates a "specialised" copy of this symbol, in the sense of R-SDTDs /
@@ -37,35 +203,60 @@ impl Symbol {
     ///
     /// The tilde separator mirrors the paper's notation `ã_i` and is chosen so
     /// that specialised names never collide with ordinary element names
-    /// produced by the parsers (which reject `~`).
+    /// produced by the parsers (which reject `~`). Resolved through a cached
+    /// `(base id, index) → id` link, so repeated specialisation never
+    /// re-formats the string.
     pub fn specialize(&self, index: usize) -> Symbol {
-        Symbol::new(format!("{}~{}", self.0, index))
+        Symbol(intern::specialize(self.0, index))
     }
 
     /// If this symbol is a specialised name (`a~i`), returns the underlying
-    /// element name `a`; otherwise returns a clone of the symbol itself.
+    /// element name `a`; otherwise returns a copy of the symbol itself.
+    /// Resolved through the cached id→base link computed when the symbol was
+    /// interned (no string scan).
     pub fn base_name(&self) -> Symbol {
-        match self.0.rfind('~') {
-            Some(idx) => Symbol::new(&self.0[..idx]),
-            None => self.clone(),
-        }
+        Symbol(intern::base_of(self.0))
     }
 
     /// Whether the symbol is a specialised name (contains a `~`).
     pub fn is_specialized(&self) -> bool {
-        self.0.contains('~')
+        intern::base_of(self.0) != self.0
+    }
+}
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Symbol {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Identical ids are the common case in sorted containers; only
+        // distinct symbols pay for the text comparison.
+        if self.0 == other.0 {
+            Ordering::Equal
+        } else {
+            self.as_str().cmp(other.as_str())
+        }
+    }
+}
+
+impl Hash for Symbol {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u32(self.0);
     }
 }
 
 impl fmt::Debug for Symbol {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.0)
+        write!(f, "{}", self.as_str())
     }
 }
 
 impl fmt::Display for Symbol {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.0)
+        write!(f, "{}", self.as_str())
     }
 }
 
@@ -87,17 +278,11 @@ impl From<char> for Symbol {
     }
 }
 
-impl Borrow<str> for Symbol {
-    fn borrow(&self) -> &str {
-        &self.0
-    }
-}
-
 /// A finite alphabet: an ordered set of [`Symbol`]s.
 ///
 /// Alphabets are needed wherever a complement is taken (the complement of a
 /// language is only meaningful relative to an alphabet), and to describe the
-/// element names of a schema.
+/// element names of a schema. Iteration is in text order.
 #[derive(Clone, Default, PartialEq, Eq, Debug)]
 pub struct Alphabet {
     symbols: BTreeSet<Symbol>,
@@ -234,6 +419,16 @@ mod tests {
     }
 
     #[test]
+    fn interning_is_stable_and_copy() {
+        let a1 = Symbol::new("interning_is_stable");
+        let a2 = Symbol::new(String::from("interning_is_stable"));
+        assert_eq!(a1.id(), a2.id());
+        // Copy semantics: both copies resolve to the same backing text.
+        let copy = a1;
+        assert!(std::ptr::eq(copy.as_str(), a2.as_str()));
+    }
+
+    #[test]
     fn specialization_roundtrip() {
         let a = Symbol::new("nationalIndex");
         let a1 = a.specialize(1);
@@ -242,6 +437,12 @@ mod tests {
         assert!(!a.is_specialized());
         assert_eq!(a1.base_name(), a);
         assert_eq!(a.base_name(), a);
+        // The cached link and the textual route agree.
+        assert_eq!(a1, Symbol::new("nationalIndex~1"));
+        // Nested specialisation peels one layer at a time.
+        let a12 = a1.specialize(2);
+        assert_eq!(a12.as_str(), "nationalIndex~1~2");
+        assert_eq!(a12.base_name(), a1);
     }
 
     #[test]

@@ -45,7 +45,7 @@ fn random_nfa(rng: &mut Rng) -> Nfa {
     for q in 0..n {
         for sym in &sigma {
             if rng.chance(2, 3) {
-                nfa.add_transition(q, sym.clone(), rng.below(n));
+                nfa.add_transition(q, *sym, rng.below(n));
             }
         }
         if rng.chance(1, 5) {
@@ -68,7 +68,7 @@ fn all_words_up_to_5() -> Vec<Vec<Symbol>> {
         for w in &frontier {
             for s in &sigma {
                 let mut w2 = w.clone();
-                w2.push(s.clone());
+                w2.push(*s);
                 next.push(w2);
             }
         }

@@ -1,0 +1,215 @@
+//! Property tests for the interned [`Symbol`] representation: everything a
+//! string-keyed `Symbol` observably did — ordering, hashing, `Debug`,
+//! specialisation, the parsers' view — must be preserved by the `u32`-id
+//! representation, and the global intern table must behave under
+//! cross-thread contention.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeSet, HashSet};
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use dxml_automata::{Regex, Symbol};
+
+/// A small deterministic xorshift generator (no rand crate offline).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// A pool of texts exercising the interesting shapes: empty, single chars,
+/// identifiers, shared prefixes, specialised names (`~`), nested `~`,
+/// numeric suffixes that collide textually with `specialize` output.
+fn text_pool() -> Vec<String> {
+    let mut pool: Vec<String> = [
+        "", "a", "b", "ab", "ba", "abc", "a_b", "A", "Z", "zz",
+        "eurostat", "nationalIndex", "averages", "e0", "e1", "e10", "e2",
+        "a~0", "a~1", "a~10", "a~2", "ab~1", "a~1~2", "~", "~1", "x~y",
+        "#k0", "#s12", "f$a",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut rng = Rng(0x5eed_cafe);
+    for _ in 0..200 {
+        let len = rng.below(12);
+        let s: String = (0..len)
+            .map(|_| {
+                let alphabet = b"abcxyz019_~";
+                alphabet[rng.below(alphabet.len())] as char
+            })
+            .collect();
+        pool.push(s);
+    }
+    pool.sort();
+    pool.dedup();
+    pool
+}
+
+fn std_hash<T: Hash>(value: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[test]
+fn ordering_matches_the_string_keyed_seed() {
+    let pool = text_pool();
+    for a in &pool {
+        for b in &pool {
+            let (sa, sb) = (Symbol::new(a), Symbol::new(b));
+            assert_eq!(sa.cmp(&sb), a.as_str().cmp(b.as_str()), "ordering of {a:?} vs {b:?}");
+            assert_eq!(sa == sb, a == b, "equality of {a:?} vs {b:?}");
+            assert_eq!(sa.partial_cmp(&sb), a.as_str().partial_cmp(b.as_str()));
+        }
+    }
+    // Sorted containers iterate in text order, exactly as before.
+    let symbols: BTreeSet<Symbol> = pool.iter().map(Symbol::new).collect();
+    let texts: Vec<&str> = symbols.iter().map(Symbol::as_str).collect();
+    let mut expected: Vec<&str> = pool.iter().map(String::as_str).collect();
+    expected.sort();
+    assert_eq!(texts, expected);
+}
+
+#[test]
+fn hash_is_consistent_with_equality() {
+    let pool = text_pool();
+    for a in &pool {
+        for b in &pool {
+            let (sa, sb) = (Symbol::new(a), Symbol::new(b));
+            if sa == sb {
+                assert_eq!(std_hash(&sa), std_hash(&sb), "equal symbols must hash equal: {a:?}");
+            }
+        }
+    }
+    // A HashSet of symbols behaves like a HashSet of their texts.
+    let symbols: HashSet<Symbol> = pool.iter().map(Symbol::new).collect();
+    let texts: HashSet<&str> = pool.iter().map(String::as_str).collect();
+    assert_eq!(symbols.len(), texts.len());
+    for t in &texts {
+        assert!(symbols.contains(&Symbol::new(t)));
+    }
+}
+
+#[test]
+fn debug_and_display_render_the_text() {
+    for t in text_pool() {
+        let s = Symbol::new(&t);
+        assert_eq!(format!("{s:?}"), t, "Debug must render the bare text");
+        assert_eq!(format!("{s}"), t, "Display must render the bare text");
+        assert_eq!(s.as_str(), t);
+    }
+}
+
+#[test]
+fn specialize_base_name_roundtrips() {
+    for t in text_pool() {
+        let s = Symbol::new(&t);
+        for i in [0usize, 1, 7, 10, 123] {
+            let spec = s.specialize(i);
+            // The textual contract: specialisation is `~`-concatenation …
+            assert_eq!(spec.as_str(), format!("{t}~{i}"));
+            // … it is interchangeable with interning the text directly …
+            assert_eq!(spec, Symbol::new(format!("{t}~{i}")));
+            // … it is always specialised, and peeling one layer returns the
+            // base (the `~` collision rule: base_name cuts at the *last* ~).
+            assert!(spec.is_specialized());
+            assert_eq!(spec.base_name(), s);
+        }
+        // base_name of an unspecialised name is the name itself.
+        match t.rfind('~') {
+            None => {
+                assert!(!s.is_specialized(), "{t:?}");
+                assert_eq!(s.base_name(), s);
+            }
+            Some(idx) => {
+                assert!(s.is_specialized(), "{t:?}");
+                assert_eq!(s.base_name().as_str(), &t[..idx]);
+            }
+        }
+    }
+}
+
+#[test]
+fn parser_produced_symbols_agree_with_interning() {
+    // Identifier-mode regexes accept `~` in names, so parser-produced
+    // specialised names must be *the same symbols* as specialize() output.
+    let re = Regex::parse("nat~1, nat~2*").unwrap();
+    let nat = Symbol::new("nat");
+    let alphabet = re.to_nfa().alphabet();
+    assert!(alphabet.contains(&nat.specialize(1)));
+    assert!(alphabet.contains(&nat.specialize(2)));
+    for sym in alphabet.iter() {
+        assert_eq!(sym.base_name(), nat, "{sym}");
+    }
+    // Words accept interchangeably.
+    assert!(re.accepts(&[nat.specialize(1), nat.specialize(2)]));
+    assert!(re.accepts(&[Symbol::new("nat~1")]));
+    assert!(!re.accepts(&[nat]));
+}
+
+#[test]
+fn compact_symbols_are_copy_and_share_backing_text() {
+    let a = Symbol::new("copy_semantics_probe");
+    let b = a; // Copy, not move
+    assert_eq!(a, b);
+    assert!(std::ptr::eq(a.as_str(), b.as_str()), "copies resolve to the same interned text");
+    assert!(std::ptr::eq(
+        a.as_str(),
+        Symbol::new(String::from("copy_semantics_probe")).as_str()
+    ));
+    assert_eq!(a.id(), b.id());
+    assert!(std::mem::size_of::<Symbol>() <= 4, "Symbol must stay a dense u32 id");
+}
+
+#[test]
+fn cross_thread_interning_is_consistent() {
+    // Many threads intern overlapping name families concurrently; every
+    // thread must end up with identical ids (hence identical backing text)
+    // for identical strings, and specialisation links must agree.
+    const THREADS: usize = 8;
+    const NAMES: usize = 200;
+    let barrier = Arc::new(std::sync::Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let mut out = Vec::with_capacity(NAMES);
+                for i in 0..NAMES {
+                    // Overlapping families: every thread interns the same
+                    // names, in a thread-dependent order.
+                    let i = (i + t * 37) % NAMES;
+                    let base = Symbol::new(format!("stress_{}", i % 50));
+                    let spec = base.specialize(i % 11);
+                    assert_eq!(spec.base_name(), base);
+                    out.push((i, base.id(), spec.id()));
+                }
+                out
+            })
+        })
+        .collect();
+    let mut reference: Vec<Vec<(usize, u32, u32)>> =
+        handles.into_iter().map(|h| h.join().expect("stress thread panicked")).collect();
+    for per_thread in &mut reference {
+        per_thread.sort();
+        per_thread.dedup();
+    }
+    for window in reference.windows(2) {
+        assert_eq!(window[0], window[1], "threads disagree on interned ids");
+    }
+    // And the ids resolve to the expected texts after the dust settles.
+    for i in 0..50 {
+        assert_eq!(Symbol::new(format!("stress_{i}")).as_str(), format!("stress_{i}"));
+    }
+}

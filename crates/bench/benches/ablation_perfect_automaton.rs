@@ -47,7 +47,7 @@ fn main() {
             // `extension_warm` in table4_perfect).
             let mut fresh = dxml_core::DesignProblem::new(problem.doc_schema().clone());
             for (g, schema) in problem.fun_schemas() {
-                fresh.add_function(g.clone(), schema.clone());
+                fresh.add_function(*g, schema.clone());
             }
             fresh.extension_nuta(&doc).unwrap().size()
         });

@@ -1,0 +1,218 @@
+//! Symbol interning: the dense-id automata hot paths against the seed's
+//! string-keyed representation.
+//!
+//! The workload is the table-2/3/4 DTD family: the union-closure of its
+//! content models is exactly the automaton shape the verification and
+//! synthesis loops determinise over and over. Two implementations run the
+//! same subset construction on the same language:
+//!
+//! * **interned** — the real [`dxml_automata`] path: `Symbol` as a dense
+//!   `u32` id, sorted adjacency vectors, hashed subset index;
+//! * **strings** — a faithful in-bench reimplementation of the *seed*
+//!   representation this PR replaced: `Arc<str>` symbols ordered by text,
+//!   `BTreeMap<Option<Sym>, BTreeSet<usize>>` transitions per state, a
+//!   `BTreeMap`-indexed subset construction, and the seed's
+//!   clone-per-lookup `step`.
+//!
+//! Besides timing, this target *asserts* the tentpole's win: at the largest
+//! size the string-keyed median must be at least 2× the interned median
+//! (the acceptance bar of the interning change), mirroring how
+//! `table4_perfect` asserts its caching contract.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
+
+use dxml_automata::{Nfa, RFormalism, Symbol};
+use dxml_bench::{dtd_family, elem, section, smoke, Session};
+
+/// The seed's symbol: a refcounted string ordered by text.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Sym(Arc<str>);
+
+/// The seed's NFA representation: one `BTreeMap<Option<Sym>, BTreeSet<usize>>`
+/// per state (`None` = ε), string comparisons on every lookup.
+struct SeedNfa {
+    start: usize,
+    finals: BTreeSet<usize>,
+    trans: Vec<BTreeMap<Option<Sym>, BTreeSet<usize>>>,
+}
+
+impl SeedNfa {
+    /// Converts from the real automaton (outside the timed region).
+    fn of(nfa: &Nfa) -> SeedNfa {
+        let mut out = SeedNfa {
+            start: nfa.start(),
+            finals: nfa.finals().clone(),
+            trans: vec![BTreeMap::new(); nfa.num_states()],
+        };
+        for (q, lbl, t) in nfa.transitions() {
+            let key = lbl.map(|s| Sym(Arc::from(s.as_str())));
+            out.trans[q].entry(key).or_default().insert(t);
+        }
+        out
+    }
+
+    fn alphabet(&self) -> BTreeSet<Sym> {
+        self.trans
+            .iter()
+            .flat_map(|m| m.keys())
+            .filter_map(|k| k.clone())
+            .collect()
+    }
+
+    /// Seed `Nfa::epsilon_closure`, verbatim modulo names.
+    fn epsilon_closure(&self, set: &BTreeSet<usize>) -> BTreeSet<usize> {
+        let mut closure = set.clone();
+        let mut stack: Vec<usize> = set.iter().copied().collect();
+        while let Some(q) = stack.pop() {
+            if let Some(next) = self.trans[q].get(&None) {
+                for &t in next {
+                    if closure.insert(t) {
+                        stack.push(t);
+                    }
+                }
+            }
+        }
+        closure
+    }
+
+    /// Seed `Nfa::step`, including its clone-per-lookup key construction.
+    fn step(&self, set: &BTreeSet<usize>, sym: &Sym) -> BTreeSet<usize> {
+        let mut next = BTreeSet::new();
+        for &q in set {
+            if let Some(ts) = self.trans[q].get(&Some(sym.clone())) {
+                next.extend(ts.iter().copied());
+            }
+        }
+        self.epsilon_closure(&next)
+    }
+
+    /// Seed `Dfa::from_nfa`: BFS over reachable subsets with a
+    /// `BTreeMap`-of-sets index, producing string-keyed DFA transitions.
+    /// Returns (states, transitions) so the work stays observable.
+    fn determinize(&self) -> (usize, usize) {
+        let alphabet = self.alphabet();
+        let start_set = self.epsilon_closure(&BTreeSet::from([self.start]));
+        let mut index: BTreeMap<BTreeSet<usize>, usize> = BTreeMap::new();
+        let mut dfa_trans: Vec<BTreeMap<Sym, usize>> = vec![BTreeMap::new()];
+        let mut num_finals = 0usize;
+        index.insert(start_set.clone(), 0);
+        let mut queue = VecDeque::from([start_set]);
+        while let Some(set) = queue.pop_front() {
+            let id = index[&set];
+            if set.iter().any(|q| self.finals.contains(q)) {
+                num_finals += 1;
+            }
+            for sym in &alphabet {
+                let next = self.step(&set, sym);
+                if next.is_empty() {
+                    continue;
+                }
+                let next_id = match index.get(&next) {
+                    Some(&i) => i,
+                    None => {
+                        let i = dfa_trans.len();
+                        dfa_trans.push(BTreeMap::new());
+                        index.insert(next.clone(), i);
+                        queue.push_back(next.clone());
+                        i
+                    }
+                };
+                dfa_trans[id].insert(sym.clone(), next_id);
+            }
+        }
+        std::hint::black_box(num_finals);
+        (dfa_trans.len(), dfa_trans.iter().map(BTreeMap::len).sum())
+    }
+
+    /// Seed `Nfa::accepts`.
+    fn accepts(&self, word: &[Sym]) -> bool {
+        let mut current = self.epsilon_closure(&BTreeSet::from([self.start]));
+        for sym in word {
+            if current.is_empty() {
+                break;
+            }
+            current = self.step(&current, sym);
+        }
+        current.iter().any(|q| self.finals.contains(q))
+    }
+}
+
+/// The hot-loop language of the table workloads: the starred union of every
+/// content model of the `(n, seed)` DTD family — the automaton shape the
+/// design procedures feed to the subset construction — with the family's
+/// compressed `e<i>` names expanded to the paper's element-name lengths
+/// (`nationalIndex_e<i>`, the Figure-3 naming style the compact family
+/// abbreviates). The ε-transitions of the union are eliminated up front:
+/// the seed and the interned path eliminate them identically, and the
+/// subset-construction loop proper is what this target measures.
+fn family_language(n: usize) -> Nfa {
+    let target = dtd_family(RFormalism::Nre, n, 11);
+    let contents: Vec<Nfa> = target
+        .alphabet()
+        .iter()
+        .map(|a| target.content(a).to_nfa())
+        .collect();
+    Nfa::union_all(contents.iter())
+        .star()
+        .map_symbols(|s| Symbol::new(format!("nationalIndex_{s}")))
+        .eps_free()
+}
+
+/// A long valid-ish word over the family alphabet for the membership case.
+fn probe_word(n: usize, len: usize) -> Vec<Symbol> {
+    (0..len)
+        .map(|i| Symbol::new(format!("nationalIndex_{}", elem(1 + (i % n.saturating_sub(1).max(1))))))
+        .collect()
+}
+
+fn main() {
+    let mut session = Session::new("symbol_interning");
+
+    section("symbol_interning: subset construction, interned ids vs seed strings");
+    let mut medians: BTreeMap<usize, (std::time::Duration, std::time::Duration)> = BTreeMap::new();
+    for n in [8usize, 16, 24, 32] {
+        let lang = family_language(n);
+        let seed = SeedNfa::of(&lang);
+        // Both representations determinise the same language.
+        let interned_states = lang.to_dfa().num_states();
+        let (string_states, _) = seed.determinize();
+        assert_eq!(
+            interned_states, string_states,
+            "interned and string-keyed subset constructions must agree (n={n})"
+        );
+        let interned = session.bench(&format!("subset_construction_interned/n={n}"), 15, || {
+            lang.to_dfa().num_states()
+        });
+        let strings = session.bench(&format!("subset_construction_strings/n={n}"), 15, || {
+            seed.determinize()
+        });
+        medians.insert(n, (interned.median, strings.median));
+    }
+
+    section("symbol_interning: word membership on the family language");
+    for n in [16usize, 24] {
+        let lang = family_language(n);
+        let seed = SeedNfa::of(&lang);
+        let word = probe_word(n, 512);
+        let seed_word: Vec<Sym> = word.iter().map(|s| Sym(Arc::from(s.as_str()))).collect();
+        assert_eq!(lang.accepts(&word), seed.accepts(&seed_word));
+        session.bench(&format!("membership_interned/n={n}"), 15, || lang.accepts(&word));
+        session.bench(&format!("membership_strings/n={n}"), 15, || seed.accepts(&seed_word));
+    }
+
+    // The acceptance bar of the interning tentpole: on the largest table
+    // workload, the dense-id hot loop is at least 2× faster than the
+    // seed-equivalent string-keyed path (cold, same language, same
+    // algorithm shape).
+    if !smoke() {
+        let &(interned, strings) = medians.get(&32).expect("n=32 case ran");
+        assert!(
+            strings >= interned.saturating_mul(2),
+            "interned subset construction ({interned:?}) must be ≥2× faster than the \
+             string-keyed seed path ({strings:?}) at n=32"
+        );
+    }
+
+    session.finish();
+}

@@ -18,11 +18,11 @@ fn main() {
         let (problem, doc) = design_workload(n, 2, 11);
         let f = doc.called_functions().into_iter().next().expect("workload has calls");
         // The synthesised schema must solve the design it was derived from.
-        let schema = problem.perfect_schema(&doc, f.clone()).expect("synthesis succeeds");
-        let solved = problem.clone().with_function(f.clone(), schema);
+        let schema = problem.perfect_schema(&doc, f).expect("synthesis succeeds");
+        let solved = problem.clone().with_function(f, schema);
         assert!(solved.typecheck(&doc).expect("typecheck runs").is_valid());
         session.bench(&format!("perfect_schema/n={n}"), 5, || {
-            problem.perfect_schema(&doc, f.clone()).expect("synthesis succeeds").size()
+            problem.perfect_schema(&doc, f).expect("synthesis succeeds").size()
         });
     }
 
@@ -34,7 +34,7 @@ fn main() {
             // empty every time, so each call re-determinises.
             let mut fresh = DesignProblem::new(problem.doc_schema().clone());
             for (g, schema) in problem.fun_schemas() {
-                fresh.add_function(g.clone(), schema.clone());
+                fresh.add_function(*g, schema.clone());
             }
             assert!(fresh.typecheck(&doc).unwrap().is_valid());
         });
@@ -70,7 +70,7 @@ fn main() {
             // every time, so each call rebuilds the extension automaton.
             let mut fresh = DesignProblem::new(problem.doc_schema().clone());
             for (g, schema) in problem.fun_schemas() {
-                fresh.add_function(g.clone(), schema.clone());
+                fresh.add_function(*g, schema.clone());
             }
             fresh.extension_nuta(&doc).unwrap().size()
         });

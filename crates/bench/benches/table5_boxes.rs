@@ -60,7 +60,7 @@ fn main() {
             // re-images the gap languages.
             let mut fresh = BoxDesignProblem::new(problem.doc_schema().clone());
             for (g, schema) in problem.fun_schemas() {
-                fresh.add_function(g.clone(), schema.clone());
+                fresh.add_function(*g, schema.clone());
             }
             assert!(fresh.typecheck(&doc).unwrap().is_valid());
         });

@@ -84,7 +84,7 @@ pub fn design_workload(n: usize, fns: usize, seed: u64) -> (DesignProblem, Distr
     let mut e1_schema = RDtd::new(RFormalism::Nre, elem(1));
     for (name, content) in target.rules() {
         if name != target.start() {
-            e1_schema.set_rule(name.clone(), content.clone());
+            e1_schema.set_rule(*name, content.clone());
         }
     }
     // Kernel: the start element with one complete `e1` subtree followed by
@@ -94,7 +94,7 @@ pub fn design_workload(n: usize, fns: usize, seed: u64) -> (DesignProblem, Distr
     let e1_tree = e1_schema.sample_tree().expect("family languages are non-empty");
     kernel.graft(0, &e1_tree);
     for f in &fun_names {
-        kernel.add_child(0, f.clone());
+        kernel.add_child(0, *f);
     }
     let mut problem = DesignProblem::new({
         // Target start content: e1 followed by any number of e1 — accepts
@@ -108,9 +108,9 @@ pub fn design_workload(n: usize, fns: usize, seed: u64) -> (DesignProblem, Distr
         let mut schema = RDtd::new(RFormalism::Nre, "r");
         schema.set_rule("r", RSpec::Nre(Regex::sym(elem(1)).star()));
         for (name, content) in e1_schema.rules() {
-            schema.set_rule(name.clone(), content.clone());
+            schema.set_rule(*name, content.clone());
         }
-        problem.add_function(f.clone(), schema);
+        problem.add_function(*f, schema);
     }
     let doc = DistributedDoc::new(kernel, fun_names).expect("kernel invariants hold");
     (problem, doc)
@@ -126,8 +126,8 @@ pub fn box_target(n: usize) -> REdtd {
     let mut root = Vec::with_capacity(n);
     for i in 0..n {
         let spec = Symbol::new(format!("x{i}"));
-        target.add_specialization(spec.clone(), "a");
-        target.set_rule(spec.clone(), RSpec::Nre(Regex::sym(elem(i))));
+        target.add_specialization(spec, "a");
+        target.set_rule(spec, RSpec::Nre(Regex::sym(elem(i))));
         root.push(Regex::Sym(spec));
     }
     target.set_rule("s", RSpec::Nre(Regex::concat(root)));
@@ -152,8 +152,8 @@ pub fn box_workload(n: usize) -> (BoxDesignProblem, DistributedDoc) {
     let mut forest = Vec::with_capacity(n - split);
     for i in split..n {
         let spec = Symbol::new(format!("y{i}"));
-        schema.add_specialization(spec.clone(), "a");
-        schema.set_rule(spec.clone(), RSpec::Nre(Regex::sym(elem(i))));
+        schema.add_specialization(spec, "a");
+        schema.set_rule(spec, RSpec::Nre(Regex::sym(elem(i))));
         forest.push(Regex::Sym(spec));
     }
     schema.set_rule("r", RSpec::Nre(Regex::concat(forest)));

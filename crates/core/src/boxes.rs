@@ -42,14 +42,14 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
-use dxml_automata::{BoxLang, Nfa, RFormalism, RSpec, Symbol};
+use dxml_automata::{BoxLang, Dfa, Nfa, RFormalism, RSpec, Symbol};
 use dxml_schema::{RDtd, REdtd};
 use dxml_tree::uta::Duta;
 use dxml_tree::{uta, NodeId, Nuta};
 
-use crate::design::{Origin, TypingVerdict};
+use crate::design::{Origin, ResidualDfaCache, TypingVerdict};
 use crate::doc::DistributedDoc;
 use crate::error::DesignError;
 
@@ -71,25 +71,21 @@ fn state_set_nfa(states: &BTreeSet<usize>) -> Nfa {
     Nfa::any_of(states.iter().map(|&i| state_sym(i)))
 }
 
-/// The language of child words whose Moore output under `label` lies in
-/// `outputs`, over subset-state symbols. The per-state variant is
-/// [`Duta::content_nfa`]; this one marks every configuration with an
-/// admissible output final at once.
-fn machine_content_nfa(duta: &Duta, label: &Symbol, outputs: &BTreeSet<usize>) -> Nfa {
+/// The deterministic *skeleton* of a per-label Moore machine over
+/// subset-state symbols: its transitions, no final states. The machine is
+/// deterministic by construction, so this is already a [`Dfa`] — the
+/// residual constructions consume it directly, with the per-call admissible
+/// outputs marked final on a clone (see [`BoxTargetCache::machine_dfa`]).
+fn machine_skeleton(duta: &Duta, label: &Symbol) -> Dfa {
     let machine = match duta.machine(label) {
         Some(m) => m,
-        None => return Nfa::empty(),
+        None => return Dfa::new(1, 0),
     };
-    let mut nfa = Nfa::new(machine.num_configs(), machine.start());
+    let mut dfa = Dfa::new(machine.num_configs(), machine.start());
     for (config, letter, next) in machine.transitions() {
-        nfa.add_transition(config, state_sym(letter), next);
+        dfa.set_transition(config, state_sym(letter), next);
     }
-    for config in 0..machine.num_configs() {
-        if outputs.contains(&machine.output(config)) {
-            nfa.set_final(config);
-        }
-    }
-    nfa
+    dfa
 }
 
 // ----------------------------------------------------------------------
@@ -130,15 +126,15 @@ impl FunArtifacts {
         while let Some(spec) = queue.pop_front() {
             let content = restrict(schema.content(&spec).to_nfa());
             for next in content.alphabet().iter() {
-                if realizable.insert(next.clone()) {
-                    queue.push_back(next.clone());
+                if realizable.insert(*next) {
+                    queue.push_back(*next);
                 }
             }
             contents.insert(spec, content);
         }
         let forest_empty = forest_restricted.is_empty();
         let label_of = |spec: &Symbol| {
-            schema.label_of(spec).cloned().unwrap_or_else(|| spec.clone())
+            schema.label_of(spec).cloned().unwrap_or(*spec)
         };
         let unknown = realizable
             .iter()
@@ -148,25 +144,27 @@ impl FunArtifacts {
         // Least fixpoint: `d[ã]` = the subset states achievable by trees
         // derivable from ã. Exact by induction — independent subtrees make
         // independent state choices, so the image of a content word is the
-        // full product of the per-name sets.
+        // full product of the per-name sets. The slot map (ã → its states
+        // as symbols) is the same data seen by `expand_symbols`; it grows
+        // monotonically with `d`, so it is maintained incrementally instead
+        // of being rebuilt from `d` on every fixpoint iteration.
         let mut d: BTreeMap<Symbol, BTreeSet<usize>> =
-            realizable.iter().map(|s| (s.clone(), BTreeSet::new())).collect();
-        let slot_map = |d: &BTreeMap<Symbol, BTreeSet<usize>>| -> BTreeMap<Symbol, BTreeSet<Symbol>> {
-            d.iter()
-                .map(|(spec, states)| {
-                    (spec.clone(), states.iter().map(|&i| state_sym(i)).collect())
-                })
-                .collect()
-        };
+            realizable.iter().map(|s| (*s, BTreeSet::new())).collect();
+        let mut slots: BTreeMap<Symbol, BTreeSet<Symbol>> =
+            realizable.iter().map(|s| (*s, BTreeSet::new())).collect();
         if unknown.is_none() && !forest_empty {
             loop {
                 let mut changed = false;
                 for spec in &realizable {
-                    let word_lang = contents[spec].expand_symbols(&slot_map(&d));
+                    let word_lang = contents[spec].expand_symbols(&slots);
                     let outs = duta.outputs_over(&label_of(spec), &word_lang, letter_of);
                     let entry = d.get_mut(spec).expect("d covers every realizable name");
+                    let slot = slots.get_mut(spec).expect("slots covers every realizable name");
                     for &o in outs.keys() {
-                        changed |= entry.insert(o);
+                        if entry.insert(o) {
+                            slot.insert(state_sym(o));
+                            changed = true;
+                        }
                     }
                 }
                 if !changed {
@@ -174,7 +172,7 @@ impl FunArtifacts {
                 }
             }
         }
-        let forest_states = forest_restricted.expand_symbols(&slot_map(&d)).trim();
+        let forest_states = forest_restricted.expand_symbols(&slots).trim();
         FunArtifacts { forest_states, forest_empty, unknown }
     }
 }
@@ -192,6 +190,9 @@ pub struct BoxTargetCache {
     accepting: BTreeSet<usize>,
     empty_subset: Option<usize>,
     funs: BTreeMap<Symbol, FunArtifacts>,
+    /// Determinised per-label Moore-machine skeletons, keyed by label —
+    /// the residual inputs of the spine walk, built at most once per label.
+    machine_dfas: ResidualDfaCache,
 }
 
 impl BoxTargetCache {
@@ -201,9 +202,44 @@ impl BoxTargetCache {
         let empty_subset = duta.empty_subset();
         let funs = fun_schemas
             .iter()
-            .map(|(f, schema)| (f.clone(), FunArtifacts::build(schema, &duta)))
+            .map(|(f, schema)| (*f, FunArtifacts::build(schema, &duta)))
             .collect();
-        BoxTargetCache { duta, accepting, empty_subset, funs }
+        BoxTargetCache {
+            duta,
+            accepting,
+            empty_subset,
+            funs,
+            machine_dfas: ResidualDfaCache::default(),
+        }
+    }
+
+    /// The determinised skeleton of `label`'s Moore machine (transitions
+    /// over subset-state symbols, no finals), memoised per problem. Callers
+    /// clone it and mark their admissible outputs final — the clone is
+    /// cheap next to the subset construction it replaces.
+    fn machine_dfa(&self, label: &Symbol) -> Arc<Dfa> {
+        self.machine_dfas.get_or_build(label, || machine_skeleton(&self.duta, label))
+    }
+
+    /// The language of child words whose Moore output under `label` lies in
+    /// `outputs`, as a DFA over subset-state symbols: the memoised skeleton
+    /// with the admissible configurations marked final.
+    fn admissible_children_dfa(&self, label: &Symbol, outputs: &BTreeSet<usize>) -> Dfa {
+        let mut dfa = (*self.machine_dfa(label)).clone();
+        if let Some(machine) = self.duta.machine(label) {
+            for config in 0..machine.num_configs() {
+                if outputs.contains(&machine.output(config)) {
+                    dfa.set_final(config);
+                }
+            }
+        }
+        dfa
+    }
+
+    /// How many per-label machines have been determinised for residuals so
+    /// far (exposed so tests and benches can pin the memoisation).
+    pub fn residual_dfas_built(&self) -> usize {
+        self.machine_dfas.len()
     }
 
     /// The target's specialised tree automaton, determinised (bottom-up)
@@ -341,7 +377,7 @@ impl From<&crate::DesignProblem> for BoxDesignProblem {
     fn from(problem: &crate::DesignProblem) -> BoxDesignProblem {
         let mut out = BoxDesignProblem::new(problem.doc_schema().to_edtd());
         for (f, schema) in problem.fun_schemas() {
-            out.add_function(f.clone(), schema.to_edtd());
+            out.add_function(*f, schema.to_edtd());
         }
         out
     }
@@ -466,11 +502,11 @@ impl BoxDesignProblem {
             let prefix = |name: &Symbol| Symbol::new(format!("{f}${name}"));
             for spec in schema.specialized_names().iter() {
                 let content = schema.content(spec).to_nfa().map_symbols(prefix);
-                let label = schema.label_of(spec).cloned().unwrap_or_else(|| spec.clone());
+                let label = schema.label_of(spec).cloned().unwrap_or(*spec);
                 a.set_rule(prefix(spec), label, content);
             }
             let forest = schema.content(schema.start()).to_nfa().map_symbols(prefix);
-            forest_nfas.insert(f.clone(), forest);
+            forest_nfas.insert(f, forest);
         }
 
         let state_of = |node: usize| Symbol::new(format!("#k{node}"));
@@ -487,7 +523,7 @@ impl BoxDesignProblem {
                 };
                 content = content.concat(&piece);
             }
-            a.set_rule(state_of(node), kernel.label(node).clone(), content);
+            a.set_rule(state_of(node), *kernel.label(node), content);
         }
         a.set_final(state_of(kernel.root()));
         Ok(a)
@@ -557,8 +593,8 @@ impl BoxDesignProblem {
         for f in &called {
             if let Some(label) = &cache.funs[f].unknown {
                 return Ok(BoxVerdict::Invalid(BoxViolation::UnknownElement {
-                    element: label.clone(),
-                    origin: Origin::Function { function: f.clone() },
+                    element: *label,
+                    origin: Origin::Function { function: *f },
                 }));
             }
         }
@@ -572,7 +608,7 @@ impl BoxDesignProblem {
             let origin = || Origin::Kernel { path: kernel.anc_str(node) };
             if !cache.duta.labels().contains(label) {
                 return Ok(BoxVerdict::Invalid(BoxViolation::UnknownElement {
-                    element: label.clone(),
+                    element: *label,
                     origin: origin(),
                 }));
             }
@@ -593,7 +629,7 @@ impl BoxDesignProblem {
             if let Some(ei) = cache.empty_subset {
                 if let Some(witness) = outs.get(&ei) {
                     return Ok(BoxVerdict::Invalid(BoxViolation::Content {
-                        element: label.clone(),
+                        element: *label,
                         counterexample: self.box_of(cache, witness),
                         admitted: Vec::new(),
                         origin: origin(),
@@ -604,7 +640,7 @@ impl BoxDesignProblem {
                 for (&state, witness) in &outs {
                     if !cache.accepting.contains(&state) {
                         return Ok(BoxVerdict::Invalid(BoxViolation::Content {
-                            element: label.clone(),
+                            element: *label,
                             counterexample: self.box_of(cache, witness),
                             admitted: cache.duta.subset(state).iter().cloned().collect(),
                             origin: origin(),
@@ -690,7 +726,7 @@ impl BoxDesignProblem {
             let art = cache
                 .funs
                 .get(&g)
-                .ok_or_else(|| DesignError::MissingFunctionSchema { function: g.clone() })?;
+                .ok_or(DesignError::MissingFunctionSchema { function: g })?;
             if art.forest_empty {
                 return Err(DesignError::NoMaximalSchema { function: f });
             }
@@ -763,7 +799,9 @@ impl BoxDesignProblem {
                 forced_empty = true;
                 break;
             }
-            let admissible_children = machine_content_nfa(&cache.duta, label, &safe);
+            // The skeleton DFA comes from the problem memo; only the finals
+            // (the admissible outputs at this level) differ per call.
+            let admissible_children = cache.admissible_children_dfa(label, &safe);
             let children = kernel.children(x);
             if level + 1 < spine.len() {
                 let next = spine[level + 1];
@@ -799,7 +837,7 @@ impl BoxDesignProblem {
         let gap = if forced_empty { Nfa::empty() } else { gap };
 
         let schema = self.build_perfect(&gap, cache);
-        let candidate = self.clone().with_function(f.clone(), schema.clone());
+        let candidate = self.clone().with_function(f, schema.clone());
         match candidate.typecheck(doc)? {
             TypingVerdict::Valid => Ok(schema),
             TypingVerdict::Invalid { counterexample, .. } => {
@@ -829,7 +867,7 @@ impl BoxDesignProblem {
     ) -> Result<BTreeMap<Symbol, REdtd>, DesignError> {
         doc.called_functions()
             .into_iter()
-            .map(|f| self.perfect_schema(doc, f.clone()).map(|s| (f, s)))
+            .map(|f| self.perfect_schema(doc, f).map(|s| (f, s)))
             .collect()
     }
 
@@ -846,8 +884,8 @@ impl BoxDesignProblem {
         for (label, states) in &pairs {
             for &i in states {
                 let name = label.specialize(i);
-                slots.entry(state_sym(i)).or_default().insert(name.clone());
-                pair_index.insert(name, (label.clone(), i));
+                slots.entry(state_sym(i)).or_default().insert(name);
+                pair_index.insert(name, (*label, i));
             }
         }
         let mut start = String::from("result");
@@ -860,17 +898,17 @@ impl BoxDesignProblem {
         let mut queue: VecDeque<Symbol> = forest.alphabet().iter().cloned().collect();
         let mut seen: BTreeSet<Symbol> = queue.iter().cloned().collect();
         while let Some(name) = queue.pop_front() {
-            let (label, i) = pair_index[&name].clone();
+            let (label, i) = pair_index[&name];
             let content = duta
                 .content_nfa(i, &label, state_sym)
                 .expand_symbols(&slots)
                 .trim();
             for next in content.alphabet().iter() {
-                if seen.insert(next.clone()) {
-                    queue.push_back(next.clone());
+                if seen.insert(*next) {
+                    queue.push_back(*next);
                 }
             }
-            schema.add_specialization(name.clone(), label);
+            schema.add_specialization(name, label);
             schema.set_rule(name, RSpec::Nfa(content));
         }
         schema
@@ -1073,7 +1111,7 @@ mod tests {
         // The synthesised schema accepts a lone a(c) forest …
         let forest_ac = parse_term("r(a(c))").unwrap();
         // … by embedding it under the fresh start (whose name we read off).
-        let start = perfect.start().clone();
+        let start = *perfect.start();
         let embed = |forest: &str| {
             parse_term(&format!("{}({forest})", start.as_str())).unwrap()
         };
@@ -1143,7 +1181,7 @@ mod tests {
         let perfect = p.perfect_schema(&doc, "f").unwrap();
         let solved = p.clone().with_function("f", perfect.clone());
         assert!(solved.typecheck(&doc).unwrap().is_valid());
-        let start = perfect.start().clone();
+        let start = *perfect.start();
         let embed = |forest: &str| parse_term(&format!("{}({forest})", start.as_str())).unwrap();
         assert!(perfect.accepts(&embed("a b")));
         assert!(!perfect.accepts(&embed("a")));

@@ -24,7 +24,7 @@ use std::fmt;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use dxml_automata::equiv::included as str_included;
-use dxml_automata::{Nfa, Symbol};
+use dxml_automata::{Dfa, Nfa, Symbol};
 use dxml_schema::{RDtd, SchemaError};
 use dxml_tree::uta::Duta;
 use dxml_tree::{uta, Nuta, XTree};
@@ -72,12 +72,59 @@ impl ReducedFun {
     }
 }
 
+/// A lazily filled memo of determinised residual inputs: the key identifies
+/// the *machine* (a target content model, or a per-label Moore machine) and
+/// the value is its determinisation, shared by every residual taken against
+/// it. Kept behind a `Mutex` so the enclosing cache stays usable through
+/// `&self` (the synthesis loops hold the cache by shared reference).
+#[derive(Default)]
+pub(crate) struct ResidualDfaCache {
+    memo: Mutex<BTreeMap<Symbol, Arc<Dfa>>>,
+}
+
+impl ResidualDfaCache {
+    /// The determinisation of the machine identified by `key`, built by
+    /// `make` on first use and shared afterwards.
+    pub(crate) fn get_or_build(&self, key: &Symbol, make: impl FnOnce() -> Dfa) -> Arc<Dfa> {
+        let mut memo = self.memo.lock().expect("residual DFA memo poisoned");
+        if let Some(d) = memo.get(key) {
+            return Arc::clone(d);
+        }
+        let d = Arc::new(make());
+        memo.insert(*key, Arc::clone(&d));
+        d
+    }
+
+    /// How many machines have been determinised so far (used by tests).
+    pub(crate) fn len(&self) -> usize {
+        self.memo.lock().expect("residual DFA memo poisoned").len()
+    }
+}
+
+impl Clone for ResidualDfaCache {
+    fn clone(&self) -> Self {
+        ResidualDfaCache {
+            memo: Mutex::new(
+                self.memo.lock().map(|memo| memo.clone()).unwrap_or_default(),
+            ),
+        }
+    }
+}
+
+impl fmt::Debug for ResidualDfaCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ResidualDfaCache({} machines)", self.len())
+    }
+}
+
 /// Problem artefacts that are expensive to build and independent of the
 /// document being checked: computed lazily on first use and shared by
 /// [`DesignProblem::typecheck`], [`DesignProblem::verify_local`] and the
 /// perfect-schema synthesis of [`crate::perfect`]. Besides the
 /// target-derived artefacts this caches the *reduced* function schemas, so
-/// repeated local verification stops re-reducing them per call.
+/// repeated local verification stops re-reducing them per call, and the
+/// determinised content models the residual constructions consume, so
+/// repeated synthesis stops re-determinising them per call.
 #[derive(Clone, Debug)]
 pub struct TargetCache {
     duta: Duta,
@@ -85,6 +132,7 @@ pub struct TargetCache {
     epsilon: Nfa,
     productive: BTreeSet<Symbol>,
     reduced_fun: BTreeMap<Symbol, ReducedFun>,
+    residual_dfas: ResidualDfaCache,
 }
 
 impl TargetCache {
@@ -94,11 +142,11 @@ impl TargetCache {
         let content_nfas = target
             .alphabet()
             .iter()
-            .map(|a| (a.clone(), target.content(a).to_nfa()))
+            .map(|a| (*a, target.content(a).to_nfa()))
             .collect();
         let reduced_fun = fun_schemas
             .iter()
-            .map(|(f, schema)| (f.clone(), ReducedFun::build(schema)))
+            .map(|(f, schema)| (*f, ReducedFun::build(schema)))
             .collect();
         TargetCache {
             duta,
@@ -106,6 +154,7 @@ impl TargetCache {
             epsilon: Nfa::epsilon(),
             productive: target.bound_names(),
             reduced_fun,
+            residual_dfas: ResidualDfaCache::default(),
         }
     }
 
@@ -131,6 +180,22 @@ impl TargetCache {
     /// and emptiness), reduced once per problem.
     pub fn reduced_fun(&self, function: &Symbol) -> Option<&ReducedFun> {
         self.reduced_fun.get(function)
+    }
+
+    /// The determinisation of the content model of `name`, memoised per
+    /// problem (keyed by the element name — the machine's identity within
+    /// this cache). The universal/uniform context residuals of the
+    /// perfect-typing synthesis consume this instead of re-determinising
+    /// `content_nfa(name)` on every call.
+    pub fn content_dfa(&self, name: &Symbol) -> Arc<Dfa> {
+        self.residual_dfas
+            .get_or_build(name, || Dfa::from_nfa(self.content_nfa(name)))
+    }
+
+    /// How many content models have been determinised for residuals so far
+    /// (exposed so tests and benches can pin the memoisation).
+    pub fn residual_dfas_built(&self) -> usize {
+        self.residual_dfas.len()
     }
 }
 
@@ -419,10 +484,10 @@ impl DesignProblem {
             let prefix = |name: &Symbol| Symbol::new(format!("{f}${name}"));
             for name in schema.alphabet().iter() {
                 let content = schema.content(name).to_nfa().map_symbols(prefix);
-                a.set_rule(prefix(name), name.clone(), content);
+                a.set_rule(prefix(name), *name, content);
             }
             let forest = schema.content(schema.start()).to_nfa().map_symbols(prefix);
-            forest_nfas.insert(f.clone(), forest);
+            forest_nfas.insert(f, forest);
         }
 
         // One state per kernel node; the content of a node concatenates its
@@ -441,7 +506,7 @@ impl DesignProblem {
                 };
                 content = content.concat(&piece);
             }
-            a.set_rule(state_of(node), kernel.label(node).clone(), content);
+            a.set_rule(state_of(node), *kernel.label(node), content);
         }
         a.set_final(state_of(kernel.root()));
         a
@@ -509,13 +574,13 @@ impl DesignProblem {
             if r.language_is_empty() {
                 return Ok(LocalVerdict::Valid);
             }
-            reduced.insert(f.clone(), r);
+            reduced.insert(*f, r);
         }
 
         if kernel.root_label() != tau.start() {
             return Ok(LocalVerdict::Invalid(LocalViolation::RootLabel {
-                expected: tau.start().clone(),
-                found: kernel.root_label().clone(),
+                expected: *tau.start(),
+                found: *kernel.root_label(),
             }));
         }
 
@@ -528,7 +593,7 @@ impl DesignProblem {
             let origin = || Origin::Kernel { path: kernel.anc_str(node) };
             if !tau.alphabet().contains(label) {
                 return Ok(LocalVerdict::Invalid(LocalViolation::UnknownElement {
-                    element: label.clone(),
+                    element: *label,
                     origin: origin(),
                 }));
             }
@@ -537,13 +602,13 @@ impl DesignProblem {
                 let child_label = kernel.label(child);
                 let piece = match reduced.get(child_label) {
                     Some(r) => r.forest().clone(),
-                    None => Nfa::symbol(child_label.clone()),
+                    None => Nfa::symbol(*child_label),
                 };
                 realizable = realizable.concat(&piece);
             }
             if let Err(ce) = str_included(&realizable, cache.content_nfa(label)) {
                 return Ok(LocalVerdict::Invalid(LocalViolation::Content {
-                    element: label.clone(),
+                    element: *label,
                     counterexample: ce.word,
                     expected: format!("{}", tau.content(label)),
                     origin: origin(),
@@ -566,21 +631,21 @@ impl DesignProblem {
                 if !tau.alphabet().contains(&name) {
                     return Ok(LocalVerdict::Invalid(LocalViolation::UnknownElement {
                         element: name,
-                        origin: Origin::Function { function: f.clone() },
+                        origin: Origin::Function { function: *f },
                     }));
                 }
                 let content = r.content(&name);
                 if let Err(ce) = str_included(&content.to_nfa(), cache.content_nfa(&name)) {
                     return Ok(LocalVerdict::Invalid(LocalViolation::Content {
-                        element: name.clone(),
+                        element: name,
                         counterexample: ce.word,
                         expected: format!("{}", tau.content(&name)),
-                        origin: Origin::Function { function: f.clone() },
+                        origin: Origin::Function { function: *f },
                     }));
                 }
                 for next in content.alphabet().iter() {
-                    if r.alphabet().contains(next) && seen.insert(next.clone()) {
-                        queue.push_back(next.clone());
+                    if r.alphabet().contains(next) && seen.insert(*next) {
+                        queue.push_back(*next);
                     }
                 }
             }
@@ -825,7 +890,7 @@ mod tests {
         tricky_target.set_rule(
             "s",
             dxml_automata::RSpec::Nre(dxml_automata::Regex::concat(vec![
-                dxml_automata::Regex::Sym(fa.clone()),
+                dxml_automata::Regex::Sym(fa),
                 dxml_automata::Regex::sym("#k0").star(),
             ])),
         );

@@ -36,11 +36,11 @@ impl DistributedDoc {
     {
         let functions: BTreeSet<Symbol> = functions.into_iter().map(Into::into).collect();
         if functions.contains(kernel.root_label()) {
-            return Err(DesignError::RootIsFunction { function: kernel.root_label().clone() });
+            return Err(DesignError::RootIsFunction { function: *kernel.root_label() });
         }
         for node in kernel.document_order() {
             if functions.contains(kernel.label(node)) && !kernel.is_leaf(node) {
-                return Err(DesignError::FunctionNotLeaf { function: kernel.label(node).clone() });
+                return Err(DesignError::FunctionNotLeaf { function: *kernel.label(node) });
             }
         }
         Ok(DistributedDoc { kernel, functions })
@@ -84,7 +84,7 @@ impl DistributedDoc {
     pub fn called_functions(&self) -> BTreeSet<Symbol> {
         self.function_nodes()
             .into_iter()
-            .map(|n| self.kernel.label(n).clone())
+            .map(|n| *self.kernel.label(n))
             .collect()
     }
 

@@ -163,7 +163,7 @@ impl DesignProblem {
             }
             let reduced = cache
                 .reduced_fun(&g)
-                .ok_or_else(|| DesignError::MissingFunctionSchema { function: g.clone() })?;
+                .ok_or(DesignError::MissingFunctionSchema { function: g })?;
             if reduced.language_is_empty() {
                 return Err(DesignError::NoMaximalSchema { function: f });
             }
@@ -198,7 +198,11 @@ impl DesignProblem {
                 prev = position + 1;
             }
             contexts.push(segment(&children[prev..]));
-            let content = cache.content_nfa(label);
+            // The determinised content model comes from the problem cache:
+            // synthesis re-enters here once per docking parent and once per
+            // synthesised function, but each content model is determinised
+            // at most once per problem.
+            let content = cache.content_dfa(label);
             let residual = if positions.len() == 1 {
                 content.universal_context_residual(&contexts[0], &contexts[1])
             } else {
@@ -220,7 +224,7 @@ impl DesignProblem {
     ) -> Result<BTreeMap<Symbol, RDtd>, DesignError> {
         doc.called_functions()
             .into_iter()
-            .map(|f| self.perfect_schema(doc, f.clone()).map(|s| (f, s)))
+            .map(|f| self.perfect_schema(doc, f).map(|s| (f, s)))
             .collect()
     }
 
@@ -242,7 +246,7 @@ impl DesignProblem {
         if let Some(reduced) = siblings.get(label) {
             reduced.forest().clone()
         } else {
-            Nfa::symbol(label.clone())
+            Nfa::symbol(*label)
         }
     }
 
@@ -267,8 +271,8 @@ impl DesignProblem {
                 .filter_symbols(|s| cache.productive().contains(s))
                 .trim();
             for next in content.alphabet().iter() {
-                if seen.insert(next.clone()) {
-                    queue.push_back(next.clone());
+                if seen.insert(*next) {
+                    queue.push_back(*next);
                 }
             }
             schema.set_rule(name, RSpec::Nfa(content));
@@ -297,13 +301,13 @@ impl DesignProblem {
         cache: &TargetCache,
     ) -> Result<RDtd, DesignError> {
         let schema = self.build_perfect(w, cache);
-        let candidate = self.clone().with_function(f.clone(), schema.clone());
+        let candidate = self.clone().with_function(*f, schema.clone());
         match candidate.typecheck(doc)? {
             TypingVerdict::Valid => Ok(schema),
             TypingVerdict::Invalid { counterexample, .. } => {
                 if self.violation_independent_of(doc, docking, siblings, cache) {
                     let empty = self.build_perfect(&Nfa::empty(), cache);
-                    let check = self.clone().with_function(f.clone(), empty.clone());
+                    let check = self.clone().with_function(*f, empty.clone());
                     match check.typecheck(doc)? {
                         TypingVerdict::Valid => Ok(empty),
                         TypingVerdict::Invalid { counterexample, .. } => {
@@ -318,7 +322,7 @@ impl DesignProblem {
                 } else if docking.values().any(|positions| positions.len() > 1) {
                     // Several docking points share a parent: the refuted
                     // upper bound proves incomparable maximal languages.
-                    Err(DesignError::NoMaximalSchema { function: f.clone() })
+                    Err(DesignError::NoMaximalSchema { function: *f })
                 } else {
                     Err(DesignError::InvariantViolation {
                         detail: format!(
@@ -389,8 +393,8 @@ impl DesignProblem {
                     return true;
                 }
                 for next in content.alphabet().iter() {
-                    if reduced.alphabet().contains(next) && seen.insert(next.clone()) {
-                        queue.push_back(next.clone());
+                    if reduced.alphabet().contains(next) && seen.insert(*next) {
+                        queue.push_back(*next);
                     }
                 }
             }

@@ -28,7 +28,7 @@ fn trees_of(schema: &REdtd, spec: &Symbol, depth: usize) -> Vec<XTree> {
     let label = schema
         .label_of(spec)
         .cloned()
-        .unwrap_or_else(|| spec.clone());
+        .unwrap_or(*spec);
     let words = schema.content(spec).to_nfa().enumerate_accepted(3, 64);
     assert!(words.len() < 64, "content models must stay finite");
     let mut out = Vec::new();
@@ -48,7 +48,7 @@ fn trees_of(schema: &REdtd, spec: &Symbol, depth: usize) -> Vec<XTree> {
             assert!(combos.len() <= 256, "enumeration must stay complete");
         }
         for combo in combos {
-            out.push(XTree::node(label.clone(), combo));
+            out.push(XTree::node(label, combo));
         }
     }
     out
@@ -301,7 +301,7 @@ fn box_perfect_schema_is_exact_on_enumerated_forests() {
             let materialised = doc.materialize(&results).expect("schema for f supplied");
             let admissible = problem.doc_schema().accepts(&materialised);
             let in_schema =
-                perfect.accepts(&XTree::node(perfect.start().clone(), forest.clone()));
+                perfect.accepts(&XTree::node(*perfect.start(), forest.clone()));
             assert_eq!(
                 in_schema,
                 admissible,
@@ -315,4 +315,31 @@ fn box_perfect_schema_is_exact_on_enumerated_forests() {
     }
     assert!(synthesised >= 10, "only {synthesised} syntheses sampled");
     assert!(admitted >= 10, "only {admitted} admissible probe forests sampled");
+}
+
+#[test]
+fn box_residual_determinisations_are_memoised_per_problem() {
+    // The spine walk determinises each label's Moore machine at most once
+    // per problem; repeated synthesis reuses the memoised skeletons.
+    let one_c_target = {
+        let mut e = REdtd::new(RFormalism::Nre, "s", "s");
+        e.add_specialization("ab", "a");
+        e.add_specialization("ac", "a");
+        e.set_rule("s", RSpec::Nre(Regex::parse("ab* ac ab*").unwrap()));
+        e.set_rule("ab", RSpec::Nre(Regex::parse("b").unwrap()));
+        e.set_rule("ac", RSpec::Nre(Regex::parse("c").unwrap()));
+        e
+    };
+    let p = BoxDesignProblem::new(one_c_target);
+    let doc = DistributedDoc::parse("s(a(b) f)", ["f"]).unwrap();
+    let first = p.perfect_schema(&doc, "f").unwrap();
+    let built_after_first = p.target_cache().residual_dfas_built();
+    assert!(built_after_first >= 1, "the spine walk must go through the machine-DFA memo");
+    let second = p.perfect_schema(&doc, "f").unwrap();
+    assert_eq!(
+        p.target_cache().residual_dfas_built(),
+        built_after_first,
+        "a repeated synthesis must not re-determinise any Moore machine"
+    );
+    assert!(first.equivalent(&second));
 }

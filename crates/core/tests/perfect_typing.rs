@@ -20,7 +20,7 @@ fn words_up_to(names: &[Symbol], max_len: usize) -> Vec<Vec<Symbol>> {
         for w in &frontier {
             for n in names {
                 let mut grown = w.clone();
-                grown.push(n.clone());
+                grown.push(*n);
                 next.push(grown.clone());
                 out.push(grown);
             }
@@ -64,7 +64,7 @@ fn assert_perfect_and_maximal(problem: &DesignProblem, doc: &DistributedDoc, f: 
                 continue;
             }
             let mut grown = schema.clone();
-            grown.set_rule(name.clone(), RSpec::Nfa(content.union(&Nfa::literal(w))));
+            grown.set_rule(*name, RSpec::Nfa(content.union(&Nfa::literal(w))));
             let enlarged = problem.clone().with_function(f, grown);
             let verdict = enlarged.typecheck(doc).unwrap();
             let rendered: Vec<&str> = w.iter().map(Symbol::as_str).collect();
@@ -149,4 +149,25 @@ fn perfect_schema_of_two_functions_each_maximal() {
     // Each synthesis keeps the *other* function's declared schema fixed.
     assert_perfect_and_maximal(&problem, &doc, "f");
     assert_perfect_and_maximal(&problem, &doc, "g");
+}
+
+#[test]
+fn residual_determinisations_are_memoised_per_problem() {
+    // Synthesis determinises each docking parent's content model at most
+    // once per problem: repeated perfect_schema calls reuse the memo.
+    let problem = DesignProblem::new(dtd("s -> a, b*\nb -> c?"));
+    let doc = DistributedDoc::parse("s(a f)", ["f"]).unwrap();
+    let first = problem.perfect_schema(&doc, "f").unwrap();
+    let built_after_first = problem.target_cache().residual_dfas_built();
+    assert!(built_after_first >= 1, "synthesis must go through the residual-DFA memo");
+    let second = problem.perfect_schema(&doc, "f").unwrap();
+    assert_eq!(
+        problem.target_cache().residual_dfas_built(),
+        built_after_first,
+        "a repeated synthesis must not determinise any further residual input"
+    );
+    // The memo is an optimisation only: both syntheses agree.
+    let fa = first.content(first.start()).to_nfa();
+    let fb = second.content(second.start()).to_nfa();
+    assert!(dxml_automata::equiv::is_equivalent(&fa, &fb));
 }

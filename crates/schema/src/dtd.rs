@@ -16,7 +16,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-use dxml_automata::{Alphabet, Dfa, RFormalism, RSpec, Symbol};
+use dxml_automata::{Alphabet, Dfa, Nfa, RFormalism, RSpec, Symbol};
 use dxml_tree::{Nuta, XTree};
 
 use crate::edtd::REdtd;
@@ -40,7 +40,7 @@ impl RDtd {
     pub fn new(formalism: RFormalism, start: impl Into<Symbol>) -> RDtd {
         let start = start.into();
         let mut alphabet = Alphabet::new();
-        alphabet.insert(start.clone());
+        alphabet.insert(start);
         RDtd { formalism, alphabet, start, rules: BTreeMap::new() }
     }
 
@@ -74,9 +74,9 @@ impl RDtd {
     /// of the content model are added to the alphabet.
     pub fn set_rule(&mut self, name: impl Into<Symbol>, content: RSpec) {
         let name = name.into();
-        self.alphabet.insert(name.clone());
+        self.alphabet.insert(name);
         for sym in content.alphabet().iter() {
-            self.alphabet.insert(sym.clone());
+            self.alphabet.insert(*sym);
         }
         self.rules.insert(name, content);
     }
@@ -129,14 +129,14 @@ impl RDtd {
     pub fn validate(&self, tree: &XTree) -> Result<(), SchemaError> {
         if tree.root_label() != &self.start {
             return Err(SchemaError::RootMismatch {
-                expected: self.start.clone(),
-                found: tree.root_label().clone(),
+                expected: self.start,
+                found: *tree.root_label(),
             });
         }
         for node in tree.document_order() {
             let label = tree.label(node);
             if !self.alphabet.contains(label) {
-                return Err(SchemaError::UnknownElement { label: label.clone() });
+                return Err(SchemaError::UnknownElement { label: *label });
             }
             let children = tree.child_str(node);
             let content = self.content(label);
@@ -168,15 +168,15 @@ impl RDtd {
         let names: Vec<Symbol> = self.alphabet.to_vec();
         let index: BTreeMap<&Symbol, usize> = names.iter().enumerate().map(|(i, n)| (n, i + 1)).collect();
         let mut dfa = Dfa::new(names.len() + 1, 0);
-        dfa.set_transition(0, self.start.clone(), index[&self.start]);
+        dfa.set_transition(0, self.start, index[&self.start]);
         for a in &names {
-            let content_alphabet = self.content(a).alphabet();
-            for b in content_alphabet.iter() {
+            let content = self.content(a);
+            for b in content.alphabet().iter() {
                 if let Some(&bi) = index.get(b) {
-                    dfa.set_transition(index[a], b.clone(), bi);
+                    dfa.set_transition(index[a], *b, bi);
                 }
             }
-            if self.content(a).accepts_epsilon() {
+            if content.accepts_epsilon() {
                 dfa.set_final(index[a]);
             }
         }
@@ -187,20 +187,31 @@ impl RDtd {
     /// An element name is bound if its content model contains some word over
     /// bound names (in particular, if it contains ε).
     pub fn bound_names(&self) -> BTreeSet<Symbol> {
+        // The content NFAs are loop-invariant: build each once, not once per
+        // fixpoint round (leaf-only names are bound immediately — their
+        // content is {ε}).
         let mut bound: BTreeSet<Symbol> = BTreeSet::new();
-        loop {
-            let mut changed = false;
-            for a in &self.alphabet {
-                if bound.contains(a) {
-                    continue;
-                }
-                let content = self.content(a).to_nfa();
-                let restricted = content.filter_symbols(|s| bound.contains(s));
-                if restricted.shortest_accepted().is_some() {
-                    bound.insert(a.clone());
-                    changed = true;
+        let mut pending: Vec<(&Symbol, Nfa)> = Vec::new();
+        for a in &self.alphabet {
+            match self.rules.get(a) {
+                Some(content) => pending.push((a, content.to_nfa())),
+                None => {
+                    bound.insert(*a);
                 }
             }
+        }
+        loop {
+            let mut changed = false;
+            pending.retain(|(a, content)| {
+                let restricted = content.filter_symbols(|s| bound.contains(s));
+                if restricted.shortest_accepted().is_some() {
+                    bound.insert(*(*a));
+                    changed = true;
+                    false
+                } else {
+                    true
+                }
+            });
             if !changed {
                 return bound;
             }
@@ -209,12 +220,18 @@ impl RDtd {
 
     /// The element names reachable from the start symbol in `dual(τ)`.
     pub fn reachable_names(&self) -> BTreeSet<Symbol> {
-        let mut reach = BTreeSet::from([self.start.clone()]);
-        let mut stack = vec![self.start.clone()];
+        let mut reach = BTreeSet::from([self.start]);
+        let mut stack = vec![self.start];
         while let Some(a) = stack.pop() {
-            for b in self.content(&a).alphabet().iter() {
-                if self.alphabet.contains(b) && reach.insert(b.clone()) {
-                    stack.push(b.clone());
+            // Leaf-only names ({ε} content) mention nothing; look the rule
+            // up by reference instead of cloning the content model.
+            let content = match self.rules.get(&a) {
+                Some(c) => c,
+                None => continue,
+            };
+            for b in content.alphabet().iter() {
+                if self.alphabet.contains(b) && reach.insert(*b) {
+                    stack.push(*b);
                 }
             }
         }
@@ -241,22 +258,22 @@ impl RDtd {
             // Empty language: keep the start with an unsatisfiable content
             // model so the reduction still describes the same (empty)
             // language instead of silently turning the start into a leaf.
-            let mut out = RDtd::new(self.formalism, self.start.clone());
-            out.rules.insert(self.start.clone(), RSpec::Nfa(dxml_automata::Nfa::empty()));
+            let mut out = RDtd::new(self.formalism, self.start);
+            out.rules.insert(self.start, RSpec::Nfa(dxml_automata::Nfa::empty()));
             return out;
         }
         let keep: BTreeSet<Symbol> =
             bound.intersection(&reachable).cloned().collect();
-        let mut out = RDtd::new(self.formalism, self.start.clone());
+        let mut out = RDtd::new(self.formalism, self.start);
         for a in &keep {
-            out.alphabet.insert(a.clone());
+            out.alphabet.insert(*a);
         }
         for (a, content) in &self.rules {
             if !keep.contains(a) {
                 continue;
             }
             let nfa = content.to_nfa().filter_symbols(|s| keep.contains(s)).trim();
-            out.rules.insert(a.clone(), RSpec::Nfa(nfa));
+            out.rules.insert(*a, RSpec::Nfa(nfa));
         }
         out
     }
@@ -298,12 +315,12 @@ impl RDtd {
     /// Converts to an [`REdtd`] where every element name is its own (unique)
     /// specialisation.
     pub fn to_edtd(&self) -> REdtd {
-        let mut edtd = REdtd::new(self.formalism, self.start.clone(), self.start.clone());
+        let mut edtd = REdtd::new(self.formalism, self.start, self.start);
         for a in &self.alphabet {
-            edtd.add_specialization(a.clone(), a.clone());
+            edtd.add_specialization(*a, *a);
         }
         for (a, content) in &self.rules {
-            edtd.set_rule(a.clone(), content.clone());
+            edtd.set_rule(*a, content.clone());
         }
         edtd
     }

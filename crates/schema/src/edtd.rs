@@ -41,7 +41,7 @@ impl REdtd {
     ) -> REdtd {
         let start = start.into();
         let mut mu = BTreeMap::new();
-        mu.insert(start.clone(), start_label.into());
+        mu.insert(start, start_label.into());
         REdtd { formalism, start, mu, rules: BTreeMap::new() }
     }
 
@@ -58,9 +58,9 @@ impl REdtd {
     /// unchanged.
     pub fn set_rule(&mut self, specialized: impl Into<Symbol>, content: RSpec) {
         let name = specialized.into();
-        self.mu.entry(name.clone()).or_insert_with(|| name.clone());
+        self.mu.entry(name).or_insert_with(|| name);
         for sym in content.alphabet().iter() {
-            self.mu.entry(sym.clone()).or_insert_with(|| sym.clone());
+            self.mu.entry(*sym).or_insert_with(|| *sym);
         }
         self.rules.insert(name, content);
     }
@@ -95,7 +95,7 @@ impl REdtd {
         self.mu
             .iter()
             .filter(|(_, l)| *l == label)
-            .map(|(s, _)| s.clone())
+            .map(|(s, _)| *s)
             .collect()
     }
 
@@ -106,6 +106,13 @@ impl REdtd {
             .get(specialized)
             .cloned()
             .unwrap_or(RSpec::Nre(dxml_automata::Regex::Epsilon))
+    }
+
+    /// The explicit content rule of a specialised name, by reference
+    /// (`None` for leaf-only names). The non-cloning sibling of
+    /// [`REdtd::content`], for callers that only read the rule.
+    pub fn rule(&self, specialized: &Symbol) -> Option<&RSpec> {
+        self.rules.get(specialized)
     }
 
     /// Iterates over the explicit rules.
@@ -129,9 +136,13 @@ impl REdtd {
     pub fn to_nuta(&self) -> Nuta {
         let mut a = Nuta::new();
         for (spec, label) in &self.mu {
-            a.set_rule(spec.clone(), label.clone(), self.content(spec).to_nfa());
+            let content = match self.rules.get(spec) {
+                Some(rule) => rule.to_nfa(),
+                None => Nfa::epsilon(),
+            };
+            a.set_rule(*spec, *label, content);
         }
-        a.set_final(self.start.clone());
+        a.set_final(self.start);
         a
     }
 
@@ -153,8 +164,8 @@ impl REdtd {
         if let Some(expected) = self.label_of(&self.start) {
             if tree.root_label() != expected {
                 return Err(SchemaError::RootMismatch {
-                    expected: expected.clone(),
-                    found: tree.root_label().clone(),
+                    expected: *expected,
+                    found: *tree.root_label(),
                 });
             }
         }
@@ -168,7 +179,7 @@ impl REdtd {
             }
             let label = tree.label(node);
             if !labels.contains(label) {
-                return Err(SchemaError::UnknownElement { label: label.clone() });
+                return Err(SchemaError::UnknownElement { label: *label });
             }
             let expected: Vec<String> = self
                 .specializations_of(label)
@@ -267,7 +278,7 @@ impl REdtd {
         let root_label = self
             .label_of(&self.start)
             .cloned()
-            .unwrap_or_else(|| self.start.clone());
+            .unwrap_or(self.start);
         let accepting: Vec<usize> = pairs
             .get(&root_label)
             .map(|states| states.iter().copied().filter(|&i| duta.is_final(i)).collect())
@@ -281,10 +292,10 @@ impl REdtd {
         // fresh alias for the union of the accepting pairs (possibly none —
         // the empty language keeps an unsatisfiable start).
         let mut out = match accepting.as_slice() {
-            [i] => REdtd::new(RFormalism::Nfa, root_label.specialize(*i), root_label.clone()),
+            [i] => REdtd::new(RFormalism::Nfa, root_label.specialize(*i), root_label),
             many => {
                 let alias = Symbol::new(format!("{root_label}~start"));
-                let mut e = REdtd::new(RFormalism::Nfa, alias.clone(), root_label.clone());
+                let mut e = REdtd::new(RFormalism::Nfa, alias, root_label);
                 let union = many
                     .iter()
                     .map(|&i| content_of(&root_label, i))
@@ -296,7 +307,7 @@ impl REdtd {
         for (label, states) in &pairs {
             for &i in states {
                 let name = label.specialize(i);
-                out.add_specialization(name.clone(), label.clone());
+                out.add_specialization(name, *label);
                 out.set_rule(name, RSpec::Nfa(content_of(label, i)));
             }
         }

@@ -30,7 +30,7 @@ impl RSdtd {
         for (name, content) in edtd.rules() {
             let mut seen: BTreeMap<Symbol, Symbol> = BTreeMap::new();
             for spec in content.alphabet().iter() {
-                let label = edtd.label_of(spec).cloned().unwrap_or_else(|| spec.clone());
+                let label = edtd.label_of(spec).cloned().unwrap_or(*spec);
                 if let Some(other) = seen.get(&label) {
                     if other != spec {
                         return Err(SchemaError::Structural(format!(
@@ -39,7 +39,7 @@ impl RSdtd {
                         )));
                     }
                 }
-                seen.insert(label, spec.clone());
+                seen.insert(label, *spec);
             }
         }
         Ok(RSdtd { edtd })
@@ -71,11 +71,11 @@ impl RSdtd {
                 message: format!("bad content model: {e}"),
             })?;
             let edtd = edtd.get_or_insert_with(|| {
-                REdtd::new(formalism, lhs.clone(), lhs.base_name())
+                REdtd::new(formalism, lhs, lhs.base_name())
             });
-            edtd.add_specialization(lhs.clone(), lhs.base_name());
+            edtd.add_specialization(lhs, lhs.base_name());
             for sym in content.alphabet().iter() {
-                edtd.add_specialization(sym.clone(), sym.base_name());
+                edtd.add_specialization(*sym, sym.base_name());
             }
             edtd.set_rule(lhs, content);
         }
@@ -119,32 +119,37 @@ impl RSdtd {
     /// order.
     pub fn validate(&self, tree: &XTree) -> Result<(), SchemaError> {
         let start = self.edtd.start();
-        let root_label = self.edtd.label_of(start).cloned().unwrap_or_else(|| start.clone());
+        let root_label = self.edtd.label_of(start).cloned().unwrap_or(*start);
         if tree.root_label() != &root_label {
             return Err(SchemaError::RootMismatch {
                 expected: root_label,
-                found: tree.root_label().clone(),
+                found: *tree.root_label(),
             });
         }
         // types[node] = the unique specialised name assignable to the node.
-        let mut types: Vec<Symbol> = vec![start.clone(); tree.size()];
+        // The per-specialisation child map (child label → the unique
+        // specialisation in the content model) is loop-invariant; build it
+        // once per specialisation, not once per node.
+        let mut types: Vec<Symbol> = vec![*start; tree.size()];
+        let mut maps: BTreeMap<Symbol, (RSpec, BTreeMap<Symbol, Symbol>)> = BTreeMap::new();
         for node in tree.document_order() {
-            let spec = types[node].clone();
-            let content = self.edtd.content(&spec);
-            // Map each child label to the unique specialisation occurring in
-            // the content model (single-type guarantees uniqueness).
-            let mut by_label: BTreeMap<Symbol, Symbol> = BTreeMap::new();
-            for sym in content.alphabet().iter() {
-                let label = self.edtd.label_of(sym).cloned().unwrap_or_else(|| sym.clone());
-                by_label.insert(label, sym.clone());
-            }
+            let spec = types[node];
+            let (content, by_label) = maps.entry(spec).or_insert_with(|| {
+                let content = self.edtd.content(&spec);
+                let mut by_label: BTreeMap<Symbol, Symbol> = BTreeMap::new();
+                for sym in content.alphabet().iter() {
+                    let label = self.edtd.label_of(sym).cloned().unwrap_or(*sym);
+                    by_label.insert(label, *sym);
+                }
+                (content, by_label)
+            });
             let mut child_word: Vec<Symbol> = Vec::with_capacity(tree.children(node).len());
             for &child in tree.children(node) {
                 let label = tree.label(child);
                 match by_label.get(label) {
                     Some(child_spec) => {
-                        types[child] = child_spec.clone();
-                        child_word.push(child_spec.clone());
+                        types[child] = *child_spec;
+                        child_word.push(*child_spec);
                     }
                     None => {
                         return Err(SchemaError::InvalidContent {

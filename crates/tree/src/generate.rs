@@ -80,12 +80,12 @@ pub fn random_tree(rng: &mut SplitRng, config: &TreeGenConfig) -> XTree {
         }
         let n_children = rng.below(config.max_children + 1);
         for _ in 0..n_children {
-            let label = rng.pick(&config.labels).clone();
+            let label = *rng.pick(&config.labels);
             let child = tree.add_child(node, label);
             grow(rng, config, tree, child, depth + 1);
         }
     }
-    let mut tree = XTree::leaf(rng.pick(&config.labels).clone());
+    let mut tree = XTree::leaf(*rng.pick(&config.labels));
     grow(rng, config, &mut tree, 0, 1);
     tree
 }

@@ -90,7 +90,7 @@ impl XTree {
     /// `child-str(x)`: the labels of the children of `x` in left-to-right
     /// order.
     pub fn child_str(&self, node: NodeId) -> Vec<Symbol> {
-        self.nodes[node].children.iter().map(|&c| self.nodes[c].label.clone()).collect()
+        self.nodes[node].children.iter().map(|&c| self.nodes[c].label).collect()
     }
 
     /// `anc-str(x)`: the labels on the path from the root down to `x`
@@ -99,7 +99,7 @@ impl XTree {
         let mut path = Vec::new();
         let mut cur = Some(node);
         while let Some(n) = cur {
-            path.push(self.nodes[n].label.clone());
+            path.push(self.nodes[n].label);
             cur = self.nodes[n].parent;
         }
         path.reverse();
@@ -119,21 +119,21 @@ impl XTree {
     /// Grafts a copy of `subtree` as the new last child of `parent`,
     /// returning the id of the copied root.
     pub fn graft(&mut self, parent: NodeId, subtree: &XTree) -> NodeId {
-        let root_id = self.add_child(parent, subtree.root_label().clone());
+        let root_id = self.add_child(parent, *subtree.root_label());
         self.graft_children(root_id, subtree, subtree.root());
         root_id
     }
 
     fn graft_children(&mut self, target: NodeId, source: &XTree, source_node: NodeId) {
         for &child in source.children(source_node) {
-            let new_id = self.add_child(target, source.label(child).clone());
+            let new_id = self.add_child(target, *source.label(child));
             self.graft_children(new_id, source, child);
         }
     }
 
     /// `tree_t(x)`: the subtree rooted at `node`, as a fresh tree.
     pub fn subtree(&self, node: NodeId) -> XTree {
-        let mut out = XTree::leaf(self.label(node).clone());
+        let mut out = XTree::leaf(*self.label(node));
         out.graft_children(0, self, node);
         out
     }
@@ -171,7 +171,7 @@ impl XTree {
 
     /// The set of labels used in the tree.
     pub fn labels(&self) -> dxml_automata::Alphabet {
-        self.nodes.iter().map(|n| n.label.clone()).collect()
+        self.nodes.iter().map(|n| n.label).collect()
     }
 
     /// The depth of the tree (a single node has depth 1).
@@ -213,7 +213,7 @@ impl XTree {
                         out.graft(out_parent, &tree);
                     }
                 } else {
-                    let new_id = out.add_child(out_parent, label.clone());
+                    let new_id = out.add_child(out_parent, *label);
                     rec(source, child, out, new_id, is_target, replacement);
                 }
             }
@@ -222,7 +222,7 @@ impl XTree {
             !is_target(self.root_label()),
             "replace_with_forest: the root cannot be a function node"
         );
-        let mut out = XTree::leaf(self.root_label().clone());
+        let mut out = XTree::leaf(*self.root_label());
         rec(self, 0, &mut out, 0, &is_target, &mut replacement);
         out
     }
@@ -235,7 +235,7 @@ impl XTree {
                 if child == target {
                     out.graft(out_node, new);
                 } else {
-                    let id = out.add_child(out_node, source.label(child).clone());
+                    let id = out.add_child(out_node, *source.label(child));
                     rec(source, child, target, new, out, id);
                 }
             }
@@ -243,7 +243,7 @@ impl XTree {
         if node == 0 {
             return new.clone();
         }
-        let mut out = XTree::leaf(self.root_label().clone());
+        let mut out = XTree::leaf(*self.root_label());
         rec(self, 0, node, new, &mut out, 0);
         out
     }

@@ -34,6 +34,10 @@ pub struct Nuta {
     labels: Alphabet,
     /// `(state, label) → content NFA over state symbols`.
     delta: BTreeMap<(Symbol, Symbol), Nfa>,
+    /// `label → states with a rule for it` (sorted): the bottom-up run
+    /// consults only the states that can type a node's label instead of
+    /// scanning the whole state set per node.
+    by_label: BTreeMap<Symbol, Vec<Symbol>>,
 }
 
 impl Nuta {
@@ -44,6 +48,7 @@ impl Nuta {
             finals: BTreeSet::new(),
             labels: Alphabet::new(),
             delta: BTreeMap::new(),
+            by_label: BTreeMap::new(),
         }
     }
 
@@ -55,7 +60,7 @@ impl Nuta {
     /// Marks a state as final (adds it if missing).
     pub fn set_final(&mut self, state: impl Into<Symbol>) {
         let s = state.into();
-        self.states.insert(s.clone());
+        self.states.insert(s);
         self.finals.insert(s);
     }
 
@@ -64,8 +69,12 @@ impl Nuta {
     pub fn set_rule(&mut self, state: impl Into<Symbol>, label: impl Into<Symbol>, content: Nfa) {
         let s = state.into();
         let l = label.into();
-        self.states.insert(s.clone());
-        self.labels.insert(l.clone());
+        self.states.insert(s);
+        self.labels.insert(l);
+        let states = self.by_label.entry(l).or_default();
+        if let Err(pos) = states.binary_search(&s) {
+            states.insert(pos, s);
+        }
         self.delta.insert((s, l), content);
     }
 
@@ -86,7 +95,7 @@ impl Nuta {
 
     /// The content automaton for `(state, label)` if a rule exists.
     pub fn rule(&self, state: &Symbol, label: &Symbol) -> Option<&Nfa> {
-        self.delta.get(&(state.clone(), label.clone()))
+        self.delta.get(&(*state, *label))
     }
 
     /// Iterates over all rules.
@@ -111,7 +120,7 @@ impl Nuta {
         let mut out = self.clone();
         out.finals = finals.into_iter().collect();
         for f in &out.finals {
-            out.states.insert(f.clone());
+            out.states.insert(*f);
         }
         out
     }
@@ -124,11 +133,7 @@ impl Nuta {
     fn content_accepts_over_sets(content: &Nfa, child_sets: &[&BTreeSet<Symbol>]) -> bool {
         let mut current = content.epsilon_closure(&BTreeSet::from([content.start()]));
         for set in child_sets {
-            let mut next = BTreeSet::new();
-            for sym in set.iter() {
-                next.extend(content.step(&current, sym));
-            }
-            current = next;
+            current = content.step_all(&current, set.iter());
             if current.is_empty() {
                 return false;
             }
@@ -146,11 +151,11 @@ impl Nuta {
             let child_sets: Vec<&BTreeSet<Symbol>> =
                 tree.children(node).iter().map(|&c| &possible[c]).collect();
             let mut states = BTreeSet::new();
-            for q in &self.states {
-                if let Some(content) = self.rule(q, label) {
-                    if Self::content_accepts_over_sets(content, &child_sets) {
-                        states.insert(q.clone());
-                    }
+            // Only the states with a rule for this label can type the node.
+            for q in self.by_label.get(label).map(Vec::as_slice).unwrap_or(&[]) {
+                let content = self.rule(q, label).expect("by_label lists only ruled states");
+                if Self::content_accepts_over_sets(content, &child_sets) {
+                    states.insert(*q);
                 }
             }
             possible[node] = states;
@@ -184,7 +189,7 @@ impl Nuta {
                 let restricted = content.filter_symbols(|s| witnesses.contains_key(s));
                 if let Some(word) = restricted.shortest_accepted() {
                     let children: Vec<XTree> = word.iter().map(|s| witnesses[s].clone()).collect();
-                    witnesses.insert(state.clone(), XTree::node(label.clone(), children));
+                    witnesses.insert(*state, XTree::node(*label, children));
                     changed = true;
                 }
             }
@@ -240,8 +245,10 @@ impl fmt::Debug for Nuta {
 #[derive(Clone, Debug)]
 pub struct LabelMachine {
     start: usize,
-    /// `trans[config][child_subset_index] = config`.
-    trans: Vec<BTreeMap<usize, usize>>,
+    /// `trans[config]`: sorted `(child subset index, next config)` pairs —
+    /// the dense-adjacency analogue of the automata crate's transition
+    /// storage (at most one entry per letter, found by binary search).
+    trans: Vec<Vec<(usize, usize)>>,
     /// `output[config] = subset index`.
     output: Vec<usize>,
 }
@@ -253,8 +260,20 @@ impl LabelMachine {
     }
 
     /// Deterministic transition on a child subset index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transition was never materialised (the determinisation
+    /// fixpoint makes every machine total over the discovered letters).
     pub fn step(&self, config: usize, child_subset: usize) -> usize {
-        self.trans[config][&child_subset]
+        self.step_opt(config, child_subset)
+            .expect("label machine is total over discovered subset letters")
+    }
+
+    /// [`LabelMachine::step`] returning `None` on a missing transition.
+    fn step_opt(&self, config: usize, child_subset: usize) -> Option<usize> {
+        let v = &self.trans[config];
+        v.binary_search_by_key(&child_subset, |&(l, _)| l).ok().map(|pos| v[pos].1)
     }
 
     /// The subset-state produced for a node whose children produced
@@ -283,7 +302,7 @@ impl LabelMachine {
         self.trans
             .iter()
             .enumerate()
-            .flat_map(|(c, m)| m.iter().map(move |(&letter, &next)| (c, letter, next)))
+            .flat_map(|(c, v)| v.iter().map(move |&(letter, next)| (c, letter, next)))
     }
 }
 
@@ -314,7 +333,10 @@ impl Duta {
             configs: Vec<Vec<BTreeSet<usize>>>,
             config_index: BTreeMap<Vec<BTreeSet<usize>>, usize>,
             config_paths: Vec<Vec<usize>>,
-            trans: Vec<BTreeMap<usize, usize>>,
+            /// Sorted `(letter, next config)` adjacency per config; letters
+            /// are discovered in increasing order, so plain pushes keep the
+            /// vectors sorted.
+            trans: Vec<Vec<(usize, usize)>>,
             output: Vec<usize>,
         }
         let mut building: BTreeMap<Symbol, Building> = BTreeMap::new();
@@ -330,7 +352,7 @@ impl Duta {
                 .map(|q| nuta.rule(q, label).unwrap().eps_free())
                 .collect();
             building.insert(
-                label.clone(),
+                *label,
                 Building {
                     states_with_rule,
                     nfas,
@@ -355,7 +377,7 @@ impl Duta {
                 .zip(&b.nfas)
                 .zip(config)
                 .filter(|((_, nfa), comp)| comp.iter().any(|&s| nfa.is_final(s)))
-                .map(|((q, _), _)| q.clone())
+                .map(|((q, _), _)| *q)
                 .collect()
         }
 
@@ -370,11 +392,11 @@ impl Duta {
             b.configs.push(start_config.clone());
             b.config_index.insert(start_config.clone(), 0);
             b.config_paths.push(Vec::new());
-            b.trans.push(BTreeMap::new());
+            b.trans.push(Vec::new());
             let out = config_output(b, &start_config);
             let idx = *subset_index.entry(out.clone()).or_insert_with(|| {
                 subsets.push(out.clone());
-                witnesses.push(XTree::leaf(label.clone()));
+                witnesses.push(XTree::leaf(*label));
                 subsets.len() - 1
             });
             b.output.push(idx);
@@ -388,7 +410,10 @@ impl Duta {
                 let mut config_id = 0;
                 while config_id < b.configs.len() {
                     for letter in 0..num_subsets {
-                        if b.trans[config_id].contains_key(&letter) {
+                        if b.trans[config_id]
+                            .binary_search_by_key(&letter, |&(l, _)| l)
+                            .is_ok()
+                        {
                             continue;
                         }
                         changed = true;
@@ -399,13 +424,7 @@ impl Duta {
                             .nfas
                             .iter()
                             .zip(&current)
-                            .map(|(nfa, comp)| {
-                                let mut out = BTreeSet::new();
-                                for sym in &subsets[letter] {
-                                    out.extend(nfa.step(comp, sym));
-                                }
-                                out
-                            })
+                            .map(|(nfa, comp)| nfa.step_all(comp, &subsets[letter]))
                             .collect();
                         let next_id = match b.config_index.get(&next) {
                             Some(&i) => i,
@@ -416,7 +435,7 @@ impl Duta {
                                 let mut path = b.config_paths[config_id].clone();
                                 path.push(letter);
                                 b.config_paths.push(path);
-                                b.trans.push(BTreeMap::new());
+                                b.trans.push(Vec::new());
                                 let out = config_output(b, &next);
                                 let idx = *subset_index.entry(out.clone()).or_insert_with(|| {
                                     let children: Vec<XTree> = b.config_paths[i]
@@ -424,14 +443,18 @@ impl Duta {
                                         .map(|&l| witnesses[l].clone())
                                         .collect();
                                     subsets.push(out.clone());
-                                    witnesses.push(XTree::node(label.clone(), children));
+                                    witnesses.push(XTree::node(*label, children));
                                     subsets.len() - 1
                                 });
                                 b.output.push(idx);
                                 i
                             }
                         };
-                        b.trans[config_id].insert(letter, next_id);
+                        let v = &mut b.trans[config_id];
+                        match v.binary_search_by_key(&letter, |&(l, _)| l) {
+                            Ok(pos) => v[pos].1 = next_id,
+                            Err(pos) => v.insert(pos, (letter, next_id)),
+                        }
                     }
                     config_id += 1;
                 }
@@ -525,10 +548,8 @@ impl Duta {
             None => return Nfa::empty(),
         };
         let mut nfa = Nfa::new(machine.num_configs(), machine.start);
-        for (config, trans) in machine.trans.iter().enumerate() {
-            for (&letter, &next) in trans {
-                nfa.add_transition(config, namer(letter), next);
-            }
+        for (config, letter, next) in machine.transitions() {
+            nfa.add_transition(config, namer(letter), next);
         }
         for (config, &out) in machine.output.iter().enumerate() {
             if out == i {
@@ -563,7 +584,7 @@ impl Duta {
         let mut seen: BTreeSet<usize> = BTreeSet::from([machine.start]);
         let mut queue = VecDeque::from([machine.start]);
         while let Some(config) = queue.pop_front() {
-            for (&_letter, &next) in &machine.trans[config] {
+            for &(_letter, next) in &machine.trans[config] {
                 if seen.insert(next) {
                     queue.push_back(next);
                 }
@@ -580,7 +601,7 @@ impl Duta {
     pub fn inhabited_label_states(&self) -> BTreeMap<Symbol, BTreeSet<usize>> {
         self.labels
             .iter()
-            .map(|l| (l.clone(), self.label_outputs(l)))
+            .map(|l| (*l, self.label_outputs(l)))
             .collect()
     }
 
@@ -607,7 +628,13 @@ impl Duta {
             Some(m) => m,
             None => return BTreeMap::new(),
         };
-        let alphabet = word_lang.alphabet();
+        // Resolve each alphabet symbol's subset-state letter once, outside
+        // the BFS — symbols denoting no subset state never move the product.
+        let moves: Vec<(Symbol, usize)> = word_lang
+            .alphabet()
+            .iter()
+            .filter_map(|&sym| letter_of(&sym).map(|letter| (sym, letter)))
+            .collect();
         let start = (
             machine.start,
             word_lang.epsilon_closure(&BTreeSet::from([word_lang.start()])),
@@ -621,23 +648,19 @@ impl Duta {
             if set.iter().any(|&q| word_lang.is_final(q)) {
                 outputs.entry(machine.output[config]).or_insert_with(|| word.clone());
             }
-            for sym in &alphabet {
-                let letter = match letter_of(sym) {
-                    Some(l) => l,
+            for &(sym, letter) in &moves {
+                let next_config = match machine.step_opt(config, letter) {
+                    Some(c) => c,
                     None => continue,
                 };
-                let next_config = match machine.trans[config].get(&letter) {
-                    Some(&c) => c,
-                    None => continue,
-                };
-                let next_set = word_lang.step(&set, sym);
+                let next_set = word_lang.step(&set, &sym);
                 if next_set.is_empty() {
                     continue;
                 }
                 let state = (next_config, next_set);
                 if seen.insert(state.clone()) {
                     let mut w = word.clone();
-                    w.push(sym.clone());
+                    w.push(sym);
                     queue.push_back((state, w));
                 }
             }
@@ -702,7 +725,7 @@ fn reachable_pairs(a: &Duta, b: &Duta) -> Vec<(usize, Option<usize>, XTree)> {
                 if pair_index.insert(out) {
                     let children: Vec<XTree> =
                         path.iter().map(|&p| pairs[p].2.clone()).collect();
-                    pairs.push((out.0, out.1, XTree::node(label.clone(), children)));
+                    pairs.push((out.0, out.1, XTree::node(*label, children)));
                 }
                 for (letter, (pa, pb, _)) in pairs.iter().enumerate().take(snapshot_len) {
                     let next_b = match (cb, pb, mb) {

@@ -67,7 +67,7 @@ fn main() {
     let mut too_wide = perfect.clone();
     let forest = perfect.content(perfect.start()).to_nfa();
     too_wide.set_rule(
-        perfect.start().clone(),
+        *perfect.start(),
         dxml::automata::RSpec::Nfa(
             forest.union(&dxml::automata::Nfa::symbol("country")),
         ),

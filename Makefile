@@ -49,10 +49,20 @@ bench-smoke:
 # with `make bench-baselines` on the reference machine and commit).
 BASELINE_DIR := baselines
 
+# One full (non-smoke) pass regenerates every target's baseline; stale
+# files are removed first so the emission check below makes a silently
+# skipped target a hard error instead of a re-committed stale baseline.
 bench-baselines:
+	@test -n "$(BENCH_TARGETS)" || { \
+		echo "bench-baselines: no bench targets found in crates/bench/Cargo.toml" >&2; exit 1; }
 	@mkdir -p $(BASELINE_DIR)
+	@rm -f $(foreach b,$(BENCH_TARGETS),"$(BASELINE_DIR)/BENCH_$(b).json")
 	DXML_BENCH_DIR=$(CURDIR)/$(BASELINE_DIR) $(CARGO) bench -q
-	@echo "bench-baselines: refreshed $(BASELINE_DIR)/ — review and commit"
+	@for b in $(BENCH_TARGETS); do \
+		test -f "$(BASELINE_DIR)/BENCH_$$b.json" || { \
+			echo "bench-baselines: BENCH_$$b.json was not regenerated" >&2; exit 1; }; \
+	done
+	@echo "bench-baselines: refreshed all $(words $(BENCH_TARGETS)) baselines in $(BASELINE_DIR)/ — review and commit"
 
 # Re-run every bench target (full timing mode) and diff the fresh
 # BENCH_<name>.json files against the committed baselines: any warm-path

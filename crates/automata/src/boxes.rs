@@ -26,6 +26,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use crate::nfa::{Nfa, StateId};
+use crate::stateset::StateSet;
 use crate::symbol::{Alphabet, Symbol, Word};
 
 /// A box `Σ1 Σ2 … Σn`: a finite regular language that is a cartesian product
@@ -205,8 +206,8 @@ impl Nfa {
     /// The set of states reachable from the (ε-closed) start set by reading
     /// some word of the box: one slot step unions the plain [`Nfa::step`]
     /// over the slot's symbols.
-    fn states_after_box(&self, b: &BoxLang) -> BTreeSet<StateId> {
-        let mut current = self.epsilon_closure(&BTreeSet::from([self.start()]));
+    fn states_after_box(&self, b: &BoxLang) -> StateSet {
+        let mut current = self.start_closure();
         for slot in b.slots() {
             current = self.step_all(&current, slot);
             if current.is_empty() {
@@ -227,7 +228,7 @@ impl Nfa {
         let mut out = self.clone();
         let start = out.add_state();
         out.set_start(start);
-        for q in entry {
+        for q in &entry {
             out.add_epsilon(start, q);
         }
         out.trim()
@@ -243,15 +244,17 @@ impl Nfa {
         for f in finals {
             out.unset_final(f);
         }
+        let finals = self.finals_set();
         for q in 0..self.num_states() {
-            let mut current = self.epsilon_closure(&BTreeSet::from([q]));
+            let mut current =
+                self.epsilon_closure(&StateSet::singleton(self.num_states(), q));
             for slot in b.slots() {
                 current = self.step_all(&current, slot);
                 if current.is_empty() {
                     break;
                 }
             }
-            if current.iter().any(|&s| self.is_final(s)) {
+            if current.intersects(&finals) {
                 out.set_final(q);
             }
         }

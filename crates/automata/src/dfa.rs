@@ -23,6 +23,7 @@ use std::fmt;
 
 use crate::hash::FxHashMap;
 use crate::nfa::{Nfa, StateId};
+use crate::stateset::StateSet;
 use crate::symbol::{Alphabet, Symbol, Word};
 
 /// A deterministic finite automaton with a (possibly partial) transition
@@ -203,14 +204,15 @@ impl Dfa {
             v
         };
         let sids: Vec<u32> = syms.iter().map(|s| nfa.sym_id(s).expect("alphabet symbol")).collect();
-        let start_set = nfa.epsilon_closure(&BTreeSet::from([nfa.start()]));
-        let mut index: FxHashMap<BTreeSet<StateId>, StateId> = FxHashMap::default();
+        let finals = nfa.finals_set();
+        let start_set = nfa.start_closure();
+        let mut index: FxHashMap<StateSet, StateId> = FxHashMap::default();
         let mut dfa = Dfa::new(1, 0);
         index.insert(start_set.clone(), 0);
         let mut queue = VecDeque::from([start_set]);
         while let Some(set) = queue.pop_front() {
             let id = index[&set];
-            if set.iter().any(|q| nfa.is_final(*q)) {
+            if set.intersects(&finals) {
                 dfa.set_final(id);
             }
             for (sym, &sid) in syms.iter().zip(&sids) {
@@ -279,7 +281,7 @@ impl Dfa {
 
     /// Restricts to states reachable from the start state.
     pub fn trim_reachable(&self) -> Dfa {
-        let mut seen = BTreeSet::from([self.start]);
+        let mut seen = StateSet::singleton(self.num_states, self.start);
         let mut stack = vec![self.start];
         while let Some(q) = stack.pop() {
             for &(_, t) in &self.trans[q] {
@@ -288,7 +290,7 @@ impl Dfa {
                 }
             }
         }
-        let keep: Vec<StateId> = seen.into_iter().collect();
+        let keep: Vec<StateId> = seen.iter().collect();
         let index: BTreeMap<StateId, StateId> = keep.iter().enumerate().map(|(i, &q)| (q, i)).collect();
         let mut out = Dfa::new(keep.len(), index[&self.start]);
         for &q in &keep {
@@ -358,9 +360,9 @@ impl Dfa {
     /// introduced by completion), if present, together with its transitions.
     fn remove_useless_sink(&self) -> Dfa {
         let nfa = self.to_nfa();
-        let coreach = nfa.coreachable_to(nfa.finals());
+        let coreach = nfa.coreachable_to(&nfa.finals_set());
         let keep: Vec<StateId> = (0..self.num_states)
-            .filter(|q| coreach.contains(q) || *q == self.start)
+            .filter(|q| coreach.contains(*q) || *q == self.start)
             .collect();
         if keep.len() == self.num_states {
             return self.clone();

@@ -9,9 +9,10 @@
 //! also yields a shortest distinguishing word — invaluable in error messages
 //! and tests.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::VecDeque;
 
 use crate::dfa::Dfa;
+use crate::hash::{FxHashMap, FxHashSet};
 use crate::nfa::Nfa;
 use crate::symbol::{Alphabet, Symbol, Word};
 
@@ -85,7 +86,7 @@ pub fn concat_universal(a: &Nfa, b: &Nfa, alphabet: &Alphabet) -> bool {
 }
 
 /// Back-pointers of the product BFS: state pair → (predecessor pair, symbol).
-type ParentMap = BTreeMap<(usize, usize), ((usize, usize), Symbol)>;
+type ParentMap = FxHashMap<(usize, usize), ((usize, usize), Symbol)>;
 
 /// Breadth-first search over the synchronous product of two *complete* DFAs,
 /// returning a shortest word leading to a state pair whose acceptance flags
@@ -109,8 +110,8 @@ fn distinguishing_word(
         })
         .collect();
     let start = (a.start(), b.start());
-    let mut parent: ParentMap = BTreeMap::new();
-    let mut seen: BTreeSet<(usize, usize)> = BTreeSet::from([start]);
+    let mut parent: ParentMap = ParentMap::default();
+    let mut seen: FxHashSet<(usize, usize)> = FxHashSet::from_iter([start]);
     let mut queue = VecDeque::from([start]);
     let reconstruct = |end: (usize, usize), parent: &ParentMap| {
         let mut word = Vec::new();

@@ -20,6 +20,14 @@ pub enum AutomataError {
     InvalidState(usize),
     /// A symbol was used that is not part of the relevant alphabet.
     UnknownSymbol(String),
+    /// The process-wide symbol intern table is at capacity; no further
+    /// distinct name can be interned. Surfaced by `Symbol::try_new` on the
+    /// parser paths so untrusted input rejects instead of aborting the
+    /// process.
+    SymbolTableFull {
+        /// The hard capacity of the intern table (`Symbol::MAX_SYMBOLS`).
+        limit: usize,
+    },
 }
 
 impl fmt::Display for AutomataError {
@@ -33,6 +41,9 @@ impl fmt::Display for AutomataError {
             }
             AutomataError::InvalidState(s) => write!(f, "invalid state id {s}"),
             AutomataError::UnknownSymbol(s) => write!(f, "unknown symbol `{s}`"),
+            AutomataError::SymbolTableFull { limit } => {
+                write!(f, "symbol intern table is full ({limit} distinct names); rejecting new name")
+            }
         }
     }
 }

@@ -23,7 +23,10 @@
 //!   box versions of the design problems in Section 7;
 //! * [`RSpec`] — a content model in any of the four formalisms
 //!   (`nFA`, `dFA`, `nRE`, `dRE`) behind a uniform API, mirroring the paper's
-//!   parameter `R`.
+//!   parameter `R`;
+//! * [`StateSet`] — fixed-width dense bitset state sets, the frontier
+//!   representation of every subset construction and membership loop in the
+//!   workspace.
 //!
 //! The crate is self-contained (no third-party dependencies) and forms the
 //! bottom layer of the workspace: trees, schemas and the design algorithms are
@@ -42,6 +45,7 @@ pub mod nfa;
 pub mod quotient;
 pub mod regex;
 pub mod rspec;
+pub mod stateset;
 pub mod symbol;
 
 pub use boxes::BoxLang;
@@ -52,4 +56,5 @@ pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use nfa::Nfa;
 pub use regex::Regex;
 pub use rspec::{RFormalism, RSpec};
+pub use stateset::StateSet;
 pub use symbol::{Alphabet, Symbol};

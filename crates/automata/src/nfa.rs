@@ -30,12 +30,21 @@
 //! The subset construction, products, quotients and equivalence checks all
 //! iterate these local ids; interned symbol ids only matter at the indexing
 //! boundary, and strings are never touched.
+//!
+//! # State sets
+//!
+//! Every state-set-shaped value (ε-closures, frontiers, reachability sets)
+//! is a [`StateSet`] — a fixed-width dense bitset over the automaton's
+//! state universe (see [`crate::stateset`]), iterated in ascending state
+//! order exactly like the `BTreeSet<usize>` representation it replaced, so
+//! subset-state numbering and witness words are unchanged.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
 
 use crate::dfa::Dfa;
-use crate::hash::FxHashMap;
+use crate::hash::{FxHashMap, FxHashSet};
+use crate::stateset::StateSet;
 use crate::symbol::{Alphabet, Symbol, Word};
 
 /// A state identifier; states of an [`Nfa`] are `0..nfa.num_states()`.
@@ -55,6 +64,9 @@ pub struct Nfa {
     trans: Vec<Vec<(u32, StateId)>>,
     /// `eps[q]`: sorted, deduplicated ε-successors.
     eps: Vec<Vec<StateId>>,
+    /// Whether any ε-transition exists (lets the ε-closure on the frontier
+    /// hot path return immediately for ε-free automata).
+    has_eps: bool,
 }
 
 impl Nfa {
@@ -82,6 +94,7 @@ impl Nfa {
             sym_index: FxHashMap::default(),
             trans: vec![Vec::new(); num_states],
             eps: vec![Vec::new(); num_states],
+            has_eps: false,
         }
     }
 
@@ -183,6 +196,7 @@ impl Nfa {
         let v = &mut self.eps[from];
         if let Err(pos) = v.binary_search(&to) {
             v.insert(pos, to);
+            self.has_eps = true;
         }
     }
 
@@ -233,6 +247,13 @@ impl Nfa {
         self.finals.contains(&state)
     }
 
+    /// The final states as a dense [`StateSet`] over the current universe
+    /// (built on demand — the hot loops build it once per traversal and
+    /// test acceptance with an O(words) intersection).
+    pub fn finals_set(&self) -> StateSet {
+        StateSet::from_iter(self.num_states, self.finals.iter().copied())
+    }
+
     /// Iterates over all transitions as `(from, label, to)` where a label of
     /// `None` denotes ε.
     pub fn transitions(&self) -> impl Iterator<Item = (StateId, Option<&Symbol>, StateId)> + '_ {
@@ -245,11 +266,14 @@ impl Nfa {
     }
 
     /// The successor set `Δ(q, a)`.
-    pub fn delta(&self, q: StateId, sym: &Symbol) -> BTreeSet<StateId> {
-        match self.sym_id(sym) {
-            Some(sid) => self.succ_slice(q, sid).iter().map(|&(_, t)| t).collect(),
-            None => BTreeSet::new(),
+    pub fn delta(&self, q: StateId, sym: &Symbol) -> StateSet {
+        let mut out = StateSet::empty(self.num_states);
+        if let Some(sid) = self.sym_id(sym) {
+            for &(_, t) in self.succ_slice(q, sid) {
+                out.insert(t);
+            }
         }
+        out
     }
 
     /// The alphabet of symbols actually appearing on transitions.
@@ -259,15 +283,21 @@ impl Nfa {
 
     /// Whether the automaton has any ε-transition.
     pub fn has_epsilon(&self) -> bool {
-        self.eps.iter().any(|v| !v.is_empty())
+        self.has_eps
     }
 
     // ------------------------------------------------------------------
-    // Local-index plumbing (crate-internal hot-path API)
+    // Local-index plumbing (hot-path API)
     // ------------------------------------------------------------------
 
     /// The local index of `sym`, if it appears on any transition.
-    pub(crate) fn sym_id(&self, sym: &Symbol) -> Option<u32> {
+    ///
+    /// Local indices are **per-automaton**: they are only meaningful as
+    /// arguments to [`Nfa::step_local`] on the same automaton. Exposed so
+    /// callers stepping the same automaton many times (the `Duta`
+    /// membership frontiers in the tree crate) can resolve each symbol once
+    /// instead of hashing it per step.
+    pub fn sym_id(&self, sym: &Symbol) -> Option<u32> {
         self.sym_index.get(sym).copied()
     }
 
@@ -290,19 +320,28 @@ impl Nfa {
     }
 
     /// One symbol step on a (ε-closed) state set via the local index,
-    /// returning the ε-closure of the successor set.
-    pub(crate) fn step_local(&self, set: &BTreeSet<StateId>, sid: u32) -> BTreeSet<StateId> {
-        let mut next = BTreeSet::new();
-        for &q in set {
-            next.extend(self.succ_slice(q, sid).iter().map(|&(_, t)| t));
+    /// returning the ε-closure of the successor set. The bitset-frontier
+    /// primitive behind [`Nfa::step`]; public for callers that resolve
+    /// symbol ids once via [`Nfa::sym_id`] and step many times.
+    ///
+    /// The set must have been created over this automaton's state universe.
+    pub fn step_local(&self, set: &StateSet, sid: u32) -> StateSet {
+        let mut next = StateSet::empty(self.num_states);
+        for q in set {
+            for &(_, t) in self.succ_slice(q, sid) {
+                next.insert(t);
+            }
         }
         self.epsilon_closure_inplace(next)
     }
 
     /// ε-closes `set` in place (the by-value twin of
     /// [`Nfa::epsilon_closure`], saving the clone on the hot paths).
-    fn epsilon_closure_inplace(&self, mut closure: BTreeSet<StateId>) -> BTreeSet<StateId> {
-        let mut stack: Vec<StateId> = closure.iter().copied().collect();
+    fn epsilon_closure_inplace(&self, mut closure: StateSet) -> StateSet {
+        if !self.has_eps {
+            return closure;
+        }
+        let mut stack: Vec<StateId> = closure.iter().collect();
         while let Some(q) = stack.pop() {
             for &t in &self.eps[q] {
                 if closure.insert(t) {
@@ -318,16 +357,22 @@ impl Nfa {
     // ------------------------------------------------------------------
 
     /// The ε-closure of a set of states.
-    pub fn epsilon_closure(&self, set: &BTreeSet<StateId>) -> BTreeSet<StateId> {
+    pub fn epsilon_closure(&self, set: &StateSet) -> StateSet {
         self.epsilon_closure_inplace(set.clone())
+    }
+
+    /// The ε-closure of the start state: the initial frontier of every run
+    /// (`StateSet::singleton` + [`Nfa::epsilon_closure`] in one call).
+    pub fn start_closure(&self) -> StateSet {
+        self.epsilon_closure_inplace(StateSet::singleton(self.num_states, self.start))
     }
 
     /// One symbol step on a (ε-closed) state set, returning the ε-closure of
     /// the successor set.
-    pub fn step(&self, set: &BTreeSet<StateId>, sym: &Symbol) -> BTreeSet<StateId> {
+    pub fn step(&self, set: &StateSet, sym: &Symbol) -> StateSet {
         match self.sym_id(sym) {
             Some(sid) => self.step_local(set, sid),
-            None => BTreeSet::new(),
+            None => StateSet::empty(self.num_states),
         }
     }
 
@@ -338,14 +383,16 @@ impl Nfa {
     /// child can contribute any symbol of a set.
     pub fn step_all<'a>(
         &self,
-        set: &BTreeSet<StateId>,
+        set: &StateSet,
         syms: impl IntoIterator<Item = &'a Symbol>,
-    ) -> BTreeSet<StateId> {
-        let mut next = BTreeSet::new();
+    ) -> StateSet {
+        let mut next = StateSet::empty(self.num_states);
         for sym in syms {
             if let Some(sid) = self.sym_id(sym) {
-                for &q in set {
-                    next.extend(self.succ_slice(q, sid).iter().map(|&(_, t)| t));
+                for q in set {
+                    for &(_, t) in self.succ_slice(q, sid) {
+                        next.insert(t);
+                    }
                 }
             }
         }
@@ -354,7 +401,7 @@ impl Nfa {
 
     /// The set of states reachable from `set` by reading `word`
     /// (the extended transition relation `Δ*`).
-    pub fn delta_star(&self, set: &BTreeSet<StateId>, word: &[Symbol]) -> BTreeSet<StateId> {
+    pub fn delta_star(&self, set: &StateSet, word: &[Symbol]) -> StateSet {
         let mut current = self.epsilon_closure(set);
         for sym in word {
             if current.is_empty() {
@@ -366,13 +413,13 @@ impl Nfa {
     }
 
     /// The set of states reachable from a single state `q` by reading `word`.
-    pub fn delta_star_from(&self, q: StateId, word: &[Symbol]) -> BTreeSet<StateId> {
-        self.delta_star(&BTreeSet::from([q]), word)
+    pub fn delta_star_from(&self, q: StateId, word: &[Symbol]) -> StateSet {
+        self.delta_star(&StateSet::singleton(self.num_states, q), word)
     }
 
     /// Whether the automaton accepts `word`.
     pub fn accepts(&self, word: &[Symbol]) -> bool {
-        self.delta_star_from(self.start, word).iter().any(|q| self.finals.contains(q))
+        self.delta_star_from(self.start, word).iter().any(|q| self.finals.contains(&q))
     }
 
     // ------------------------------------------------------------------
@@ -381,9 +428,9 @@ impl Nfa {
 
     /// The set of states reachable (by any transitions, including ε) from the
     /// states in `from`.
-    pub fn reachable_from(&self, from: &BTreeSet<StateId>) -> BTreeSet<StateId> {
+    pub fn reachable_from(&self, from: &StateSet) -> StateSet {
         let mut seen = from.clone();
-        let mut stack: Vec<StateId> = from.iter().copied().collect();
+        let mut stack: Vec<StateId> = from.iter().collect();
         while let Some(q) = stack.pop() {
             for &(_, t) in &self.trans[q] {
                 if seen.insert(t) {
@@ -400,7 +447,7 @@ impl Nfa {
     }
 
     /// The set of states from which some state in `to` is reachable.
-    pub fn coreachable_to(&self, to: &BTreeSet<StateId>) -> BTreeSet<StateId> {
+    pub fn coreachable_to(&self, to: &StateSet) -> StateSet {
         // Build reverse adjacency.
         let mut rev: Vec<Vec<StateId>> = vec![Vec::new(); self.num_states];
         for (q, v) in self.trans.iter().enumerate() {
@@ -414,7 +461,7 @@ impl Nfa {
             }
         }
         let mut seen = to.clone();
-        let mut stack: Vec<StateId> = to.iter().copied().collect();
+        let mut stack: Vec<StateId> = to.iter().collect();
         while let Some(q) = stack.pop() {
             for &p in &rev[q] {
                 if seen.insert(p) {
@@ -427,8 +474,8 @@ impl Nfa {
 
     /// Whether the language of the automaton is empty.
     pub fn is_empty(&self) -> bool {
-        let reach = self.reachable_from(&BTreeSet::from([self.start]));
-        reach.is_disjoint(&self.finals) || self.finals.is_empty()
+        let reach = self.reachable_from(&StateSet::singleton(self.num_states, self.start));
+        self.finals.is_empty() || reach.is_disjoint(&self.finals_set())
     }
 
     /// Whether the language equals `Σ*` over the given alphabet.
@@ -442,13 +489,14 @@ impl Nfa {
     /// alphabet is scanned in text order).
     pub fn shortest_accepted(&self) -> Option<Word> {
         let syms = self.sorted_syms();
-        let start = self.epsilon_closure(&BTreeSet::from([self.start]));
-        let mut queue: VecDeque<(BTreeSet<StateId>, Word)> = VecDeque::new();
-        let mut seen: BTreeSet<BTreeSet<StateId>> = BTreeSet::new();
+        let finals = self.finals_set();
+        let start = self.start_closure();
+        let mut queue: VecDeque<(StateSet, Word)> = VecDeque::new();
+        let mut seen: FxHashSet<StateSet> = FxHashSet::default();
         queue.push_back((start.clone(), Vec::new()));
         seen.insert(start);
         while let Some((set, word)) = queue.pop_front() {
-            if set.iter().any(|q| self.finals.contains(q)) {
+            if set.intersects(&finals) {
                 return Some(word);
             }
             for &(sym, sid) in &syms {
@@ -470,13 +518,14 @@ impl Nfa {
     /// words, in length-lexicographic order. Intended for tests and examples.
     pub fn enumerate_accepted(&self, max_len: usize, limit: usize) -> Vec<Word> {
         let syms = self.sorted_syms();
+        let finals = self.finals_set();
         let mut out = Vec::new();
-        let start = self.epsilon_closure(&BTreeSet::from([self.start]));
-        let mut frontier: Vec<(BTreeSet<StateId>, Word)> = vec![(start, Vec::new())];
+        let start = self.start_closure();
+        let mut frontier: Vec<(StateSet, Word)> = vec![(start, Vec::new())];
         for _len in 0..=max_len {
             let mut next_frontier = Vec::new();
             for (set, word) in &frontier {
-                if set.iter().any(|q| self.finals.contains(q)) {
+                if set.intersects(&finals) {
                     out.push(word.clone());
                     if out.len() >= limit {
                         return out;
@@ -505,30 +554,34 @@ impl Nfa {
     /// co-reachable from a final state (keeping the start state even if its
     /// language is empty). The result accepts the same language.
     pub fn trim(&self) -> Nfa {
-        let reach = self.reachable_from(&BTreeSet::from([self.start]));
-        let coreach = self.coreachable_to(&self.finals);
+        let reach = self.reachable_from(&StateSet::singleton(self.num_states, self.start));
+        let coreach = self.coreachable_to(&self.finals_set());
         let mut keep: Vec<StateId> =
-            reach.intersection(&coreach).copied().collect();
+            reach.iter().filter(|&q| coreach.contains(q)).collect();
         if !keep.contains(&self.start) {
             keep.push(self.start);
+            keep.sort_unstable();
         }
-        keep.sort_unstable();
-        let index: BTreeMap<StateId, StateId> =
-            keep.iter().enumerate().map(|(i, &q)| (q, i)).collect();
-        let mut out = Nfa::new(keep.len(), index[&self.start]);
+        // Dense old-id → new-id remap (`keep` is ascending).
+        let mut index: Vec<Option<StateId>> = vec![None; self.num_states];
+        for (i, &q) in keep.iter().enumerate() {
+            index[q] = Some(i);
+        }
+        let mut out = Nfa::new(keep.len(), index[self.start].expect("start is kept"));
         for &q in &keep {
+            let qi = index[q].expect("kept state is indexed");
             for &t in &self.eps[q] {
-                if let Some(&ti) = index.get(&t) {
-                    out.add_epsilon(index[&q], ti);
+                if let Some(ti) = index[t] {
+                    out.add_epsilon(qi, ti);
                 }
             }
             for &(sid, t) in &self.trans[q] {
-                if let Some(&ti) = index.get(&t) {
-                    out.add_transition(index[&q], self.syms[sid as usize], ti);
+                if let Some(ti) = index[t] {
+                    out.add_transition(qi, self.syms[sid as usize], ti);
                 }
             }
             if self.finals.contains(&q) {
-                out.set_final(index[&q]);
+                out.set_final(qi);
             }
         }
         out
@@ -541,11 +594,12 @@ impl Nfa {
         }
         let mut out = Nfa::new(self.num_states, self.start);
         for q in 0..self.num_states {
-            let closure = self.epsilon_closure(&BTreeSet::from([q]));
-            if closure.iter().any(|c| self.finals.contains(c)) {
+            let closure =
+                self.epsilon_closure_inplace(StateSet::singleton(self.num_states, q));
+            if closure.iter().any(|c| self.finals.contains(&c)) {
                 out.set_final(q);
             }
-            for &c in &closure {
+            for c in &closure {
                 for &(sid, t) in &self.trans[c] {
                     out.add_transition(q, self.syms[sid as usize], t);
                 }
@@ -625,6 +679,7 @@ impl Nfa {
         }));
         self.eps
             .extend(other.eps.iter().map(|v| v.iter().map(|&t| t + offset).collect::<Vec<_>>()));
+        self.has_eps |= other.has_eps;
         offset
     }
 
@@ -934,9 +989,9 @@ mod tests {
     fn delta_star_reachability() {
         let a = Nfa::literal(&word_chars("ab")).star();
         let from_start = a.delta_star_from(a.start(), &word_chars("ab"));
-        assert!(from_start.iter().any(|q| a.is_final(*q)));
+        assert!(from_start.iter().any(|q| a.is_final(q)));
         let dead = a.delta_star_from(a.start(), &word_chars("ba"));
-        assert!(dead.iter().all(|q| !a.is_final(*q)));
+        assert!(dead.iter().all(|q| !a.is_final(q)));
     }
 
     #[test]

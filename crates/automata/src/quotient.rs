@@ -28,10 +28,12 @@
 //! [`Dfa::universal_context_residual`] / [`Dfa::uniform_context_residual`]
 //! instead — the `Nfa` methods are thin wrappers over them.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::VecDeque;
 
 use crate::dfa::Dfa;
+use crate::hash::{FxHashMap, FxHashSet};
 use crate::nfa::{Nfa, StateId};
+use crate::stateset::StateSet;
 use crate::symbol::Alphabet;
 
 impl Nfa {
@@ -45,7 +47,7 @@ impl Nfa {
         let mut out = d.to_nfa();
         let start = out.add_state();
         out.set_start(start);
-        for q in entry {
+        for q in &entry {
             out.add_epsilon(start, q);
         }
         out.trim()
@@ -142,8 +144,9 @@ impl Dfa {
         // Deterministic set-simulation: track the set of states the entry
         // set evolves into; accept iff it is entirely safe. The empty entry
         // set (no realizable prefix) is vacuously safe, yielding Σ*.
-        let mut sets: Vec<BTreeSet<StateId>> = vec![entry.clone()];
-        let mut index: BTreeMap<BTreeSet<StateId>, usize> = BTreeMap::new();
+        let n = d.num_states();
+        let mut sets: Vec<StateSet> = vec![entry.clone()];
+        let mut index: FxHashMap<StateSet, usize> = FxHashMap::default();
         index.insert(entry, 0);
         let mut out = Nfa::new(1, 0);
         let mut queue = VecDeque::from([0usize]);
@@ -153,10 +156,10 @@ impl Dfa {
             }
             for &(sym, sid) in &ids {
                 let sid = sid.expect("completed DFA mentions every alphabet symbol");
-                let next: BTreeSet<StateId> = sets[id]
-                    .iter()
-                    .filter_map(|&q| d.delta_local(q, sid))
-                    .collect();
+                let next = StateSet::from_iter(
+                    n,
+                    sets[id].iter().filter_map(|q| d.delta_local(q, sid)),
+                );
                 let next_id = match index.get(&next) {
                     Some(&i) => i,
                     None => {
@@ -192,7 +195,7 @@ impl Dfa {
         // Per inner context: the set-valued reachability map
         // q ↦ {δ*(q, u) : u ∈ [Cᵢ]} (the last context acts as a suffix
         // filter instead).
-        let inner: Vec<Vec<BTreeSet<StateId>>> = contexts[..contexts.len() - 1]
+        let inner: Vec<Vec<StateSet>> = contexts[..contexts.len() - 1]
             .iter()
             .map(|c| (0..n).map(|q| states_reachable_via_from(&d, q, c)).collect())
             .collect();
@@ -202,17 +205,20 @@ impl Dfa {
         let accepts = |t: &[StateId]| -> bool {
             // Propagate the set of possible states through u₀ w u₁ w ⋯ w,
             // alternating context reachability and the transformation `t`.
-            let mut possible: BTreeSet<StateId> = inner[0][d.start()].clone();
+            let mut possible: StateSet = inner[0][d.start()].clone();
             for r in inner.iter().skip(1) {
-                let after_w: BTreeSet<StateId> = possible.iter().map(|&q| t[q]).collect();
-                possible = after_w.iter().flat_map(|&q| r[q].iter().copied()).collect();
+                let mut next = StateSet::empty(n);
+                for q in &possible {
+                    next.union_with(&r[t[q]]);
+                }
+                possible = next;
             }
-            possible.iter().map(|&q| t[q]).all(|q| safe.contains(&q))
+            possible.iter().map(|q| t[q]).all(|q| safe.contains(q))
         };
         // Enumerate the reachable transformation monoid.
         let identity: Vec<StateId> = (0..n).collect();
         let mut trans: Vec<Vec<StateId>> = vec![identity.clone()];
-        let mut index: BTreeMap<Vec<StateId>, usize> = BTreeMap::new();
+        let mut index: FxHashMap<Vec<StateId>, usize> = FxHashMap::default();
         index.insert(identity, 0);
         let mut out = Nfa::new(1, 0);
         let mut queue = VecDeque::from([0usize]);
@@ -245,23 +251,24 @@ impl Dfa {
 
 /// The set `{ δ*(q₀, u) : u ∈ [prefixes] }` of states of `d` reachable by
 /// reading some word of `[prefixes]` from the start state.
-fn states_reachable_via(d: &Dfa, prefixes: &Nfa) -> BTreeSet<StateId> {
+fn states_reachable_via(d: &Dfa, prefixes: &Nfa) -> StateSet {
     states_reachable_via_from(d, d.start(), prefixes)
 }
 
 /// The set `{ δ*(q, u) : u ∈ [lang] }` of states of `d` reachable by
 /// reading some word of `[lang]` from the state `q`.
-fn states_reachable_via_from(d: &Dfa, q: StateId, prefixes: &Nfa) -> BTreeSet<StateId> {
+fn states_reachable_via_from(d: &Dfa, q: StateId, prefixes: &Nfa) -> StateSet {
     // The product only moves on symbols both machines know; resolve the
     // local ids of the shared alphabet once.
     let ids = shared_ids(d, prefixes);
-    let p0 = prefixes.epsilon_closure(&BTreeSet::from([prefixes.start()]));
+    let p_finals = prefixes.finals_set();
+    let p0 = prefixes.start_closure();
     let start = (p0, q);
-    let mut seen: BTreeSet<(BTreeSet<StateId>, StateId)> = BTreeSet::from([start.clone()]);
+    let mut seen: FxHashSet<(StateSet, StateId)> = FxHashSet::from_iter([start.clone()]);
     let mut queue = VecDeque::from([start]);
-    let mut out = BTreeSet::new();
+    let mut out = StateSet::empty(d.num_states());
     while let Some((pset, q)) = queue.pop_front() {
-        if pset.iter().any(|p| prefixes.is_final(*p)) {
+        if pset.intersects(&p_finals) {
             out.insert(q);
         }
         for &(dsid, psid) in &ids {
@@ -285,10 +292,11 @@ fn states_reachable_via_from(d: &Dfa, q: StateId, prefixes: &Nfa) -> BTreeSet<St
 /// The set of states `q` of `d` such that **every** word of `[suffixes]`
 /// read from `q` ends in an accepting state (missing transitions count as
 /// rejection). States outside the set admit some suffix that rejects.
-fn states_where_all_suffixes_accept(d: &Dfa, suffixes: &Nfa) -> BTreeSet<StateId> {
-    (0..d.num_states())
-        .filter(|&q| !suffix_rejects_somewhere(d, q, suffixes))
-        .collect()
+fn states_where_all_suffixes_accept(d: &Dfa, suffixes: &Nfa) -> StateSet {
+    StateSet::from_iter(
+        d.num_states(),
+        (0..d.num_states()).filter(|&q| !suffix_rejects_somewhere(d, q, suffixes)),
+    )
 }
 
 /// Whether some word of `[suffixes]` read from `q` fails to accept in `d`.
@@ -301,12 +309,13 @@ fn suffix_rejects_somewhere(d: &Dfa, q: StateId, suffixes: &Nfa) -> bool {
         .iter()
         .filter_map(|s| Some((d.sym_id(s), suffixes.sym_id(s)?)))
         .collect();
-    let s0 = suffixes.epsilon_closure(&BTreeSet::from([suffixes.start()]));
+    let s_finals = suffixes.finals_set();
+    let s0 = suffixes.start_closure();
     let start = (s0, Some(q));
-    let mut seen: BTreeSet<(BTreeSet<StateId>, Option<StateId>)> = BTreeSet::from([start.clone()]);
+    let mut seen: FxHashSet<(StateSet, Option<StateId>)> = FxHashSet::from_iter([start.clone()]);
     let mut queue = VecDeque::from([start]);
     while let Some((sset, dq)) = queue.pop_front() {
-        let suffix_ends_here = sset.iter().any(|s| suffixes.is_final(*s));
+        let suffix_ends_here = sset.intersects(&s_finals);
         let accepts = dq.map(|t| d.is_final(t)).unwrap_or(false);
         if suffix_ends_here && !accepts {
             return true;
@@ -330,12 +339,13 @@ fn suffix_rejects_somewhere(d: &Dfa, q: StateId, suffixes: &Nfa) -> bool {
 /// state of `d`.
 fn suffix_reaches_final(d: &Dfa, q: StateId, suffixes: &Nfa) -> bool {
     let ids = shared_ids(d, suffixes);
-    let s0 = suffixes.epsilon_closure(&BTreeSet::from([suffixes.start()]));
+    let s_finals = suffixes.finals_set();
+    let s0 = suffixes.start_closure();
     let start = (s0, q);
-    let mut seen: BTreeSet<(BTreeSet<StateId>, StateId)> = BTreeSet::from([start.clone()]);
+    let mut seen: FxHashSet<(StateSet, StateId)> = FxHashSet::from_iter([start.clone()]);
     let mut queue = VecDeque::from([start]);
     while let Some((sset, dq)) = queue.pop_front() {
-        if sset.iter().any(|s| suffixes.is_final(*s)) && d.is_final(dq) {
+        if sset.intersects(&s_finals) && d.is_final(dq) {
             return true;
         }
         for &(dsid, ssid) in &ids {

@@ -642,7 +642,7 @@ fn tokenize(input: &str, mode: Mode) -> Result<Vec<(Token, usize)>, AutomataErro
             }
             c if is_ident_char(c) => match mode {
                 Mode::Chars => {
-                    tokens.push((Token::Sym(Symbol::from(c)), pos));
+                    tokens.push((Token::Sym(Symbol::try_new(c.to_string())?), pos));
                     i += 1;
                 }
                 Mode::Ident => {
@@ -654,7 +654,7 @@ fn tokenize(input: &str, mode: Mode) -> Result<Vec<(Token, usize)>, AutomataErro
                     match text.as_str() {
                         "eps" | "epsilon" => tokens.push((Token::Epsilon, pos)),
                         "empty" => tokens.push((Token::EmptySet, pos)),
-                        _ => tokens.push((Token::Sym(Symbol::new(text)), pos)),
+                        _ => tokens.push((Token::Sym(Symbol::try_new(text)?), pos)),
                     }
                 }
             },

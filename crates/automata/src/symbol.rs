@@ -28,10 +28,18 @@
 //!   bounded; this is what makes `as_str` borrows `'static`-backed and
 //!   `Symbol` `Copy`). Consequently a long-lived process must not intern an
 //!   unbounded stream of *distinct untrusted* names — memory grows with the
-//!   number of distinct strings ever seen, and the table caps out at 2²⁴
-//!   symbols (a panic, not UB). A service validating arbitrary user schemas
-//!   at scale needs an epoch/session-scoped interner first (tracked in
-//!   ROADMAP's performance levers).
+//!   number of distinct strings ever seen, and the table caps out at
+//!   [`Symbol::MAX_SYMBOLS`] (2²⁴) symbols. Reaching the cap is a **typed
+//!   error** through [`Symbol::try_new`] — the constructor every parser
+//!   uses, so untrusted schema/document names can reject but never abort
+//!   the process — and a panic only through the infallible [`Symbol::new`]
+//!   (programmatic, bounded name universes). A service validating
+//!   arbitrary user schemas at scale still wants an epoch/session-scoped
+//!   interner (tracked in ROADMAP's performance levers).
+//! * **Lock poisoning is recovered.** The tables are append-only, so a
+//!   thread that panics mid-intern can never leave torn data; the locks
+//!   recover the guard from `PoisonError` and later symbol creation keeps
+//!   working (pinned by the panicking-interleaving stress tests).
 //!
 //! One caveat: because `Hash` hashes the id while `str` hashes its bytes, a
 //! `Borrow<str>` impl would silently break hashed-container lookups keyed by
@@ -44,6 +52,8 @@ use std::collections::BTreeSet;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
+use crate::error::AutomataError;
+
 mod intern {
     //! The global, lock-sharded intern table.
     //!
@@ -55,7 +65,7 @@ mod intern {
     //! cache-line writes.
 
     use std::sync::atomic::{AtomicU32, Ordering};
-    use std::sync::{Mutex, OnceLock};
+    use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 
     use crate::hash::{fx_hash_str, FxHashMap};
 
@@ -67,9 +77,19 @@ mod intern {
     const CHUNK_BITS: usize = 12;
     const CHUNK_SIZE: usize = 1 << CHUNK_BITS;
     const CHUNK_MASK: usize = CHUNK_SIZE - 1;
-    /// Maximum number of chunks (2²⁴ symbols in total — far beyond any
-    /// element-name universe; exceeding it is a panic, not UB).
+    /// Maximum number of chunks.
     const MAX_CHUNKS: usize = 1 << 12;
+
+    /// Hard capacity of the table: 2²⁴ distinct symbols — far beyond any
+    /// element-name universe. Exceeding it is a *typed error*
+    /// ([`try_intern`]), surfaced through `Symbol::try_new` on the parser
+    /// paths, so untrusted schema/document names can never abort the
+    /// process; the infallible [`intern`] panics instead.
+    pub(super) const MAX_SYMBOLS: usize = MAX_CHUNKS << CHUNK_BITS;
+
+    /// The table is at capacity; no new symbol can be interned.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub(super) struct InternerFull;
 
     /// One interned symbol: its text (leaked, hence `'static`) and the id of
     /// its base name (`base == own id` for unspecialised names).
@@ -114,33 +134,67 @@ mod intern {
         chunk[id as usize & CHUNK_MASK].get().expect("interned id precedes its record")
     }
 
-    /// Interns `text`, returning its stable process-wide id.
-    pub(super) fn intern(text: &str) -> u32 {
+    /// Recovers the guard from a poisoned lock: every table here is
+    /// **append-only** (the maps only gain entries, records are published
+    /// through `OnceLock`), so a thread that panicked while holding a lock
+    /// can never have left torn data behind — later threads may safely keep
+    /// interning instead of propagating the poison and wedging all symbol
+    /// creation for the rest of the process.
+    fn recover<'a, T>(
+        result: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+    ) -> MutexGuard<'a, T> {
+        result.unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Interns `text`, returning its stable process-wide id, or
+    /// [`InternerFull`] once the [`MAX_SYMBOLS`] cap is reached.
+    pub(super) fn try_intern(text: &str) -> Result<u32, InternerFull> {
         let interner = global();
         let shard = &interner.shards[(fx_hash_str(text) as usize) % SHARDS];
-        if let Some(&id) = shard.lock().expect("interner shard poisoned").get(text) {
-            return id;
+        if let Some(&id) = recover(shard.lock()).get(text) {
+            return Ok(id);
         }
         // Miss: resolve the base id *outside* any lock (the base may hash to
         // this very shard), then re-check under the shard lock — a racing
         // thread may have interned the text in the meantime.
-        let base = text.rfind('~').map(|idx| intern(&text[..idx]));
-        let mut lookup = shard.lock().expect("interner shard poisoned");
+        let base = match text.rfind('~') {
+            Some(idx) => Some(try_intern(&text[..idx])?),
+            None => None,
+        };
+        let mut lookup = recover(shard.lock());
         if let Some(&id) = lookup.get(text) {
-            return id;
+            return Ok(id);
         }
+        // Allocate the id with a capacity-checked CAS loop: the counter
+        // saturates at the cap instead of wrapping, so a flood of distinct
+        // untrusted names keeps failing cleanly forever.
+        let id = interner
+            .next_id
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |id| {
+                ((id as usize) < MAX_SYMBOLS).then_some(id + 1)
+            })
+            .map_err(|_| InternerFull)?;
         let leaked: &'static str = Box::leak(text.to_owned().into_boxed_str());
-        let id = interner.next_id.fetch_add(1, Ordering::Relaxed);
-        let chunk_index = id as usize >> CHUNK_BITS;
-        assert!(chunk_index < MAX_CHUNKS, "interner overflow: too many distinct symbols");
-        let chunk = interner.chunks[chunk_index]
+        let chunk = interner.chunks[id as usize >> CHUNK_BITS]
             .get_or_init(|| (0..CHUNK_SIZE).map(|_| OnceLock::new()).collect());
         let slot_is_fresh = chunk[id as usize & CHUNK_MASK]
             .set(Record { text: leaked, base: base.unwrap_or(id) })
             .is_ok();
         assert!(slot_is_fresh, "freshly allocated intern id was already populated");
         lookup.insert(leaked, id);
-        id
+        Ok(id)
+    }
+
+    /// Interns `text`, returning its stable process-wide id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the table is at capacity — for the programmatic call
+    /// sites that construct bounded name universes. Parser paths use
+    /// [`try_intern`] through `Symbol::try_new` instead.
+    pub(super) fn intern(text: &str) -> u32 {
+        try_intern(text)
+            .unwrap_or_else(|_| panic!("interner overflow: {MAX_SYMBOLS} distinct symbols reached"))
     }
 
     /// The text of an interned id.
@@ -156,13 +210,34 @@ mod intern {
     /// The id of `base~index`, through the specialisation link cache.
     pub(super) fn specialize(base: u32, index: usize) -> u32 {
         let interner = global();
-        let mut spec = interner.spec.lock().expect("interner spec cache poisoned");
+        let mut spec = recover(interner.spec.lock());
         if let Some(&id) = spec.get(&(base, index)) {
             return id;
         }
         let id = intern(&format!("{}~{}", resolve(base), index));
         spec.insert((base, index), id);
         id
+    }
+
+    /// Poisons every mutex of the global interner (each via a thread that
+    /// unwinds while holding the lock), for the recovery tests. The threads
+    /// unwind through [`std::panic::resume_unwind`], which bypasses the
+    /// panic hook — no global state is touched and no noise reaches the
+    /// test output, while the mutexes still observe a panicking holder.
+    #[cfg(test)]
+    pub(super) fn poison_all_locks_for_tests() {
+        for i in 0..SHARDS {
+            let _ = std::thread::spawn(move || {
+                let _guard = recover(global().shards[i].lock());
+                std::panic::resume_unwind(Box::new("poisoning interner shard for tests"));
+            })
+            .join();
+        }
+        let _ = std::thread::spawn(|| {
+            let _guard = recover(global().spec.lock());
+            std::panic::resume_unwind(Box::new("poisoning interner spec cache for tests"));
+        })
+        .join();
     }
 }
 
@@ -180,10 +255,34 @@ mod intern {
 pub struct Symbol(u32);
 
 impl Symbol {
+    /// Hard capacity of the process-wide intern table (2²⁴ distinct
+    /// symbols). [`Symbol::try_new`] reports reaching it as a typed error;
+    /// [`Symbol::new`] panics.
+    pub const MAX_SYMBOLS: usize = intern::MAX_SYMBOLS;
+
     /// Creates a symbol from anything string-like (interning the text on
     /// first sight, process-wide).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the intern table is at [`Symbol::MAX_SYMBOLS`] capacity.
+    /// Appropriate for programmatic call sites whose name universe is
+    /// bounded by construction; anything fed from *untrusted input* (the
+    /// schema/document parsers) goes through [`Symbol::try_new`] so a flood
+    /// of distinct names surfaces as an error instead of aborting the
+    /// process.
     pub fn new(name: impl AsRef<str>) -> Self {
         Symbol(intern::intern(name.as_ref()))
+    }
+
+    /// Fallible twin of [`Symbol::new`]: returns
+    /// [`AutomataError::SymbolTableFull`] instead of panicking when the
+    /// global intern table is at capacity. The entry point of every parser
+    /// path.
+    pub fn try_new(name: impl AsRef<str>) -> Result<Self, AutomataError> {
+        intern::try_intern(name.as_ref())
+            .map(Symbol)
+            .map_err(|_| AutomataError::SymbolTableFull { limit: intern::MAX_SYMBOLS })
     }
 
     /// The textual content of the symbol.
@@ -457,6 +556,34 @@ mod tests {
         let other = Alphabet::from_iter(["c", "d"]);
         let u = sigma.union(&other);
         assert_eq!(u.len(), 4);
+    }
+
+    #[test]
+    fn try_new_matches_new_and_types_the_capacity_error() {
+        let a = Symbol::try_new("try_new_probe").expect("table is nowhere near capacity");
+        assert_eq!(a, Symbol::new("try_new_probe"));
+        assert_eq!(a.id(), Symbol::new("try_new_probe").id());
+        // The cap is the documented 2²⁴ and renders as a typed error, not a
+        // panic (actually filling the table would leak gigabytes, so the
+        // boundary itself is pinned by the saturating counter logic).
+        assert_eq!(Symbol::MAX_SYMBOLS, 1 << 24);
+        let err = AutomataError::SymbolTableFull { limit: Symbol::MAX_SYMBOLS };
+        assert!(err.to_string().contains("intern table is full"), "{err}");
+    }
+
+    #[test]
+    fn interner_survives_poisoned_locks() {
+        // Poison every mutex of the global interner (a thread panics while
+        // holding each lock); the append-only tables are never torn, so
+        // symbol creation must keep working for the rest of the process.
+        intern::poison_all_locks_for_tests();
+        let s = Symbol::new("post_poison_probe");
+        assert_eq!(s.as_str(), "post_poison_probe");
+        assert_eq!(Symbol::try_new("post_poison_probe").unwrap(), s);
+        // The specialisation cache lock recovered too.
+        let sp = s.specialize(3);
+        assert_eq!(sp.as_str(), "post_poison_probe~3");
+        assert_eq!(sp.base_name(), s);
     }
 
     #[test]

@@ -213,3 +213,47 @@ fn cross_thread_interning_is_consistent() {
         assert_eq!(Symbol::new(format!("stress_{i}")).as_str(), format!("stress_{i}"));
     }
 }
+
+#[test]
+fn interning_survives_a_panicking_interleaving() {
+    // Half of the 8 threads panic midway through interning the same name
+    // family the other half keeps interning. A panicking thread must never
+    // wedge later symbol creation (the interner recovers poisoned locks:
+    // its tables are append-only, so no panic can leave them torn), and the
+    // survivors' ids must stay consistent.
+    const THREADS: usize = 8;
+    const FAMILY: usize = 40;
+    let barrier = Arc::new(std::sync::Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                for i in 0..100 {
+                    let name = format!("panic_stress_{}", (i + t * 13) % FAMILY);
+                    let s = Symbol::new(&name);
+                    assert_eq!(s.as_str(), name);
+                    assert_eq!(s.specialize(i % 5).base_name(), s);
+                    if t % 2 == 0 && i == 50 {
+                        // Unwind without invoking the global panic hook
+                        // (keeps the test output clean without touching
+                        // process-global state other tests rely on).
+                        std::panic::resume_unwind(Box::new(
+                            "mid-intern interleaving panic (deliberate, test-only)",
+                        ));
+                    }
+                }
+            })
+        })
+        .collect();
+    let panicked = handles.into_iter().map(|h| h.join()).filter(Result::is_err).count();
+    assert_eq!(panicked, THREADS / 2, "exactly the even threads panic");
+    // Symbol creation still works after the panicking interleaving, through
+    // both the infallible and the fallible entry points, with stable ids.
+    for i in 0..FAMILY {
+        let name = format!("panic_stress_{i}");
+        let s = Symbol::new(&name);
+        assert_eq!(Symbol::try_new(&name).unwrap(), s);
+        assert_eq!(s.as_str(), name);
+    }
+}

@@ -1,0 +1,274 @@
+//! Membership frontiers: the dense-bitset state-set engine against the
+//! seed's `BTreeSet<usize>` frontiers.
+//!
+//! Two set-shaped hot loops run side by side on the same inputs:
+//!
+//! * **NFA membership** on the table-family frontier language (the starred
+//!   union of the family's content models, ε-eliminated — the shape the
+//!   design procedures step over and over): the real
+//!   [`Nfa::accepts`] path (bitset frontiers) vs a faithful in-bench
+//!   reimplementation of the *seed* path this PR replaced — the same
+//!   interned symbols and sorted dense adjacency, but `BTreeSet<usize>`
+//!   frontiers with the seed's collect-a-stack ε-closure;
+//! * **`Duta::outputs_over`** on the `box_workload` targets (the Moore-
+//!   machine image behind `verify_local`): the real bitset product BFS vs
+//!   the seed's BFS over `(config, BTreeSet<usize>)` pairs keyed in a
+//!   `BTreeSet`.
+//!
+//! Besides timing, this target *asserts* the tentpole's win: at the largest
+//! table-family size the seed `BTreeSet` median must be at least 2× the
+//! bitset median (the acceptance bar of the state-set change), mirroring
+//! how `symbol_interning` asserts the interning bar.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::time::Duration;
+
+use dxml_automata::{Nfa, RFormalism, Symbol};
+use dxml_bench::{box_workload, dtd_family, section, smoke, Session};
+use dxml_tree::uta::Duta;
+
+// ----------------------------------------------------------------------
+// The seed frontier: BTreeSet<usize> sets over the dense adjacency
+// ----------------------------------------------------------------------
+
+/// The seed's membership path, verbatim modulo names: interned symbols and
+/// per-state sorted `(local id, successor)` adjacency exactly like the real
+/// [`Nfa`], but every frontier is a `BTreeSet<usize>` and the ε-closure
+/// collects its work stack unconditionally — the representation the bitset
+/// engine replaced.
+struct SeedFrontier {
+    start: usize,
+    finals: BTreeSet<usize>,
+    sym_index: BTreeMap<Symbol, u32>,
+    trans: Vec<Vec<(u32, usize)>>,
+    eps: Vec<Vec<usize>>,
+}
+
+impl SeedFrontier {
+    /// Converts from the real automaton (outside the timed region).
+    fn of(nfa: &Nfa) -> SeedFrontier {
+        let mut sym_index: BTreeMap<Symbol, u32> = BTreeMap::new();
+        let mut out = SeedFrontier {
+            start: nfa.start(),
+            finals: nfa.finals().clone(),
+            sym_index: BTreeMap::new(),
+            trans: vec![Vec::new(); nfa.num_states()],
+            eps: vec![Vec::new(); nfa.num_states()],
+        };
+        for (q, lbl, t) in nfa.transitions() {
+            match lbl {
+                None => out.eps[q].push(t),
+                Some(sym) => {
+                    let next = sym_index.len() as u32;
+                    let sid = *sym_index.entry(*sym).or_insert(next);
+                    out.trans[q].push((sid, t));
+                }
+            }
+        }
+        for v in &mut out.trans {
+            v.sort_unstable();
+        }
+        for v in &mut out.eps {
+            v.sort_unstable();
+        }
+        out.sym_index = sym_index;
+        out
+    }
+
+    /// Seed `Nfa::epsilon_closure_inplace` (always collects the stack).
+    fn epsilon_closure(&self, mut closure: BTreeSet<usize>) -> BTreeSet<usize> {
+        let mut stack: Vec<usize> = closure.iter().copied().collect();
+        while let Some(q) = stack.pop() {
+            for &t in &self.eps[q] {
+                if closure.insert(t) {
+                    stack.push(t);
+                }
+            }
+        }
+        closure
+    }
+
+    fn succ_slice(&self, q: usize, sid: u32) -> &[(u32, usize)] {
+        let v = &self.trans[q];
+        let lo = v.partition_point(|&(s, _)| s < sid);
+        let hi = lo + v[lo..].partition_point(|&(s, _)| s == sid);
+        &v[lo..hi]
+    }
+
+    /// Seed `Nfa::step_local`.
+    fn step_local(&self, set: &BTreeSet<usize>, sid: u32) -> BTreeSet<usize> {
+        let mut next = BTreeSet::new();
+        for &q in set {
+            next.extend(self.succ_slice(q, sid).iter().map(|&(_, t)| t));
+        }
+        self.epsilon_closure(next)
+    }
+
+    /// Seed `Nfa::accepts`.
+    fn accepts(&self, word: &[u32]) -> bool {
+        let mut current = self.epsilon_closure(BTreeSet::from([self.start]));
+        for &sid in word {
+            if current.is_empty() {
+                break;
+            }
+            current = self.step_local(&current, sid);
+        }
+        current.iter().any(|q| self.finals.contains(q))
+    }
+}
+
+// ----------------------------------------------------------------------
+// Workloads
+// ----------------------------------------------------------------------
+
+/// The table-family frontier language: the starred union of every content
+/// model of the `(n, seed)` DTD family with the element names collapsed
+/// onto a 3-letter base alphabet (`e<i>` ↦ `x<i%3>`), ε-eliminated. The
+/// collapse models the specialised-name collisions of the box reduction —
+/// many specialised names share a base label — and is what makes the union
+/// genuinely nondeterministic: one step moves **every** branch expecting
+/// that base letter, so the frontier grows with `n` exactly like the state
+/// sets inside the subset constructions and `outputs_over` products.
+fn family_language(n: usize) -> Nfa {
+    let target = dtd_family(RFormalism::Nre, n, 11);
+    let contents: Vec<Nfa> = target
+        .alphabet()
+        .iter()
+        .map(|a| target.content(a).to_nfa())
+        .collect();
+    let collapse = |s: &Symbol| {
+        let i: usize = s.as_str().trim_start_matches('e').parse().unwrap_or(0);
+        Symbol::new(format!("x{}", i % 3))
+    };
+    Nfa::union_all(contents.iter())
+        .star()
+        .map_symbols(collapse)
+        .eps_free()
+}
+
+/// A long probe word over the collapsed base alphabet.
+fn probe_word(len: usize) -> Vec<Symbol> {
+    (0..len).map(|i| Symbol::new(format!("x{}", i % 3))).collect()
+}
+
+fn letter_of(sym: &Symbol) -> Option<usize> {
+    sym.as_str().strip_prefix("#s").and_then(|t| t.parse().ok())
+}
+
+/// The seed reimplementation of [`Duta::outputs_over`]: the same product
+/// BFS, but with `BTreeSet<usize>` frontiers and a `BTreeSet`-keyed seen
+/// set, the machine consumed through its public transition view.
+fn seed_outputs_over(
+    duta: &Duta,
+    delta: &BTreeMap<(usize, usize), usize>,
+    label: &Symbol,
+    seed: &SeedFrontier,
+    moves: &[(Symbol, usize, u32)],
+) -> BTreeMap<usize, Vec<Symbol>> {
+    // One BFS state of the seed product: (machine config, BTreeSet frontier).
+    type Pair = (usize, BTreeSet<usize>);
+    let machine = duta.machine(label).expect("workload label has a machine");
+    let start = (machine.start(), seed.epsilon_closure(BTreeSet::from([seed.start])));
+    let mut outputs: BTreeMap<usize, Vec<Symbol>> = BTreeMap::new();
+    let mut seen: BTreeSet<Pair> = BTreeSet::from([start.clone()]);
+    let mut queue: VecDeque<(Pair, Vec<Symbol>)> = VecDeque::from([(start, Vec::new())]);
+    while let Some(((config, set), witness)) = queue.pop_front() {
+        if set.iter().any(|q| seed.finals.contains(q)) {
+            outputs.entry(machine.output(config)).or_insert_with(|| witness.clone());
+        }
+        for &(sym, letter, sid) in moves {
+            let next_config = match delta.get(&(config, letter)) {
+                Some(&c) => c,
+                None => continue,
+            };
+            let next_set = seed.step_local(&set, sid);
+            if next_set.is_empty() {
+                continue;
+            }
+            let state = (next_config, next_set);
+            if seen.insert(state.clone()) {
+                let mut w = witness.clone();
+                w.push(sym);
+                queue.push_back((state, w));
+            }
+        }
+    }
+    outputs
+}
+
+fn main() {
+    let mut session = Session::new("membership_frontier");
+
+    section("membership_frontier: NFA membership, bitset vs seed BTreeSet frontiers");
+    let mut medians: BTreeMap<usize, (Duration, Duration)> = BTreeMap::new();
+    for n in [8usize, 16, 24, 32] {
+        let lang = family_language(n);
+        let seed = SeedFrontier::of(&lang);
+        let word = probe_word(512);
+        let seed_word: Vec<u32> = word
+            .iter()
+            .map(|s| seed.sym_index.get(s).copied().unwrap_or(u32::MAX))
+            .collect();
+        assert_eq!(
+            lang.accepts(&word),
+            seed.accepts(&seed_word),
+            "bitset and BTreeSet membership must agree (n={n})"
+        );
+        let bitset = session.bench(&format!("membership_bitset/n={n}"), 25, || {
+            lang.accepts(&word)
+        });
+        let btreeset = session.bench(&format!("membership_btreeset/n={n}"), 25, || {
+            seed.accepts(&seed_word)
+        });
+        medians.insert(n, (bitset.median, btreeset.median));
+    }
+
+    section("membership_frontier: Duta::outputs_over image, bitset vs seed BTreeSet pairs");
+    for n in [4usize, 8, 16] {
+        let (problem, doc) = box_workload(n);
+        // Build the cache (and the gap language) outside the timed region.
+        assert!(problem.verify_local(&doc).unwrap().is_valid());
+        let cache = problem.target_cache();
+        let duta = cache.duta();
+        let f = Symbol::new("f");
+        let word_lang = cache.forest_states(&f).expect("workload declares f").clone();
+        let label = Symbol::new("s");
+        let machine = duta.machine(&label).expect("target types the root");
+        let delta: BTreeMap<(usize, usize), usize> =
+            machine.transitions().map(|(c, l, t)| ((c, l), t)).collect();
+        let seed = SeedFrontier::of(&word_lang);
+        let moves: Vec<(Symbol, usize, u32)> = word_lang
+            .alphabet()
+            .iter()
+            .filter_map(|&sym| {
+                Some((sym, letter_of(&sym)?, seed.sym_index.get(&sym).copied()?))
+            })
+            .collect();
+        // Byte-identical images (subset states and witness words) from both
+        // representations.
+        let real = duta.outputs_over(&label, &word_lang, letter_of);
+        let want = seed_outputs_over(duta, &delta, &label, &seed, &moves);
+        assert_eq!(real, want, "bitset and BTreeSet outputs_over must agree (n={n})");
+        session.bench(&format!("outputs_over_bitset/n={n}"), 15, || {
+            duta.outputs_over(&label, &word_lang, letter_of).len()
+        });
+        session.bench(&format!("outputs_over_btreeset/n={n}"), 15, || {
+            seed_outputs_over(duta, &delta, &label, &seed, &moves).len()
+        });
+    }
+
+    // The acceptance bar of the state-set tentpole: on the largest
+    // table-family workload, the bitset membership frontier is at least 2×
+    // faster than the seed-equivalent BTreeSet path (same adjacency, same
+    // algorithm shape, only the set representation differs).
+    if !smoke() {
+        let &(bitset, btreeset) = medians.get(&32).expect("n=32 case ran");
+        assert!(
+            btreeset >= bitset.saturating_mul(2),
+            "bitset membership frontier ({bitset:?}) must be ≥2× faster than the seed \
+             BTreeSet path ({btreeset:?}) at n=32"
+        );
+    }
+
+    session.finish();
+}

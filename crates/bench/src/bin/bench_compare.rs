@@ -73,11 +73,14 @@ fn parse_bench_file(path: &Path) -> Result<BenchFile, String> {
     Ok(BenchFile { smoke, cases })
 }
 
-/// Whether a case's median gates the comparison: the warm (cache-hit) paths
-/// and the interned dense-id paths. Cold paths re-determinise from scratch
-/// and vary too much across machines to gate CI on.
+/// Whether a case's median gates the comparison: the warm (cache-hit)
+/// paths, the interned dense-id paths and the bitset frontier paths. Cold
+/// paths re-determinise from scratch and vary too much across machines to
+/// gate CI on.
 fn is_gated(case_name: &str) -> bool {
-    case_name.contains("warm") || case_name.contains("_interned/")
+    case_name.contains("warm")
+        || case_name.contains("_interned/")
+        || case_name.contains("_bitset/")
 }
 
 fn baseline_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
@@ -201,12 +204,16 @@ mod tests {
     }
 
     #[test]
-    fn gating_selects_warm_and_interned_cases() {
+    fn gating_selects_warm_interned_and_bitset_cases() {
         assert!(is_gated("box_typecheck_warm/n=16"));
         assert!(is_gated("typecheck_warm/n=8"));
         assert!(is_gated("subset_construction_interned/n=32"));
+        assert!(is_gated("membership_bitset/n=32"));
+        assert!(is_gated("outputs_over_bitset/n=16"));
         assert!(!is_gated("typecheck_cold/n=16"));
         assert!(!is_gated("subset_construction_strings/n=32"));
+        assert!(!is_gated("membership_btreeset/n=32"));
+        assert!(!is_gated("outputs_over_btreeset/n=16"));
         assert!(!is_gated("perfect_schema/n=16"));
     }
 }

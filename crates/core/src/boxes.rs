@@ -42,9 +42,10 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
-use dxml_automata::{BoxLang, Dfa, Nfa, RFormalism, RSpec, Symbol};
+use dxml_automata::{BoxLang, Dfa, Nfa, RFormalism, RSpec, StateSet, Symbol};
 use dxml_schema::{RDtd, REdtd};
 use dxml_tree::uta::Duta;
 use dxml_tree::{uta, NodeId, Nuta};
@@ -67,8 +68,8 @@ fn letter_of(sym: &Symbol) -> Option<usize> {
 
 /// An NFA accepting exactly the single-symbol words of a subset-state set
 /// (one box slot of the reduction).
-fn state_set_nfa(states: &BTreeSet<usize>) -> Nfa {
-    Nfa::any_of(states.iter().map(|&i| state_sym(i)))
+fn state_set_nfa(states: &StateSet) -> Nfa {
+    Nfa::any_of(states.iter().map(state_sym))
 }
 
 /// The deterministic *skeleton* of a per-label Moore machine over
@@ -148,8 +149,9 @@ impl FunArtifacts {
         // as symbols) is the same data seen by `expand_symbols`; it grows
         // monotonically with `d`, so it is maintained incrementally instead
         // of being rebuilt from `d` on every fixpoint iteration.
-        let mut d: BTreeMap<Symbol, BTreeSet<usize>> =
-            realizable.iter().map(|s| (*s, BTreeSet::new())).collect();
+        let universe = duta.num_states();
+        let mut d: BTreeMap<Symbol, StateSet> =
+            realizable.iter().map(|s| (*s, StateSet::empty(universe))).collect();
         let mut slots: BTreeMap<Symbol, BTreeSet<Symbol>> =
             realizable.iter().map(|s| (*s, BTreeSet::new())).collect();
         if unknown.is_none() && !forest_empty {
@@ -177,6 +179,51 @@ impl FunArtifacts {
     }
 }
 
+/// Builds the per-function artefacts, fanning the independent fixpoints out
+/// over [`std::thread::scope`] workers. Each function's `D`-fixpoint only
+/// reads the shared determinised target, so the builds are embarrassingly
+/// parallel; the offline (per-problem, once) cost dominates cold decisions
+/// on many-function designs. Work is handed out through an atomic cursor so
+/// an expensive schema does not serialise the cheap ones behind it, and the
+/// results land in a `BTreeMap`, making the output independent of
+/// completion order. A panic in any worker propagates to the caller.
+fn build_fun_artifacts(
+    fun_schemas: &BTreeMap<Symbol, REdtd>,
+    duta: &Duta,
+) -> BTreeMap<Symbol, FunArtifacts> {
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(fun_schemas.len());
+    if workers <= 1 {
+        return fun_schemas
+            .iter()
+            .map(|(f, schema)| (*f, FunArtifacts::build(schema, duta)))
+            .collect();
+    }
+    let entries: Vec<(&Symbol, &REdtd)> = fun_schemas.iter().collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut built = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(f, schema)) = entries.get(i) else { break };
+                        built.push((*f, FunArtifacts::build(schema, duta)));
+                    }
+                    built
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("function-artifact worker panicked"))
+            .collect()
+    })
+}
+
 /// Problem artefacts of a [`BoxDesignProblem`] that are expensive to build
 /// and independent of the document being checked: the determinised
 /// specialised target and the per-function gap languages. Computed lazily
@@ -187,7 +234,7 @@ impl FunArtifacts {
 #[derive(Clone, Debug)]
 pub struct BoxTargetCache {
     duta: Duta,
-    accepting: BTreeSet<usize>,
+    accepting: StateSet,
     empty_subset: Option<usize>,
     funs: BTreeMap<Symbol, FunArtifacts>,
     /// Determinised per-label Moore-machine skeletons, keyed by label —
@@ -198,12 +245,9 @@ pub struct BoxTargetCache {
 impl BoxTargetCache {
     fn build(target: &REdtd, fun_schemas: &BTreeMap<Symbol, REdtd>) -> BoxTargetCache {
         let duta = target.to_nuta().determinize(&target.labels());
-        let accepting = duta.accepting_states();
+        let accepting = StateSet::from_iter(duta.num_states(), duta.accepting_states());
         let empty_subset = duta.empty_subset();
-        let funs = fun_schemas
-            .iter()
-            .map(|(f, schema)| (*f, FunArtifacts::build(schema, &duta)))
-            .collect();
+        let funs = build_fun_artifacts(fun_schemas, &duta);
         BoxTargetCache {
             duta,
             accepting,
@@ -224,11 +268,11 @@ impl BoxTargetCache {
     /// The language of child words whose Moore output under `label` lies in
     /// `outputs`, as a DFA over subset-state symbols: the memoised skeleton
     /// with the admissible configurations marked final.
-    fn admissible_children_dfa(&self, label: &Symbol, outputs: &BTreeSet<usize>) -> Dfa {
+    fn admissible_children_dfa(&self, label: &Symbol, outputs: &StateSet) -> Dfa {
         let mut dfa = (*self.machine_dfa(label)).clone();
         if let Some(machine) = self.duta.machine(label) {
             for config in 0..machine.num_configs() {
-                if outputs.contains(&machine.output(config)) {
+                if outputs.contains(machine.output(config)) {
                     dfa.set_final(config);
                 }
             }
@@ -599,7 +643,8 @@ impl BoxDesignProblem {
             }
         }
 
-        let mut achievable: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); kernel.size()];
+        let universe = cache.duta.num_states();
+        let mut achievable: Vec<StateSet> = vec![StateSet::empty(universe); kernel.size()];
         for node in kernel.bottom_up_order() {
             let label = kernel.label(node);
             if doc.is_function(label) {
@@ -638,7 +683,7 @@ impl BoxDesignProblem {
             }
             if node == kernel.root() {
                 for (&state, witness) in &outs {
-                    if !cache.accepting.contains(&state) {
+                    if !cache.accepting.contains(state) {
                         return Ok(BoxVerdict::Invalid(BoxViolation::Content {
                             element: *label,
                             counterexample: self.box_of(cache, witness),
@@ -648,7 +693,7 @@ impl BoxDesignProblem {
                     }
                 }
             }
-            achievable[node] = outs.keys().copied().collect();
+            achievable[node] = StateSet::from_iter(universe, outs.keys().copied());
         }
         Ok(BoxVerdict::Valid)
     }
@@ -749,7 +794,8 @@ impl BoxDesignProblem {
         spine.reverse();
         let spine_set: BTreeSet<NodeId> = spine.iter().copied().collect();
 
-        let mut achievable: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); kernel.size()];
+        let universe = cache.duta.num_states();
+        let mut achievable: Vec<StateSet> = vec![StateSet::empty(universe); kernel.size()];
         for node in kernel.bottom_up_order() {
             let label = kernel.label(node);
             if spine_set.contains(&node) || doc.is_function(label) {
@@ -768,12 +814,10 @@ impl BoxDesignProblem {
                 };
                 word = word.concat(&piece);
             }
-            achievable[node] = cache
-                .duta
-                .outputs_over(label, &word, letter_of)
-                .keys()
-                .copied()
-                .collect();
+            achievable[node] = StateSet::from_iter(
+                universe,
+                cache.duta.outputs_over(label, &word, letter_of).keys().copied(),
+            );
         }
 
         // Top-down: the safe subset states per spine level, then the gap
@@ -788,7 +832,7 @@ impl BoxDesignProblem {
         let segment = |range: &[NodeId]| {
             range.iter().fold(Nfa::epsilon(), |acc, &c| acc.concat(&piece_for(c)))
         };
-        let mut safe: BTreeSet<usize> = cache.accepting.clone();
+        let mut safe: StateSet = cache.accepting.clone();
         let mut gap = Nfa::empty();
         for (level, &x) in spine.iter().enumerate() {
             if forced_empty {
@@ -812,9 +856,10 @@ impl BoxDesignProblem {
                 let prefix = segment(&children[..position]);
                 let suffix = segment(&children[position + 1..]);
                 let residual = admissible_children.universal_context_residual(&prefix, &suffix);
-                safe = (0..cache.duta.num_states())
-                    .filter(|&j| residual.accepts(&[state_sym(j)]))
-                    .collect();
+                safe = StateSet::from_iter(
+                    universe,
+                    (0..universe).filter(|&j| residual.accepts(&[state_sym(j)])),
+                );
                 if safe.is_empty() {
                     forced_empty = true;
                 }

@@ -10,7 +10,7 @@
 //! formalism `R`; for `dRE` every content model must be a deterministic
 //! (one-unambiguous) expression, as required by the W3C standards.
 
-use dxml_automata::{RFormalism, RSpec};
+use dxml_automata::{RFormalism, RSpec, Symbol};
 
 use crate::dtd::RDtd;
 use crate::error::SchemaError;
@@ -29,14 +29,17 @@ pub fn parse_dtd(formalism: RFormalism, input: &str) -> Result<RDtd, SchemaError
         }
         let (lhs, rhs) = split_rule(line, lineno + 1)?;
         let content = parse_content(formalism, rhs, lineno + 1)?;
-        let dtd = dtd.get_or_insert_with(|| RDtd::new(formalism, lhs));
-        if dtd.has_rule(&lhs.into()) {
+        // Intern fallibly: element names come from untrusted input, and a
+        // full symbol table must reject the schema, not abort the process.
+        let name = Symbol::try_new(lhs)?;
+        let dtd = dtd.get_or_insert_with(|| RDtd::new(formalism, name));
+        if dtd.has_rule(&name) {
             return Err(SchemaError::Parse {
                 line: lineno + 1,
                 message: format!("duplicate rule for element `{lhs}`"),
             });
         }
-        dtd.set_rule(lhs, content);
+        dtd.set_rule(name, content);
     }
     dtd.ok_or_else(|| SchemaError::Parse { line: 1, message: "no rules found".into() })
 }
@@ -122,9 +125,10 @@ pub fn parse_w3c_dtd(formalism: RFormalism, input: &str) -> Result<RDtd, SchemaE
             message: format!("expected `<!ELEMENT name content>`, got `{body}`"),
         })?;
         let spec = spec.trim();
-        let dtd = dtd.get_or_insert_with(|| RDtd::new(formalism, name));
+        let name_sym = Symbol::try_new(name)?;
+        let dtd = dtd.get_or_insert_with(|| RDtd::new(formalism, name_sym));
         if spec == "EMPTY" || is_pcdata_only(spec) {
-            dtd.add_element(name);
+            dtd.add_element(name_sym);
         } else if spec == "ANY" {
             return Err(SchemaError::Parse {
                 line: lineno,
@@ -136,13 +140,13 @@ pub fn parse_w3c_dtd(formalism: RFormalism, input: &str) -> Result<RDtd, SchemaE
                 message: format!("mixed content of `{name}` is outside the paper's abstraction"),
             });
         } else {
-            if dtd.has_rule(&name.into()) {
+            if dtd.has_rule(&name_sym) {
                 return Err(SchemaError::Parse {
                     line: lineno,
                     message: format!("duplicate declaration of `{name}`"),
                 });
             }
-            dtd.set_rule(name, parse_content(formalism, spec, lineno)?);
+            dtd.set_rule(name_sym, parse_content(formalism, spec, lineno)?);
         }
         consumed = at + "<!ELEMENT".len() + close + 1;
         rest = &input[consumed..];

@@ -94,7 +94,7 @@ impl TermParser<'_> {
                 position: self.pos,
             });
         }
-        Ok(Symbol::new(std::str::from_utf8(&self.input[start..self.pos]).unwrap()))
+        Symbol::try_new(std::str::from_utf8(&self.input[start..self.pos]).unwrap())
     }
 
     fn parse_tree(&mut self) -> Result<XTree, AutomataError> {

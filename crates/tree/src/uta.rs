@@ -22,7 +22,7 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 
-use dxml_automata::{Alphabet, Nfa, Symbol};
+use dxml_automata::{Alphabet, FxHashMap, FxHashSet, Nfa, StateSet, Symbol};
 
 use crate::tree::XTree;
 
@@ -131,14 +131,14 @@ impl Nuta {
 
     /// Whether `content` accepts some word `w1…wk` with `wi ∈ child_sets[i]`.
     fn content_accepts_over_sets(content: &Nfa, child_sets: &[&BTreeSet<Symbol>]) -> bool {
-        let mut current = content.epsilon_closure(&BTreeSet::from([content.start()]));
+        let mut current = content.start_closure();
         for set in child_sets {
             current = content.step_all(&current, set.iter());
             if current.is_empty() {
                 return false;
             }
         }
-        current.iter().any(|q| content.is_final(*q))
+        current.iter().any(|q| content.is_final(q))
     }
 
     /// The bottom-up possible-state run: for each node (indexed by
@@ -330,8 +330,8 @@ impl Duta {
         struct Building {
             states_with_rule: Vec<Symbol>,
             nfas: Vec<Nfa>,
-            configs: Vec<Vec<BTreeSet<usize>>>,
-            config_index: BTreeMap<Vec<BTreeSet<usize>>, usize>,
+            configs: Vec<Vec<StateSet>>,
+            config_index: FxHashMap<Vec<StateSet>, usize>,
             config_paths: Vec<Vec<usize>>,
             /// Sorted `(letter, next config)` adjacency per config; letters
             /// are discovered in increasing order, so plain pushes keep the
@@ -357,7 +357,7 @@ impl Duta {
                     states_with_rule,
                     nfas,
                     configs: Vec::new(),
-                    config_index: BTreeMap::new(),
+                    config_index: FxHashMap::default(),
                     config_paths: Vec::new(),
                     trans: Vec::new(),
                     output: Vec::new(),
@@ -371,12 +371,12 @@ impl Duta {
 
         // Helper closures operate through explicit arguments to appease the
         // borrow checker.
-        fn config_output(b: &Building, config: &[BTreeSet<usize>]) -> BTreeSet<Symbol> {
+        fn config_output(b: &Building, config: &[StateSet]) -> BTreeSet<Symbol> {
             b.states_with_rule
                 .iter()
                 .zip(&b.nfas)
                 .zip(config)
-                .filter(|((_, nfa), comp)| comp.iter().any(|&s| nfa.is_final(s)))
+                .filter(|((_, nfa), comp)| comp.iter().any(|s| nfa.is_final(s)))
                 .map(|((q, _), _)| *q)
                 .collect()
         }
@@ -384,11 +384,8 @@ impl Duta {
         // Seed: the start configuration of each label (its output is the
         // subset assigned to a leaf with that label).
         for (label, b) in building.iter_mut() {
-            let start_config: Vec<BTreeSet<usize>> = b
-                .nfas
-                .iter()
-                .map(|nfa| nfa.epsilon_closure(&BTreeSet::from([nfa.start()])))
-                .collect();
+            let start_config: Vec<StateSet> =
+                b.nfas.iter().map(Nfa::start_closure).collect();
             b.configs.push(start_config.clone());
             b.config_index.insert(start_config.clone(), 0);
             b.config_paths.push(Vec::new());
@@ -420,7 +417,7 @@ impl Duta {
                         // Advance every component by "any state in the letter
                         // subset".
                         let current = b.configs[config_id].clone();
-                        let next: Vec<BTreeSet<usize>> = b
+                        let next: Vec<StateSet> = b
                             .nfas
                             .iter()
                             .zip(&current)
@@ -581,7 +578,7 @@ impl Duta {
             Some(m) => m,
             None => return BTreeSet::new(),
         };
-        let mut seen: BTreeSet<usize> = BTreeSet::from([machine.start]);
+        let mut seen = StateSet::singleton(machine.num_configs(), machine.start);
         let mut queue = VecDeque::from([machine.start]);
         while let Some(config) = queue.pop_front() {
             for &(_letter, next) in &machine.trans[config] {
@@ -590,7 +587,7 @@ impl Duta {
                 }
             }
         }
-        seen.iter().map(|&c| machine.output[c]).collect()
+        seen.iter().map(|c| machine.output[c]).collect()
     }
 
     /// The inhabited `(label, subset state)` pairs: for every label of the
@@ -628,32 +625,36 @@ impl Duta {
             Some(m) => m,
             None => return BTreeMap::new(),
         };
-        // Resolve each alphabet symbol's subset-state letter once, outside
-        // the BFS — symbols denoting no subset state never move the product.
-        let moves: Vec<(Symbol, usize)> = word_lang
+        // Resolve each alphabet symbol's subset-state letter *and* its
+        // local id in the word automaton once, outside the BFS — symbols
+        // denoting no subset state never move the product, and the frontier
+        // steps below never re-hash a symbol.
+        let moves: Vec<(Symbol, usize, u32)> = word_lang
             .alphabet()
             .iter()
-            .filter_map(|&sym| letter_of(&sym).map(|letter| (sym, letter)))
+            .filter_map(|&sym| {
+                let letter = letter_of(&sym)?;
+                let sid = word_lang.sym_id(&sym)?;
+                Some((sym, letter, sid))
+            })
             .collect();
-        let start = (
-            machine.start,
-            word_lang.epsilon_closure(&BTreeSet::from([word_lang.start()])),
-        );
-        // One BFS state: (machine configuration, NFA state set).
-        type Pair = (usize, BTreeSet<usize>);
+        let finals = word_lang.finals_set();
+        let start = (machine.start, word_lang.start_closure());
+        // One BFS state: (machine configuration, NFA frontier bitset).
+        type Pair = (usize, StateSet);
         let mut outputs: BTreeMap<usize, Vec<Symbol>> = BTreeMap::new();
-        let mut seen: BTreeSet<Pair> = BTreeSet::from([start.clone()]);
+        let mut seen: FxHashSet<Pair> = FxHashSet::from_iter([start.clone()]);
         let mut queue: VecDeque<(Pair, Vec<Symbol>)> = VecDeque::from([(start, Vec::new())]);
         while let Some(((config, set), word)) = queue.pop_front() {
-            if set.iter().any(|&q| word_lang.is_final(q)) {
+            if set.intersects(&finals) {
                 outputs.entry(machine.output[config]).or_insert_with(|| word.clone());
             }
-            for &(sym, letter) in &moves {
+            for &(sym, letter, sid) in &moves {
                 let next_config = match machine.step_opt(config, letter) {
                     Some(c) => c,
                     None => continue,
                 };
-                let next_set = word_lang.step(&set, &sym);
+                let next_set = word_lang.step_local(&set, sid);
                 if next_set.is_empty() {
                     continue;
                 }

@@ -116,7 +116,7 @@ impl XmlParser<'_> {
         if self.pos == start {
             return Err(self.error("expected an element name"));
         }
-        Ok(Symbol::new(std::str::from_utf8(&self.input[start..self.pos]).unwrap()))
+        Symbol::try_new(std::str::from_utf8(&self.input[start..self.pos]).unwrap())
     }
 
     fn parse_element(&mut self) -> Result<XTree, AutomataError> {

@@ -87,6 +87,7 @@ examples:
 	$(CARGO) run -q --release --example eurostat_ncpi
 	$(CARGO) run -q --release --example perfect_schema
 	$(CARGO) run -q --release --example box_design
+	$(CARGO) run -q --release --example streaming_validation
 
 # The tier-1 gate plus lints, docs and bench compilation.
 verify: build test clippy doc bench

@@ -1,0 +1,174 @@
+//! Streaming one-pass SDTD validation against the materialise-then-validate
+//! route, plus batch throughput in documents per second.
+//!
+//! Three corpus shapes stress different resources:
+//!
+//! * **deep** — a single 𝑂(depth) chain: the streaming pass holds one frame
+//!   per open element, the tree route materialises every node first;
+//! * **wide** — a flat Eurostat-style fan-out of `nationalIndex` records;
+//! * **eurostat** — the Figure-1 document shape, mixed depth and width.
+//!
+//! The `*_stream/` cases are the one-pass [`StreamValidator`] over the raw
+//! XML string; the `*_tree/` cases are `parse_xml` + [`RSdtd::validate`] on
+//! the same string. Both routes return byte-identical verdicts (asserted
+//! before timing; the differential test suite pins this exhaustively).
+//!
+//! Besides timing, this target *asserts* the tentpole's win in non-smoke
+//! runs: on the largest deep and wide corpora the streaming median must be
+//! at least 2× faster than the materialising route. The batch section
+//! reports end-to-end documents/second over all cores, and the stats
+//! section reports the peak frame depth and peak buffered child labels —
+//! the streaming pass's actual memory footprint.
+
+use dxml_automata::RFormalism;
+use dxml_bench::{section, smoke, Session};
+use dxml_core::validate_batch;
+use dxml_schema::{RSdtd, StreamValidator};
+use dxml_tree::xml::parse_xml;
+
+/// The recursive chain schema for the deep corpus.
+fn deep_sdtd() -> RSdtd {
+    RSdtd::parse(RFormalism::Nre, "a -> a?").unwrap()
+}
+
+/// A `depth`-deep chain document.
+fn deep_doc(depth: usize) -> String {
+    format!("{}{}", "<a>".repeat(depth), "</a>".repeat(depth))
+}
+
+/// The Eurostat-flavoured schema of the paper's running example
+/// (Figure 1): averages and per-country national index records, with
+/// context-dependent `index` specialisations.
+fn eurostat_sdtd() -> RSdtd {
+    RSdtd::parse(
+        RFormalism::Nre,
+        "eurostat -> averages~1*, nationalIndex~2*\n\
+         averages~1 -> Good, index~1\n\
+         nationalIndex~2 -> country, Good, index~2\n\
+         index~1 -> value\n\
+         index~2 -> value, year",
+    )
+    .unwrap()
+}
+
+/// A flat document with `n` national-index records under the root.
+fn wide_doc(n: usize) -> String {
+    let mut out = String::from("<eurostat>");
+    for _ in 0..n {
+        out.push_str(
+            "<nationalIndex><country/><Good/><index><value/><year/></index></nationalIndex>",
+        );
+    }
+    out.push_str("</eurostat>");
+    out
+}
+
+/// A mixed-shape document: some averages, then national-index records.
+fn eurostat_doc(n: usize) -> String {
+    let mut out = String::from("<eurostat>");
+    for _ in 0..n / 4 {
+        out.push_str("<averages><Good/><index><value/></index></averages>");
+    }
+    for _ in 0..n {
+        out.push_str(
+            "<nationalIndex><country/><Good/><index><value/><year/></index></nationalIndex>",
+        );
+    }
+    out.push_str("</eurostat>");
+    out
+}
+
+/// One corpus case: stream vs tree on the same document, medians returned.
+fn run_pair(
+    session: &mut Session,
+    validator: &StreamValidator,
+    sdtd: &RSdtd,
+    shape: &str,
+    size: usize,
+    doc: &str,
+) -> (std::time::Duration, std::time::Duration) {
+    let stream_verdict = validator.validate(doc);
+    let tree_verdict = parse_xml(doc).map_err(Into::into).and_then(|t| sdtd.validate(&t));
+    assert_eq!(stream_verdict, tree_verdict, "routes disagree on {shape}/{size}");
+    let stream = session.bench(&format!("validate_stream/{shape}/n={size}"), 11, || {
+        validator.validate(doc)
+    });
+    let tree = session.bench(&format!("validate_tree/{shape}/n={size}"), 11, || {
+        parse_xml(doc).map_err(Into::into).and_then(|t| sdtd.validate(&t))
+    });
+    (stream.median, tree.median)
+}
+
+fn main() {
+    let mut session = Session::new("streaming_validate");
+    let scale = if smoke() { 50 } else { 1_000 };
+
+    section("streaming_validate: deep chains (O(depth) frames vs materialised tree)");
+    let deep = deep_sdtd();
+    let deep_validator = StreamValidator::new(&deep);
+    let mut largest_deep = (std::time::Duration::ZERO, std::time::Duration::ZERO);
+    for factor in [1usize, 10, 50] {
+        let depth = scale * factor;
+        let doc = deep_doc(depth);
+        largest_deep = run_pair(&mut session, &deep_validator, &deep, "deep", depth, &doc);
+    }
+
+    section("streaming_validate: wide Eurostat fan-outs");
+    let euro = eurostat_sdtd();
+    let euro_validator = StreamValidator::new(&euro);
+    let mut largest_wide = (std::time::Duration::ZERO, std::time::Duration::ZERO);
+    for factor in [1usize, 4, 16] {
+        let n = scale * factor;
+        let doc = wide_doc(n);
+        largest_wide = run_pair(&mut session, &euro_validator, &euro, "wide", n, &doc);
+    }
+
+    section("streaming_validate: mixed Eurostat documents");
+    for factor in [1usize, 8] {
+        let n = scale * factor;
+        let doc = eurostat_doc(n);
+        run_pair(&mut session, &euro_validator, &euro, "eurostat", n, &doc);
+    }
+
+    section("streaming_validate: batch throughput (docs/sec, all cores)");
+    let batch_docs: Vec<String> = (0..if smoke() { 8 } else { 256 })
+        .map(|i| eurostat_doc(scale / 2 + i % 7))
+        .collect();
+    let batch = session.bench(&format!("validate_batch/docs={}", batch_docs.len()), 7, || {
+        validate_batch(&euro, &batch_docs)
+    });
+    let docs_per_sec = batch_docs.len() as f64 / batch.median.as_secs_f64();
+    println!(
+        "batch throughput: {} docs in {:?} median → {docs_per_sec:.0} docs/sec",
+        batch_docs.len(),
+        batch.median
+    );
+
+    section("streaming_validate: streaming memory footprint");
+    for (shape, doc) in [("deep", deep_doc(scale * 50)), ("wide", wide_doc(scale * 16))] {
+        let validator = if shape == "deep" { &deep_validator } else { &euro_validator };
+        let (verdict, stats) = validator.validate_with_stats(&doc);
+        assert!(verdict.is_ok());
+        println!(
+            "{shape}: {} bytes of XML, peak depth {}, peak buffered child labels {}",
+            doc.len(),
+            stats.peak_depth,
+            stats.peak_buffered
+        );
+    }
+
+    // The acceptance bar of the streaming tentpole: on the largest deep and
+    // wide corpora the one-pass route is at least 2× faster than
+    // materialise-then-validate.
+    if !smoke() {
+        for (shape, (stream, tree)) in [("deep", largest_deep), ("wide", largest_wide)] {
+            assert!(
+                tree >= stream.saturating_mul(2),
+                "streaming validation ({stream:?}) must be ≥2× faster than the \
+                 materialising route ({tree:?}) on the largest {shape} corpus"
+            );
+        }
+    }
+
+    session.finish();
+}

@@ -74,13 +74,14 @@ fn parse_bench_file(path: &Path) -> Result<BenchFile, String> {
 }
 
 /// Whether a case's median gates the comparison: the warm (cache-hit)
-/// paths, the interned dense-id paths and the bitset frontier paths. Cold
-/// paths re-determinise from scratch and vary too much across machines to
-/// gate CI on.
+/// paths, the interned dense-id paths, the bitset frontier paths and the
+/// one-pass streaming-validation paths. Cold paths re-determinise from
+/// scratch and vary too much across machines to gate CI on.
 fn is_gated(case_name: &str) -> bool {
     case_name.contains("warm")
         || case_name.contains("_interned/")
         || case_name.contains("_bitset/")
+        || case_name.contains("_stream/")
 }
 
 fn baseline_files(dir: &Path) -> Result<Vec<PathBuf>, String> {

@@ -1,0 +1,91 @@
+//! Batch streaming validation: many documents, one schema, all cores.
+//!
+//! A [`StreamValidator`] is immutable after construction, so a batch of
+//! documents fans out over [`std::thread::scope`] workers that share one
+//! validator (the per-specialisation DFAs are built exactly once). Work is
+//! handed out through an atomic cursor so one pathological document does not
+//! serialise the rest behind it, and the verdicts are returned in the input
+//! order regardless of completion order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use dxml_schema::{RSdtd, SchemaError, StreamValidator};
+
+/// Validates every document of a batch against `sdtd` with one streaming
+/// pass each, in parallel. `verdicts[i]` is the verdict for `documents[i]`,
+/// identical to what [`RSdtd::validate_stream`] returns for it alone.
+///
+/// A panic in any worker propagates to the caller.
+pub fn validate_batch<S: AsRef<str> + Sync>(
+    sdtd: &RSdtd,
+    documents: &[S],
+) -> Vec<Result<(), SchemaError>> {
+    let validator = StreamValidator::new(sdtd);
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(documents.len());
+    if workers <= 1 {
+        return documents.iter().map(|d| validator.validate(d.as_ref())).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut verdicts = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(doc) = documents.get(i) else { break };
+                        verdicts.push((i, validator.validate(doc.as_ref())));
+                    }
+                    verdicts
+                })
+            })
+            .collect();
+        let mut out: Vec<Result<(), SchemaError>> = vec![Ok(()); documents.len()];
+        for handle in handles {
+            for (i, verdict) in handle.join().expect("batch validation worker panicked") {
+                out[i] = verdict;
+            }
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dxml_automata::RFormalism;
+
+    fn sdtd() -> RSdtd {
+        RSdtd::parse(RFormalism::Nre, "s -> a*, b\na -> c?").unwrap()
+    }
+
+    #[test]
+    fn batch_agrees_with_sequential_and_preserves_order() {
+        let s = sdtd();
+        let docs: Vec<String> = (0..64)
+            .map(|i| match i % 4 {
+                0 => "<s><a><c/></a><b/></s>".to_string(),
+                1 => "<s><b/><a/></s>".to_string(),
+                2 => "<s><a><b/></a></s>".to_string(),
+                _ => "<s><a>".to_string(),
+            })
+            .collect();
+        let batch = validate_batch(&s, &docs);
+        assert_eq!(batch.len(), docs.len());
+        for (doc, verdict) in docs.iter().zip(&batch) {
+            assert_eq!(verdict, &s.validate_stream(doc), "doc {doc:?}");
+        }
+        assert!(batch[0].is_ok());
+        assert!(batch[1].is_err());
+    }
+
+    #[test]
+    fn empty_and_singleton_batches() {
+        let s = sdtd();
+        assert!(validate_batch(&s, &[] as &[&str]).is_empty());
+        assert_eq!(validate_batch(&s, &["<s><b/></s>"]), vec![Ok(())]);
+    }
+}

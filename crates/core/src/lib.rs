@@ -20,7 +20,9 @@
 //! * [`BoxDesignProblem`] — the box-design subsystem (Section 7): the same
 //!   three decision procedures for full **R-EDTD targets**, reduced to
 //!   string problems over the determinised specialised alphabet whose
-//!   constant parts are kernel boxes `B(fn)`.
+//!   constant parts are kernel boxes `B(fn)`;
+//! * [`validate_batch`] — a batch front end fanning one-pass streaming
+//!   SDTD validation of many documents over all cores.
 //!
 //! The problem-derived artefacts (determinised tree automaton, content
 //! NFAs, productive names, reduced function schemas, per-document extension
@@ -30,12 +32,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod boxes;
 pub mod design;
 pub mod doc;
 pub mod error;
 pub mod perfect;
 
+pub use batch::validate_batch;
 pub use boxes::{BoxDesignProblem, BoxTargetCache, BoxVerdict, BoxViolation};
 pub use design::{
     DesignProblem, LocalVerdict, LocalViolation, Origin, ReducedFun, TargetCache, TypingVerdict,

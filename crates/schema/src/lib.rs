@@ -25,12 +25,14 @@ pub mod dtd;
 pub mod edtd;
 pub mod error;
 pub mod sdtd;
+pub mod stream;
 pub mod syntax;
 
 pub use dtd::RDtd;
 pub use edtd::REdtd;
 pub use error::SchemaError;
 pub use sdtd::RSdtd;
+pub use stream::{StreamStats, StreamValidator};
 
 /// A convenient re-export of the schema-language discriminator used by the
 /// design layer ("the paper's parameter `S`").

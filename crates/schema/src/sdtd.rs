@@ -171,6 +171,18 @@ impl RSdtd {
         Ok(())
     }
 
+    /// One-pass *streaming* validation of an XML string: types the document
+    /// while it is parsed, in memory proportional to the nesting depth, never
+    /// materialising the tree. The verdict and the error value agree exactly
+    /// with `parse_xml` followed by [`RSdtd::validate`] on every input.
+    ///
+    /// This convenience constructor rebuilds the per-specialisation DFAs on
+    /// each call; to validate many documents, build one
+    /// [`StreamValidator`](crate::stream::StreamValidator) and reuse it.
+    pub fn validate_stream(&self, input: &str) -> Result<(), SchemaError> {
+        crate::stream::StreamValidator::new(self).validate(input)
+    }
+
     /// Whether the tree belongs to the language.
     pub fn accepts(&self, tree: &XTree) -> bool {
         self.validate(tree).is_ok()

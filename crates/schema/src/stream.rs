@@ -1,0 +1,387 @@
+//! One-pass streaming validation for `R-SDTD`s.
+//!
+//! The single-type restriction (Definition 6) makes the specialised name of a
+//! node a function of its label and its parent's specialised name, so an
+//! [`RSdtd`] can type a document top-down while the document is *parsed*,
+//! without ever materialising the tree. [`StreamValidator`] consumes the
+//! [`SaxEvent`] stream of [`dxml_tree::sax`] with a stack of
+//! (specialised name, content-model DFA state) frames — memory proportional
+//! to the open-element chain, not to the document.
+//!
+//! The verdict — and the error value, byte for byte — agrees with the
+//! materialising route `parse_xml` + [`RSdtd::validate`] on *every* input
+//! string, malformed ones included. The tree route reports the first
+//! violating node in document (pre)order; a streaming pass can detect a
+//! *later* node's violation first (an ancestor's content model may only fail
+//! at its closing tag, after a descendant has already failed). The validator
+//! therefore holds one pending violation and lets it be superseded by frames
+//! still open on the stack. Two invariants make this sound:
+//!
+//! * once a violation is pending, new frames are pushed untyped (`Skip`), so
+//!   every `Typed` frame still on the stack is a strict ancestor of the
+//!   pending node — i.e. *earlier* in preorder, always entitled to supersede;
+//! * among open ancestors, violations surface innermost-first (a frame only
+//!   steps when it is on top), so each supersession moves the pending node
+//!   strictly earlier in preorder and the preorder-minimum wins.
+//!
+//! A violated frame keeps collecting the labels of its direct children until
+//! it closes, because [`SchemaError::InvalidContent`] reports the node's full
+//! `child-str`, including children after the offending one.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use dxml_automata::nfa::StateId;
+use dxml_automata::{Dfa, Symbol};
+use dxml_tree::sax::{SaxEvent, SaxParser};
+
+use crate::error::SchemaError;
+use crate::sdtd::RSdtd;
+
+/// Per-specialisation machinery, prebuilt once so that validating a document
+/// costs one DFA transition per element: the content model determinised, the
+/// label → specialisation map of the single-type property, and the rendered
+/// content model for error messages.
+struct SpecInfo {
+    dfa: Dfa,
+    by_label: BTreeMap<Symbol, Symbol>,
+    expected: String,
+}
+
+/// Statistics from one streaming validation run, for benchmarks and memory
+/// accounting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StreamStats {
+    /// Deepest element nesting seen by the parser.
+    pub peak_depth: usize,
+    /// Largest number of child labels buffered across all open frames at any
+    /// one time (the only per-width state, kept for error parity with the
+    /// tree route).
+    pub peak_buffered: usize,
+}
+
+/// A reusable streaming validator for one [`RSdtd`].
+///
+/// Construction determinises every content model once; the validator itself
+/// is immutable and can be shared across threads to validate many documents
+/// concurrently (see `dxml_core`'s batch front end).
+pub struct StreamValidator {
+    root_label: Symbol,
+    start: Symbol,
+    specs: BTreeMap<Symbol, SpecInfo>,
+}
+
+/// One open element during the streaming run.
+enum Frame {
+    /// A normally-typed element: its label, specialised name, current DFA
+    /// state in the parent content model of its children, and the child
+    /// labels seen so far (needed verbatim if this frame turns out violated).
+    Typed { label: Symbol, spec: Symbol, state: StateId, children: Vec<Symbol> },
+    /// The current pending violation's node, still open: collects the rest of
+    /// its direct children so the error can report the full `child-str`.
+    Violated { path: Vec<Symbol>, children: Vec<Symbol>, expected: String },
+    /// An element whose verdict cannot matter any more (inside a violated
+    /// subtree, or opened after a violation was pending).
+    Skip,
+}
+
+impl StreamValidator {
+    /// Prebuilds the streaming machinery for a schema.
+    pub fn new(sdtd: &RSdtd) -> StreamValidator {
+        let edtd = sdtd.as_edtd();
+        let start = *edtd.start();
+        let root_label = edtd.label_of(&start).copied().unwrap_or(start);
+        let mut names: BTreeSet<Symbol> = BTreeSet::new();
+        names.insert(start);
+        names.extend(edtd.specialized_names().iter().copied());
+        for (lhs, content) in edtd.rules() {
+            names.insert(*lhs);
+            names.extend(content.alphabet().iter().copied());
+        }
+        let mut specs = BTreeMap::new();
+        for spec in names {
+            let content = edtd.content(&spec);
+            let mut by_label: BTreeMap<Symbol, Symbol> = BTreeMap::new();
+            for sym in content.alphabet().iter() {
+                let label = edtd.label_of(sym).copied().unwrap_or(*sym);
+                by_label.insert(label, *sym);
+            }
+            specs.insert(
+                spec,
+                SpecInfo {
+                    dfa: Dfa::from_nfa(&content.to_nfa()),
+                    by_label,
+                    expected: format!("{content}"),
+                },
+            );
+        }
+        StreamValidator { root_label, start, specs }
+    }
+
+    /// Validates a document given as an XML string, in one streaming pass.
+    pub fn validate(&self, input: &str) -> Result<(), SchemaError> {
+        self.validate_with_stats(input).0
+    }
+
+    /// [`StreamValidator::validate`], also reporting peak depth and buffer
+    /// use of the run.
+    pub fn validate_with_stats(&self, input: &str) -> (Result<(), SchemaError>, StreamStats) {
+        let mut parser = SaxParser::new(input);
+        let mut frames: Vec<Frame> = Vec::new();
+        let mut pending: Option<SchemaError> = None;
+        let mut buffered = 0usize;
+        let mut stats = StreamStats::default();
+        loop {
+            let event = match parser.next_event() {
+                Ok(Some(event)) => event,
+                Ok(None) => break,
+                // A parse error preempts any schema verdict, exactly as in
+                // the parse-then-validate composition.
+                Err(e) => {
+                    stats.peak_depth = parser.peak_depth();
+                    return (Err(SchemaError::Automata(e)), stats);
+                }
+            };
+            match event {
+                SaxEvent::Open(label) => {
+                    enum Act {
+                        PushTyped(Symbol),
+                        PushSkip,
+                        ViolateTop,
+                    }
+                    let act = match frames.last_mut() {
+                        None => {
+                            if label == self.root_label {
+                                Act::PushTyped(self.start)
+                            } else {
+                                pending = Some(SchemaError::RootMismatch {
+                                    expected: self.root_label,
+                                    found: label,
+                                });
+                                Act::PushSkip
+                            }
+                        }
+                        Some(Frame::Skip) => Act::PushSkip,
+                        Some(Frame::Violated { children, .. }) => {
+                            children.push(label);
+                            buffered += 1;
+                            Act::PushSkip
+                        }
+                        Some(Frame::Typed { spec, state, children, .. }) => {
+                            children.push(label);
+                            buffered += 1;
+                            let info = &self.specs[spec];
+                            match info.by_label.get(&label) {
+                                Some(child_spec) => match info.dfa.delta(*state, child_spec) {
+                                    Some(next) => {
+                                        *state = next;
+                                        Act::PushTyped(*child_spec)
+                                    }
+                                    None => Act::ViolateTop,
+                                },
+                                None => Act::ViolateTop,
+                            }
+                        }
+                    };
+                    stats.peak_buffered = stats.peak_buffered.max(buffered);
+                    match act {
+                        Act::PushSkip => frames.push(Frame::Skip),
+                        Act::PushTyped(spec) if pending.is_none() => {
+                            let state = self.specs[&spec].dfa.start();
+                            frames.push(Frame::Typed { label, spec, state, children: Vec::new() });
+                        }
+                        // A violation is already pending and this element is
+                        // later in preorder: its parent's DFA was stepped
+                        // (the parent, an open ancestor, may still violate),
+                        // but its own subtree cannot change the verdict.
+                        Act::PushTyped(_) => frames.push(Frame::Skip),
+                        Act::ViolateTop => {
+                            // The top frame is Typed, hence a strict ancestor
+                            // of any pending node: it supersedes. Its frame
+                            // becomes the collector for its remaining
+                            // children; the child just opened is skipped.
+                            pending = None;
+                            let top = frames.len() - 1;
+                            let mut path: Vec<Symbol> = frames[..top]
+                                .iter()
+                                .map(|f| match f {
+                                    Frame::Typed { label, .. } => *label,
+                                    _ => unreachable!("frames under a typed frame are typed"),
+                                })
+                                .collect();
+                            let (label, spec, children) = match std::mem::replace(&mut frames[top], Frame::Skip) {
+                                Frame::Typed { label, spec, children, .. } => (label, spec, children),
+                                _ => unreachable!("ViolateTop fires on a typed top frame"),
+                            };
+                            path.push(label);
+                            frames[top] = Frame::Violated {
+                                path,
+                                children,
+                                expected: self.specs[&spec].expected.clone(),
+                            };
+                            frames.push(Frame::Skip);
+                        }
+                    }
+                }
+                SaxEvent::Close => {
+                    match frames.pop().expect("parser balances open/close events") {
+                        Frame::Skip => {}
+                        Frame::Violated { path, children, expected } => {
+                            buffered -= children.len();
+                            pending =
+                                Some(SchemaError::InvalidContent { path, children, expected });
+                        }
+                        Frame::Typed { label, spec, state, children } => {
+                            buffered -= children.len();
+                            let info = &self.specs[&spec];
+                            if !info.dfa.is_final(state) {
+                                // This frame is a strict ancestor of any
+                                // pending node, so it supersedes; its child
+                                // list is complete, so the error is final.
+                                let mut path: Vec<Symbol> = frames
+                                    .iter()
+                                    .map(|f| match f {
+                                        Frame::Typed { label, .. } => *label,
+                                        _ => unreachable!("frames under a typed frame are typed"),
+                                    })
+                                    .collect();
+                                path.push(label);
+                                pending = Some(SchemaError::InvalidContent {
+                                    path,
+                                    children,
+                                    expected: info.expected.clone(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        stats.peak_depth = parser.peak_depth();
+        (pending.map_or(Ok(()), Err), stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dxml_automata::RFormalism;
+    use dxml_tree::xml::{parse_xml, to_xml};
+
+    fn sdtd() -> RSdtd {
+        RSdtd::parse(
+            RFormalism::Nre,
+            "s -> nat~1*, archive?\n\
+             archive -> nat~2*\n\
+             nat~1 -> country, year\n\
+             nat~2 -> country",
+        )
+        .unwrap()
+    }
+
+    fn tree_route(s: &RSdtd, input: &str) -> Result<(), SchemaError> {
+        parse_xml(input)
+            .map_err(SchemaError::from)
+            .and_then(|t| s.validate(&t))
+    }
+
+    #[test]
+    fn agrees_with_tree_route_on_curated_documents() {
+        let s = sdtd();
+        let v = StreamValidator::new(&s);
+        for doc in [
+            "<s/>",
+            "<s><nat><country/><year/></nat></s>",
+            "<s><nat><country/><year/></nat><archive><nat><country/></nat></archive></s>",
+            "<s><nat><country/></nat></s>",
+            "<s><archive><nat><country/><year/></nat></archive></s>",
+            "<s><mystery/></s>",
+            "<t/>",
+            "<s><nat><country/><year/><year/></nat></s>",
+            "<s><archive/><archive/></s>",
+            "<s><nat/></s>",
+            "not xml at all",
+            "<s><nat>",
+            "<s></t>",
+            "",
+        ] {
+            assert_eq!(v.validate(doc), tree_route(&s, doc), "doc {doc:?}");
+        }
+    }
+
+    #[test]
+    fn ancestor_violation_supersedes_descendant_violation() {
+        // The inner `nat` is wrong (detected first by the stream), but the
+        // tree route blames `s` itself: `mystery` is not in s's content
+        // model, and s precedes nat in preorder. The streaming error must
+        // match, down to the full child list of `s`.
+        let s = sdtd();
+        let v = StreamValidator::new(&s);
+        let doc = "<s><nat><country/></nat><mystery/></s>";
+        let stream = v.validate(doc).unwrap_err();
+        let tree = tree_route(&s, doc).unwrap_err();
+        assert_eq!(stream, tree);
+        match stream {
+            SchemaError::InvalidContent { path, children, .. } => {
+                assert_eq!(path.len(), 1, "error blames the root");
+                assert_eq!(children.len(), 2, "full child-str is reported");
+            }
+            other => panic!("expected InvalidContent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn close_time_violation_supersedes_descendant_violation() {
+        let s = RSdtd::parse(
+            RFormalism::Nre,
+            "s -> a\n\
+             a -> b, c\n\
+             b -> d",
+        )
+        .unwrap();
+        let v = StreamValidator::new(&s);
+        // b's content is wrong (d missing → detected at b's close), and a's
+        // content is also wrong (c missing → detected at a's close, later).
+        // The tree route blames a (preorder parent first).
+        let doc = "<s><a><b/></a></s>";
+        assert_eq!(v.validate(doc), tree_route(&s, doc));
+        match v.validate(doc).unwrap_err() {
+            SchemaError::InvalidContent { path, .. } => {
+                assert_eq!(path.last().unwrap().as_str(), "a");
+            }
+            other => panic!("expected InvalidContent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validates_hundred_thousand_deep_document() {
+        // Streaming: O(depth) frames, no recursion, no tree.
+        let s = RSdtd::parse(RFormalism::Nre, "a -> a?").unwrap();
+        let v = StreamValidator::new(&s);
+        let depth = 100_000;
+        let doc = format!("{}{}", "<a>".repeat(depth), "</a>".repeat(depth));
+        let (verdict, stats) = v.validate_with_stats(&doc);
+        assert!(verdict.is_ok());
+        assert_eq!(stats.peak_depth, depth);
+        assert_eq!(stats.peak_buffered, depth - 1);
+    }
+
+    #[test]
+    fn stats_report_peaks() {
+        let s = sdtd();
+        let v = StreamValidator::new(&s);
+        let doc = "<s><nat><country/><year/></nat></s>";
+        let (verdict, stats) = v.validate_with_stats(doc);
+        assert!(verdict.is_ok());
+        assert_eq!(stats.peak_depth, 3);
+        // At peak, s buffers [nat] and nat buffers [country year].
+        assert_eq!(stats.peak_buffered, 3);
+    }
+
+    #[test]
+    fn roundtrip_of_sample_trees_validates() {
+        let s = sdtd();
+        let v = StreamValidator::new(&s);
+        let t = s.sample_tree().unwrap();
+        assert_eq!(v.validate(&to_xml(&t)), Ok(()));
+    }
+}

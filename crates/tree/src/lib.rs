@@ -9,8 +9,12 @@
 //!   paper (`child-str`, `anc-str`, `tree_t(x)`, document order);
 //! * [`term`] — a parser/printer for the paper's term notation
 //!   (`s(a f1 b(f2))`);
-//! * [`xml`] — a minimal element-only XML parser and serialiser, so that the
-//!   examples can ingest and emit actual XML documents;
+//! * [`sax`] — a streaming SAX-style event layer: an iterative pull parser
+//!   yielding `Open`/`Close` events with `O(depth)` memory, the event source
+//!   for one-pass streaming validation;
+//! * [`xml`] — a minimal element-only XML parser and serialiser built on the
+//!   event layer, so that the examples can ingest and emit actual XML
+//!   documents;
 //! * [`generate`] — deterministic pseudo-random tree generation for property
 //!   tests and benchmark workloads;
 //! * [`uta`] — nondeterministic unranked tree automata (`nUTA`,
@@ -23,10 +27,12 @@
 #![warn(missing_docs)]
 
 pub mod generate;
+pub mod sax;
 pub mod term;
 pub mod tree;
 pub mod uta;
 pub mod xml;
 
+pub use sax::{SaxEvent, SaxParser};
 pub use tree::{NodeId, XForest, XTree};
 pub use uta::{Duta, Nuta};

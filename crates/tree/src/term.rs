@@ -14,7 +14,7 @@ use crate::tree::{XForest, XTree};
 /// Identifiers consist of alphanumeric characters, `_`, `~` and `#`;
 /// children are separated by whitespace or commas.
 pub fn parse_term(input: &str) -> Result<XTree, AutomataError> {
-    let mut parser = TermParser { input: input.as_bytes(), pos: 0 };
+    let mut parser = TermParser { input, pos: 0 };
     parser.skip_ws();
     let tree = parser.parse_tree()?;
     parser.skip_ws();
@@ -31,7 +31,7 @@ pub fn parse_term(input: &str) -> Result<XTree, AutomataError> {
 /// (used for the results of resource calls, which are forests attached under
 /// a root).
 pub fn parse_forest(input: &str) -> Result<XForest, AutomataError> {
-    let mut parser = TermParser { input: input.as_bytes(), pos: 0 };
+    let mut parser = TermParser { input, pos: 0 };
     let mut forest = Vec::new();
     loop {
         parser.skip_ws();
@@ -43,82 +43,116 @@ pub fn parse_forest(input: &str) -> Result<XForest, AutomataError> {
     Ok(forest)
 }
 
-/// Prints a tree in term notation.
+/// Prints a tree in term notation. The walk is iterative, so arbitrarily
+/// deep trees print without native stack growth.
 pub fn to_term(tree: &XTree) -> String {
-    fn rec(tree: &XTree, node: usize, out: &mut String) {
-        out.push_str(tree.label(node).as_str());
-        let children = tree.children(node);
-        if !children.is_empty() {
-            out.push('(');
-            for (i, &c) in children.iter().enumerate() {
-                if i > 0 {
-                    out.push(' ');
-                }
-                rec(tree, c, out);
-            }
-            out.push(')');
-        }
+    enum Step {
+        Visit(usize),
+        Punct(&'static str),
     }
     let mut out = String::new();
-    rec(tree, tree.root(), &mut out);
+    let mut stack = vec![Step::Visit(tree.root())];
+    while let Some(step) = stack.pop() {
+        match step {
+            Step::Visit(node) => {
+                out.push_str(tree.label(node).as_str());
+                let children = tree.children(node);
+                if !children.is_empty() {
+                    out.push('(');
+                    stack.push(Step::Punct(")"));
+                    for (i, &c) in children.iter().enumerate().rev() {
+                        stack.push(Step::Visit(c));
+                        if i > 0 {
+                            stack.push(Step::Punct(" "));
+                        }
+                    }
+                }
+            }
+            Step::Punct(p) => out.push_str(p),
+        }
+    }
     out
 }
 
 struct TermParser<'a> {
-    input: &'a [u8],
+    input: &'a str,
     pos: usize,
 }
 
 impl TermParser<'_> {
-    fn skip_ws(&mut self) {
-        while self.pos < self.input.len()
-            && (self.input[self.pos].is_ascii_whitespace() || self.input[self.pos] == b',')
-        {
-            self.pos += 1;
-        }
+    fn byte(&self, pos: usize) -> Option<u8> {
+        self.input.as_bytes().get(pos).copied()
     }
 
-    fn parse_ident(&mut self) -> Result<Symbol, AutomataError> {
-        let start = self.pos;
-        while self.pos < self.input.len() {
-            let c = self.input[self.pos] as char;
-            if c.is_alphanumeric() || c == '_' || c == '~' || c == '#' {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.byte(self.pos) {
+            if b.is_ascii_whitespace() || b == b',' {
                 self.pos += 1;
             } else {
                 break;
             }
         }
-        if self.pos == start {
+    }
+
+    /// Parses an identifier, decoding UTF-8 characters properly (the seed
+    /// classified raw bytes, so a multibyte letter's continuation bytes
+    /// counted as alphanumeric and the final slice panicked mid-character).
+    fn parse_ident(&mut self) -> Result<Symbol, AutomataError> {
+        let rest = &self.input[self.pos..];
+        let mut len = 0;
+        for (i, c) in rest.char_indices() {
+            if c.is_alphanumeric() || matches!(c, '_' | '~' | '#') {
+                len = i + c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        if len == 0 {
             return Err(AutomataError::RegexParse {
                 message: "expected an identifier".into(),
                 position: self.pos,
             });
         }
-        Symbol::try_new(std::str::from_utf8(&self.input[start..self.pos]).unwrap())
+        let ident = &rest[..len];
+        self.pos += len;
+        Symbol::try_new(ident)
     }
 
+    /// Parses one term iteratively, growing the arena in place: each
+    /// identifier is attached to the innermost open node as soon as it is
+    /// read, so deep terms cost neither native stack nor repeated subtree
+    /// copies.
     fn parse_tree(&mut self) -> Result<XTree, AutomataError> {
         let label = self.parse_ident()?;
+        let mut tree = XTree::leaf(label);
         self.skip_ws();
-        let mut children = Vec::new();
-        if self.pos < self.input.len() && self.input[self.pos] == b'(' {
-            self.pos += 1;
-            loop {
-                self.skip_ws();
-                if self.pos >= self.input.len() {
-                    return Err(AutomataError::RegexParse {
-                        message: "unterminated '(' in term".into(),
-                        position: self.pos,
-                    });
-                }
-                if self.input[self.pos] == b')' {
-                    self.pos += 1;
-                    break;
-                }
-                children.push(self.parse_tree()?);
+        if self.byte(self.pos) != Some(b'(') {
+            return Ok(tree);
+        }
+        self.pos += 1;
+        let mut open = vec![tree.root()];
+        while let Some(&parent) = open.last() {
+            self.skip_ws();
+            if self.pos >= self.input.len() {
+                return Err(AutomataError::RegexParse {
+                    message: "unterminated '(' in term".into(),
+                    position: self.pos,
+                });
+            }
+            if self.byte(self.pos) == Some(b')') {
+                self.pos += 1;
+                open.pop();
+                continue;
+            }
+            let child_label = self.parse_ident()?;
+            let child = tree.add_child(parent, child_label);
+            self.skip_ws();
+            if self.byte(self.pos) == Some(b'(') {
+                self.pos += 1;
+                open.push(child);
             }
         }
-        Ok(XTree::node(label, children))
+        Ok(tree)
     }
 }
 
@@ -167,5 +201,23 @@ mod tests {
         assert!(parse_term("s(a").is_err());
         assert!(parse_term("s)a(").is_err());
         assert!(parse_term("s(a) b").is_err());
+    }
+
+    #[test]
+    fn multibyte_identifiers_parse_instead_of_panicking() {
+        let t = parse_term("élan(crème²)").unwrap();
+        assert_eq!(t.root_label().as_str(), "élan");
+        assert_eq!(parse_term(&to_term(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn hundred_thousand_deep_term_roundtrips() {
+        // Both the parser and the printer were recursive in the seed and
+        // aborted with a stack overflow at this depth.
+        let depth = 100_000;
+        let src = format!("{}a{}", "a(".repeat(depth - 1), ")".repeat(depth - 1));
+        let t = parse_term(&src).unwrap();
+        assert_eq!(t.size(), depth);
+        assert_eq!(to_term(&t), src);
     }
 }

@@ -125,9 +125,16 @@ impl XTree {
     }
 
     fn graft_children(&mut self, target: NodeId, source: &XTree, source_node: NodeId) {
-        for &child in source.children(source_node) {
-            let new_id = self.add_child(target, *source.label(child));
-            self.graft_children(new_id, source, child);
+        // Iterative so grafting (and everything built on it: `node`,
+        // `subtree`, `graft`) copes with arbitrarily deep sources. All
+        // children of a source node are appended before descending, so
+        // sibling order is preserved regardless of stack order.
+        let mut stack = vec![(target, source_node)];
+        while let Some((into, from)) = stack.pop() {
+            for &child in source.children(from) {
+                let new_id = self.add_child(into, *source.label(child));
+                stack.push((new_id, child));
+            }
         }
     }
 
@@ -176,10 +183,17 @@ impl XTree {
 
     /// The depth of the tree (a single node has depth 1).
     pub fn depth(&self) -> usize {
-        fn rec(t: &XTree, n: NodeId) -> usize {
-            1 + t.children(n).iter().map(|&c| rec(t, c)).max().unwrap_or(0)
+        // Document order visits parents before children, so each node's
+        // depth is available from its parent's — no recursion.
+        let mut depths = vec![1usize; self.nodes.len()];
+        let mut max = 1;
+        for n in self.document_order() {
+            if let Some(p) = self.nodes[n].parent {
+                depths[n] = depths[p] + 1;
+                max = max.max(depths[n]);
+            }
         }
-        rec(self, 0)
+        max
     }
 
     /// Replaces every node whose label satisfies `is_target` by the forest
@@ -261,15 +275,19 @@ impl XTree {
 
 impl PartialEq for XTree {
     fn eq(&self, other: &Self) -> bool {
-        fn eq_at(a: &XTree, na: NodeId, b: &XTree, nb: NodeId) -> bool {
-            a.label(na) == b.label(nb)
-                && a.children(na).len() == b.children(nb).len()
-                && a.children(na)
-                    .iter()
-                    .zip(b.children(nb))
-                    .all(|(&ca, &cb)| eq_at(a, ca, b, cb))
+        if self.nodes.len() != other.nodes.len() {
+            return false;
         }
-        eq_at(self, 0, other, 0)
+        let mut stack = vec![(0, 0)];
+        while let Some((na, nb)) = stack.pop() {
+            if self.label(na) != other.label(nb)
+                || self.children(na).len() != other.children(nb).len()
+            {
+                return false;
+            }
+            stack.extend(self.children(na).iter().copied().zip(other.children(nb).iter().copied()));
+        }
+        true
     }
 }
 

@@ -5,161 +5,88 @@
 //! for the examples to read and write real documents: start tags, end tags,
 //! self-closing tags, comments and text nodes (text is skipped). Attributes
 //! are parsed and discarded.
+//!
+//! Parsing is a thin materialising wrapper over the streaming event layer in
+//! [`crate::sax`]: the tree is assembled from [`SaxEvent`]s with an explicit
+//! node stack, and serialisation walks an explicit work stack, so neither
+//! direction recurses — documents nested 100 000 elements deep parse and
+//! print without native stack growth (bounded only by the parser's
+//! [depth limit](crate::sax::DEFAULT_DEPTH_LIMIT)).
 
-use dxml_automata::{AutomataError, Symbol};
+use dxml_automata::AutomataError;
 
-use crate::tree::XTree;
+use crate::sax::{SaxEvent, SaxParser, DEFAULT_DEPTH_LIMIT};
+use crate::tree::{NodeId, XTree};
 
 /// Parses an XML document into its element-structure tree. Text content,
 /// attributes, comments, processing instructions and the XML declaration are
-/// skipped.
+/// skipped. Nesting is bounded by [`DEFAULT_DEPTH_LIMIT`]; use
+/// [`parse_xml_with_limit`] to choose a different bound.
 pub fn parse_xml(input: &str) -> Result<XTree, AutomataError> {
-    let mut parser = XmlParser { input: input.as_bytes(), pos: 0 };
-    parser.skip_misc();
-    let tree = parser.parse_element()?;
-    parser.skip_misc();
-    if parser.pos != parser.input.len() {
-        return Err(parser.error("unexpected content after the root element"));
+    parse_xml_with_limit(input, DEFAULT_DEPTH_LIMIT)
+}
+
+/// [`parse_xml`] with an explicit bound on element nesting depth; deeper
+/// documents return a located error instead of exhausting memory.
+pub fn parse_xml_with_limit(input: &str, depth_limit: usize) -> Result<XTree, AutomataError> {
+    let mut parser = SaxParser::with_depth_limit(input, depth_limit);
+    let mut tree: Option<XTree> = None;
+    let mut stack: Vec<NodeId> = Vec::new();
+    while let Some(event) = parser.next_event()? {
+        match event {
+            SaxEvent::Open(name) => match (&mut tree, stack.last()) {
+                (Some(t), Some(&parent)) => stack.push(t.add_child(parent, name)),
+                (slot @ None, _) => {
+                    let root = XTree::leaf(name);
+                    stack.push(root.root());
+                    *slot = Some(root);
+                }
+                (Some(_), None) => unreachable!("SaxParser rejects content after the root"),
+            },
+            SaxEvent::Close => {
+                stack.pop();
+            }
+        }
     }
-    Ok(tree)
+    tree.ok_or_else(|| AutomataError::RegexParse {
+        message: "XML: expected a root element".into(),
+        position: input.len(),
+    })
 }
 
 /// Serialises the element structure of a tree as XML, indented two spaces per
-/// level.
+/// level. The walk is iterative, so arbitrarily deep trees print without
+/// native stack growth.
 pub fn to_xml(tree: &XTree) -> String {
-    fn rec(tree: &XTree, node: usize, depth: usize, out: &mut String) {
-        let indent = "  ".repeat(depth);
-        let label = tree.label(node);
-        if tree.is_leaf(node) {
-            out.push_str(&format!("{indent}<{label}/>\n"));
-        } else {
-            out.push_str(&format!("{indent}<{label}>\n"));
-            for &c in tree.children(node) {
-                rec(tree, c, depth + 1, out);
-            }
-            out.push_str(&format!("{indent}</{label}>\n"));
-        }
+    enum Step {
+        Visit(NodeId, usize),
+        CloseTag(NodeId, usize),
     }
     let mut out = String::new();
-    rec(tree, tree.root(), 0, &mut out);
+    let mut stack = vec![Step::Visit(tree.root(), 0)];
+    while let Some(step) = stack.pop() {
+        match step {
+            Step::Visit(node, depth) => {
+                let indent = "  ".repeat(depth);
+                let label = tree.label(node);
+                if tree.is_leaf(node) {
+                    out.push_str(&format!("{indent}<{label}/>\n"));
+                } else {
+                    out.push_str(&format!("{indent}<{label}>\n"));
+                    stack.push(Step::CloseTag(node, depth));
+                    for &c in tree.children(node).iter().rev() {
+                        stack.push(Step::Visit(c, depth + 1));
+                    }
+                }
+            }
+            Step::CloseTag(node, depth) => {
+                let indent = "  ".repeat(depth);
+                let label = tree.label(node);
+                out.push_str(&format!("{indent}</{label}>\n"));
+            }
+        }
+    }
     out
-}
-
-struct XmlParser<'a> {
-    input: &'a [u8],
-    pos: usize,
-}
-
-impl XmlParser<'_> {
-    fn error(&self, message: &str) -> AutomataError {
-        AutomataError::RegexParse { message: format!("XML: {message}"), position: self.pos }
-    }
-
-    fn skip_ws(&mut self) {
-        while self.pos < self.input.len() && self.input[self.pos].is_ascii_whitespace() {
-            self.pos += 1;
-        }
-    }
-
-    /// Skips whitespace, text content, comments, processing instructions and
-    /// the XML declaration.
-    fn skip_misc(&mut self) {
-        loop {
-            self.skip_ws();
-            if self.starts_with("<!--") {
-                match self.find("-->") {
-                    Some(end) => self.pos = end + 3,
-                    None => {
-                        self.pos = self.input.len();
-                        return;
-                    }
-                }
-            } else if self.starts_with("<?") {
-                match self.find("?>") {
-                    Some(end) => self.pos = end + 2,
-                    None => {
-                        self.pos = self.input.len();
-                        return;
-                    }
-                }
-            } else if self.pos < self.input.len() && self.input[self.pos] != b'<' {
-                // text content: skip to the next tag
-                while self.pos < self.input.len() && self.input[self.pos] != b'<' {
-                    self.pos += 1;
-                }
-            } else {
-                return;
-            }
-        }
-    }
-
-    fn starts_with(&self, s: &str) -> bool {
-        self.input[self.pos..].starts_with(s.as_bytes())
-    }
-
-    fn find(&self, s: &str) -> Option<usize> {
-        let needle = s.as_bytes();
-        (self.pos..self.input.len().saturating_sub(needle.len() - 1))
-            .find(|&i| self.input[i..].starts_with(needle))
-    }
-
-    fn parse_name(&mut self) -> Result<Symbol, AutomataError> {
-        let start = self.pos;
-        while self.pos < self.input.len() {
-            let c = self.input[self.pos] as char;
-            if c.is_alphanumeric() || c == '_' || c == '-' || c == '.' || c == ':' || c == '~' {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-        if self.pos == start {
-            return Err(self.error("expected an element name"));
-        }
-        Symbol::try_new(std::str::from_utf8(&self.input[start..self.pos]).unwrap())
-    }
-
-    fn parse_element(&mut self) -> Result<XTree, AutomataError> {
-        if !self.starts_with("<") {
-            return Err(self.error("expected '<'"));
-        }
-        self.pos += 1;
-        let name = self.parse_name()?;
-        // Skip attributes up to '>' or '/>'.
-        while self.pos < self.input.len() && self.input[self.pos] != b'>' && !self.starts_with("/>") {
-            self.pos += 1;
-        }
-        if self.starts_with("/>") {
-            self.pos += 2;
-            return Ok(XTree::leaf(name));
-        }
-        if !self.starts_with(">") {
-            return Err(self.error("expected '>'"));
-        }
-        self.pos += 1;
-        let mut children = Vec::new();
-        loop {
-            self.skip_misc();
-            if self.starts_with("</") {
-                self.pos += 2;
-                let close = self.parse_name()?;
-                if close != name {
-                    return Err(self.error(&format!("mismatched closing tag </{close}> for <{name}>")));
-                }
-                self.skip_ws();
-                if !self.starts_with(">") {
-                    return Err(self.error("expected '>' after closing tag name"));
-                }
-                self.pos += 1;
-                break;
-            }
-            if self.pos >= self.input.len() {
-                return Err(self.error(&format!("unterminated element <{name}>")));
-            }
-            children.push(self.parse_element()?);
-        }
-        Ok(XTree::node(name, children))
-    }
 }
 
 #[cfg(test)]
@@ -200,6 +127,23 @@ mod tests {
     }
 
     #[test]
+    fn quoted_attribute_values_may_contain_gt() {
+        // The seed parser stopped at the first `>` even inside a quoted
+        // value, mis-tokenising the rest of the document.
+        let t = parse_xml(r#"<a x="1>2"><b y='3>4'/></a>"#).unwrap();
+        assert_eq!(t, parse_term("a(b)").unwrap());
+    }
+
+    #[test]
+    fn multibyte_names_parse_instead_of_panicking() {
+        let t = parse_xml("<café><crème²/></café>").unwrap();
+        assert_eq!(t.size(), 2);
+        assert_eq!(t.root_label().as_str(), "café");
+        let back = parse_xml(&to_xml(&t)).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
     fn roundtrip_through_serialisation() {
         let t = parse_term("s(a(b c) d(e) f)").unwrap();
         let xml = to_xml(&t);
@@ -213,5 +157,36 @@ mod tests {
         assert!(parse_xml("<a>").is_err());
         assert!(parse_xml("plain text").is_err());
         assert!(parse_xml("<a/><b/>").is_err());
+    }
+
+    #[test]
+    fn depth_limit_errors_cleanly() {
+        let doc = format!("{}<x/>{}", "<a>".repeat(64), "</a>".repeat(64));
+        assert!(parse_xml_with_limit(&doc, 65).is_ok());
+        let err = parse_xml_with_limit(&doc, 10).unwrap_err();
+        assert!(err.to_string().contains("depth limit"), "{err}");
+    }
+
+    #[test]
+    fn hundred_thousand_deep_document_parses() {
+        // The seed parser recursed per level and aborted with a stack
+        // overflow long before this depth.
+        let depth = 100_000;
+        let doc = format!("{}{}", "<a>".repeat(depth), "</a>".repeat(depth));
+        let t = parse_xml(&doc).unwrap();
+        assert_eq!(t.size(), depth);
+        assert_eq!(t.depth(), depth);
+    }
+
+    #[test]
+    fn deep_document_roundtrips_through_serialisation() {
+        // The serialiser indents two spaces per level, so output size is
+        // quadratic in depth; roundtrip at a depth that keeps the document
+        // small while still far beyond any recursive serialiser's stack.
+        let depth = 10_000;
+        let doc = format!("{}{}", "<a>".repeat(depth), "</a>".repeat(depth));
+        let t = parse_xml(&doc).unwrap();
+        let back = parse_xml(&to_xml(&t)).unwrap();
+        assert_eq!(t, back);
     }
 }

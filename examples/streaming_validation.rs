@@ -1,0 +1,66 @@
+//! Streaming one-pass SDTD validation: type documents while parsing them,
+//! in memory proportional to nesting depth, and fan a batch over all cores.
+//!
+//! ```sh
+//! cargo run --release --example streaming_validation
+//! ```
+
+use dxml::automata::RFormalism;
+use dxml::core::validate_batch;
+use dxml::schema::{RSdtd, StreamValidator};
+
+fn main() {
+    // The single-type property (Definition 6): the specialised name of a
+    // node is a function of its label and its parent's specialised name, so
+    // an XSD-style schema validates top-down in one pass — here, `nat`
+    // records have one shape at top level and another inside `archive`.
+    let sdtd = RSdtd::parse(
+        RFormalism::Nre,
+        "s -> nat~1*, archive?\n\
+         archive -> nat~2*\n\
+         nat~1 -> country, year\n\
+         nat~2 -> country",
+    )
+    .expect("the schema is single-type");
+    println!("SDTD:\n{sdtd}\n");
+
+    // One reusable validator: every content model is determinised once.
+    let validator = StreamValidator::new(&sdtd);
+
+    let valid = "<s><nat><country/><year/></nat><archive><nat><country/></nat></archive></s>";
+    println!("valid document     → {:?}", validator.validate(valid));
+
+    // An archived `nat` must have the nat~2 shape (country only).
+    let invalid = "<s><archive><nat><country/><year/></nat></archive></s>";
+    println!("archived nat~1     → {}", validator.validate(invalid).unwrap_err());
+
+    // The stream is typed as it is parsed: a million-element chain needs
+    // one frame per *open* element, never the materialised tree.
+    let deep_schema = RSdtd::parse(RFormalism::Nre, "a -> a?").expect("chain schema");
+    let deep_validator = StreamValidator::new(&deep_schema);
+    let depth = 100_000;
+    let chain = format!("{}{}", "<a>".repeat(depth), "</a>".repeat(depth));
+    let (verdict, stats) = deep_validator.validate_with_stats(&chain);
+    println!(
+        "\n{depth}-deep chain    → {verdict:?} (peak depth {}, peak buffered labels {})",
+        stats.peak_depth, stats.peak_buffered
+    );
+
+    // Batch front end: one shared validator, one streaming pass per
+    // document, all cores, verdicts in input order.
+    let docs: Vec<&str> = vec![
+        valid,
+        invalid,
+        "<s/>",
+        "<t/>",
+        "<s><nat>",
+    ];
+    println!("\nbatch of {} documents:", docs.len());
+    for (doc, verdict) in docs.iter().zip(validate_batch(&sdtd, &docs)) {
+        let rendered = match verdict {
+            Ok(()) => "valid".to_string(),
+            Err(e) => format!("invalid: {e}"),
+        };
+        println!("  {doc:<90} {rendered}");
+    }
+}

@@ -9,7 +9,7 @@ CARGO ?= cargo
 BENCH_TARGETS := $(shell sed -n 's/^name = "\([a-z0-9_]*\)"$$/\1/p' \
                  crates/bench/Cargo.toml | grep -v '^dxml')
 
-.PHONY: all build test clippy doc fmt-check bench bench-smoke bench-baselines bench-compare examples verify
+.PHONY: all build test clippy doc fmt-check bench bench-smoke bench-baselines bench-compare examples lint-schemas verify
 
 all: verify
 
@@ -19,8 +19,14 @@ build:
 test:
 	$(CARGO) test -q
 
+# Denies all default lints, plus a curated subset of pedantic lints the
+# codebase holds itself to (warn level, escalated by -D warnings).
 clippy:
-	$(CARGO) clippy --all-targets -- -D warnings
+	$(CARGO) clippy --all-targets -- -D warnings \
+		-W clippy::semicolon_if_nothing_returned \
+		-W clippy::explicit_iter_loop \
+		-W clippy::redundant_closure_for_method_calls \
+		-W clippy::map_unwrap_or
 
 # API docs must build cleanly: broken intra-doc links and missing docs are
 # errors.
@@ -88,6 +94,12 @@ examples:
 	$(CARGO) run -q --release --example perfect_schema
 	$(CARGO) run -q --release --example box_design
 	$(CARGO) run -q --release --example streaming_validation
+	$(CARGO) run -q --release --example schema_lint
+
+# Lint the example/bench schema corpus: exits non-zero on any
+# error-severity diagnostic from the dxml-analysis passes.
+lint-schemas:
+	$(CARGO) run -q --release --example schema_lint
 
 # The tier-1 gate plus lints, docs and bench compilation.
 verify: build test clippy doc bench

@@ -1,0 +1,310 @@
+//! Design-level analysis passes over [`DesignProblem`] (DTD targets) and
+//! [`BoxDesignProblem`] (EDTD targets): the schema rules applied to the
+//! target and every function schema, plus the rules that need the
+//! distributed document — shadowing, never-docked and schema-less
+//! functions, vacuous designs, and the multi-parent docking advisory that
+//! predicts `SynthesisUnsupported` for box synthesis.
+
+use std::collections::BTreeSet;
+
+use dxml_automata::Symbol;
+use dxml_core::{BoxDesignProblem, DesignProblem, DistributedDoc};
+
+use crate::rules::{analyze_dtd, analyze_edtd};
+use crate::{sort_report, Diagnostic, Severity};
+
+/// Analyzes a design problem with a DTD target: schema rules over the
+/// target and the function schemas, plus the design-level rules. Multi-
+/// parent docking is *not* flagged here — `DesignProblem::perfect_schema`
+/// supports it via uniform context residuals.
+pub fn analyze_design(problem: &DesignProblem, doc: &DistributedDoc) -> Vec<Diagnostic> {
+    let mut out = prefixed(analyze_dtd(problem.doc_schema()), "target schema");
+    for (f, schema) in problem.fun_schemas() {
+        out.extend(prefixed(analyze_dtd(schema), &format!("schema of function `{f}`")));
+        if schema.language_is_empty() {
+            out.push(empty_function_schema(f));
+        }
+        if problem.doc_schema().alphabet().contains(f) {
+            out.push(shadowing(f));
+        }
+    }
+    out.extend(doc_rules(
+        doc,
+        problem.doc_schema().language_is_empty(),
+        &problem.fun_schemas().keys().copied().collect(),
+    ));
+    sort_report(&mut out);
+    out
+}
+
+/// Analyzes a box-design problem (EDTD target): the EDTD schema rules —
+/// including the definability advisories that unlock the SDTD/DTD fast
+/// paths — plus the design-level rules and the multi-parent docking
+/// advisory (`DX012`), which predicts exactly the condition under which
+/// [`BoxDesignProblem::perfect_schema`] refuses with `SynthesisUnsupported`.
+pub fn analyze_box_design(problem: &BoxDesignProblem, doc: &DistributedDoc) -> Vec<Diagnostic> {
+    let mut out = prefixed(analyze_edtd(problem.doc_schema()), "target schema");
+    for (f, schema) in problem.fun_schemas() {
+        out.extend(prefixed(analyze_edtd(schema), &format!("schema of function `{f}`")));
+        if schema.language_is_empty() {
+            out.push(empty_function_schema(f));
+        }
+        if problem.doc_schema().labels().contains(f) {
+            out.push(shadowing(f));
+        }
+    }
+    out.extend(doc_rules(
+        doc,
+        problem.doc_schema().language_is_empty(),
+        &problem.fun_schemas().keys().copied().collect(),
+    ));
+    // Multi-parent docking: the same scan `perfect_schema` performs.
+    let kernel = doc.kernel();
+    for f in doc.called_functions() {
+        let mut parents = BTreeSet::new();
+        for parent in kernel.document_order() {
+            if doc.is_function(kernel.label(parent)) {
+                continue;
+            }
+            if kernel.children(parent).iter().any(|&c| kernel.label(c) == &f) {
+                parents.insert(parent);
+            }
+        }
+        if parents.len() > 1 {
+            out.push(
+                Diagnostic::new(
+                    "DX012",
+                    Severity::Warning,
+                    format!("function `{f}`"),
+                    format!(
+                        "function `{f}` docks under {} distinct parents: box schema \
+                         synthesis (`perfect_schema`) will refuse with `SynthesisUnsupported`",
+                        parents.len()
+                    ),
+                )
+                .with_suggestion(
+                    "regroup the docking points under a single parent, or split the \
+                     function into one function per parent",
+                ),
+            );
+        }
+    }
+    sort_report(&mut out);
+    out
+}
+
+/// The document-dependent rules shared by both passes: vacuous designs,
+/// never-docked functions and called-but-schema-less functions.
+fn doc_rules(
+    doc: &DistributedDoc,
+    target_empty: bool,
+    declared: &BTreeSet<Symbol>,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if target_empty {
+        out.push(Diagnostic::new(
+            "DX008",
+            Severity::Error,
+            "design",
+            "the design is vacuous: the target schema's language is empty, so no \
+             materialisation of any document can typecheck",
+        ));
+    }
+    let called = doc.called_functions();
+    for f in declared {
+        if !called.contains(f) {
+            out.push(
+                Diagnostic::new(
+                    "DX010",
+                    Severity::Warning,
+                    format!("function `{f}`"),
+                    format!("function `{f}` has a schema but the document never calls it"),
+                )
+                .with_suggestion("remove the unused schema or dock the function in the kernel"),
+            );
+        }
+    }
+    for f in &called {
+        if !declared.contains(f) {
+            out.push(Diagnostic::new(
+                "DX011",
+                Severity::Error,
+                format!("function `{f}`"),
+                format!(
+                    "function `{f}` is called by the document but has no schema: \
+                     typechecking will fail with `MissingFunctionSchema`"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+fn empty_function_schema(f: &Symbol) -> Diagnostic {
+    Diagnostic::new(
+        "DX013",
+        Severity::Warning,
+        format!("function `{f}`"),
+        format!(
+            "the schema of function `{f}` has an empty language: every call site is \
+             unsatisfiable and the design cannot typecheck once `{f}` is called"
+        ),
+    )
+}
+
+fn shadowing(f: &Symbol) -> Diagnostic {
+    Diagnostic::new(
+        "DX009",
+        Severity::Warning,
+        format!("function `{f}`"),
+        format!(
+            "function `{f}` shares its name with an element of the target schema: \
+             kernel nodes labelled `{f}` are docking points, never plain elements"
+        ),
+    )
+    .with_suggestion("rename the function; docking is detected purely by label")
+}
+
+fn prefixed(mut report: Vec<Diagnostic>, prefix: &str) -> Vec<Diagnostic> {
+    for d in &mut report {
+        d.location = format!("{prefix}: {}", d.location);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dxml_automata::{RFormalism, RSpec, Regex};
+    use dxml_schema::{RDtd, REdtd};
+    use dxml_tree::XTree;
+
+    fn codes(report: &[Diagnostic]) -> Vec<&'static str> {
+        report.iter().map(|d| d.code).collect()
+    }
+
+    /// Target `s -> a, f?`; kernel `s(a f)`; one function `f` returning `a`.
+    fn simple_design() -> (DesignProblem, DistributedDoc) {
+        let mut target = RDtd::new(RFormalism::Nre, "s");
+        target.set_rule("s", RSpec::Nre(Regex::parse("a, a?").unwrap()));
+        let mut fschema = RDtd::new(RFormalism::Nre, "a");
+        fschema.add_element("a");
+        let problem = DesignProblem::new(target).with_function("f", fschema);
+        let mut kernel = XTree::leaf("s");
+        kernel.add_child(0, "a");
+        kernel.add_child(0, "f");
+        let doc = DistributedDoc::new(kernel, ["f"]).unwrap();
+        (problem, doc)
+    }
+
+    #[test]
+    fn clean_design_yields_no_diagnostics() {
+        let (problem, doc) = simple_design();
+        let report = analyze_design(&problem, &doc);
+        assert!(report.is_empty(), "{report:?}");
+        assert!(problem.typecheck(&doc).unwrap().is_valid());
+    }
+
+    #[test]
+    fn never_docked_and_missing_schema_functions() {
+        let (problem, doc) = simple_design();
+        // `g` declared but never called.
+        let mut extra = RDtd::new(RFormalism::Nre, "a");
+        extra.add_element("a");
+        let problem = problem.with_function("g", extra);
+        let report = analyze_design(&problem, &doc);
+        assert_eq!(codes(&report), vec!["DX010"]);
+        // `h` called but undeclared.
+        let mut kernel = XTree::leaf("s");
+        kernel.add_child(0, "a");
+        kernel.add_child(0, "h");
+        let doc2 = DistributedDoc::new(kernel, ["h"]).unwrap();
+        let report = analyze_design(&problem, &doc2);
+        assert!(codes(&report).contains(&"DX011"));
+        assert_eq!(report[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn vacuous_designs_and_empty_function_schemas() {
+        let (_, doc) = simple_design();
+        let mut empty_target = RDtd::new(RFormalism::Nre, "s");
+        empty_target.set_rule("s", RSpec::Nre(Regex::sym("s")));
+        let mut empty_fun = RDtd::new(RFormalism::Nre, "r");
+        empty_fun.set_rule("r", RSpec::Nre(Regex::sym("r")));
+        let problem = DesignProblem::new(empty_target).with_function("f", empty_fun);
+        let report = analyze_design(&problem, &doc);
+        let c = codes(&report);
+        assert!(c.contains(&"DX008"), "{c:?}");
+        assert!(c.contains(&"DX013"), "{c:?}");
+        // DX008 is design-level; the target schema's own DX001 also fires,
+        // prefixed with its location.
+        assert!(report.iter().any(|d| d.code == "DX001" && d.location.starts_with("target")));
+    }
+
+    #[test]
+    fn shadowing_functions_are_flagged() {
+        let (problem, _) = simple_design();
+        let mut fschema = RDtd::new(RFormalism::Nre, "a");
+        fschema.add_element("a");
+        // `a` is an element of the target — shadowed.
+        let problem = problem.with_function("a", fschema);
+        let mut kernel = XTree::leaf("s");
+        kernel.add_child(0, "a");
+        kernel.add_child(0, "f");
+        let doc = DistributedDoc::new(kernel, ["f", "a"]).unwrap();
+        let report = analyze_design(&problem, &doc);
+        assert!(codes(&report).contains(&"DX009"), "{report:?}");
+    }
+
+    #[test]
+    fn multi_parent_docking_predicts_synthesis_unsupported() {
+        // Target s -> b b, b -> f?: `f` docks under both `b` nodes.
+        let mut target = REdtd::new(RFormalism::Nre, "s", "s");
+        target.set_rule("s", RSpec::Nre(Regex::parse("b, b").unwrap()));
+        target.set_rule("b", RSpec::Nre(Regex::parse("c?").unwrap()));
+        let mut fschema = REdtd::new(RFormalism::Nre, "c", "c");
+        fschema.add_specialization("c", "c");
+        let problem = BoxDesignProblem::new(target).with_function("f", fschema);
+        let mut kernel = XTree::leaf("s");
+        let b1 = kernel.add_child(0, "b");
+        let b2 = kernel.add_child(0, "b");
+        kernel.add_child(b1, "f");
+        kernel.add_child(b2, "f");
+        let doc = DistributedDoc::new(kernel, ["f"]).unwrap();
+        let report = analyze_box_design(&problem, &doc);
+        assert!(codes(&report).contains(&"DX012"), "{report:?}");
+        // The advisory predicts the actual synthesis error.
+        assert!(matches!(
+            problem.perfect_schema(&doc, "f"),
+            Err(dxml_core::DesignError::SynthesisUnsupported { .. })
+        ));
+        // A single-parent variant is clean.
+        let mut kernel = XTree::leaf("s");
+        let b1 = kernel.add_child(0, "b");
+        kernel.add_child(0, "b");
+        kernel.add_child(b1, "f");
+        let doc = DistributedDoc::new(kernel, ["f"]).unwrap();
+        let report = analyze_box_design(&problem, &doc);
+        assert!(!codes(&report).contains(&"DX012"), "{report:?}");
+    }
+
+    #[test]
+    fn box_targets_get_definability_advisories() {
+        // An EDTD target that is secretly a DTD: advisory DX007 fires on
+        // the target schema, prefixed with its location.
+        let mut target = REdtd::new(RFormalism::Nre, "s", "s");
+        target.add_specialization("x", "a");
+        target.add_specialization("y", "a");
+        target.set_rule("s", RSpec::Nre(Regex::parse("x y*").unwrap()));
+        target.set_rule("x", RSpec::Nre(Regex::parse("b").unwrap()));
+        target.set_rule("y", RSpec::Nre(Regex::parse("b").unwrap()));
+        let problem = BoxDesignProblem::new(target);
+        let mut kernel = XTree::leaf("s");
+        let a = kernel.add_child(0, "a");
+        kernel.add_child(a, "b");
+        let doc = DistributedDoc::new(kernel, Vec::<Symbol>::new()).unwrap();
+        let report = analyze_box_design(&problem, &doc);
+        let advisory = report.iter().find(|d| d.code == "DX007").expect("DTD-definable target");
+        assert!(advisory.location.starts_with("target schema"), "{}", advisory.location);
+    }
+}

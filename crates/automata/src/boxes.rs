@@ -86,7 +86,7 @@ impl BoxLang {
         self.slots
             .iter()
             .map(BTreeSet::len)
-            .fold(1usize, |acc, k| acc.saturating_mul(k))
+            .fold(1usize, usize::saturating_mul)
     }
 
     /// Whether `word` belongs to the box.
@@ -300,7 +300,7 @@ impl fmt::Display for BoxLang {
             if slot.len() == 1 {
                 write!(f, "{}", slot.iter().next().unwrap())?;
             } else {
-                let names: Vec<String> = slot.iter().map(|s| s.to_string()).collect();
+                let names: Vec<String> = slot.iter().map(ToString::to_string).collect();
                 write!(f, "{{{}}}", names.join(","))?;
             }
         }

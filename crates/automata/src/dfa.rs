@@ -177,7 +177,7 @@ impl Dfa {
 
     /// Whether the automaton accepts `word`.
     pub fn accepts(&self, word: &[Symbol]) -> bool {
-        self.run(word).map(|q| self.is_final(q)).unwrap_or(false)
+        self.run(word).is_some_and(|q| self.is_final(q))
     }
 
     /// Whether the language is empty.

@@ -29,7 +29,7 @@ pub struct Counterexample {
 impl Counterexample {
     /// Renders the word with a separator, for error messages.
     pub fn describe(&self) -> String {
-        let w: Vec<String> = self.word.iter().map(|s| s.to_string()).collect();
+        let w: Vec<String> = self.word.iter().map(ToString::to_string).collect();
         let side = if self.in_first { "first" } else { "second" };
         format!("word [{}] belongs to the {side} language only", w.join(" "))
     }

@@ -327,19 +327,37 @@ impl Nfa {
     /// The set must have been created over this automaton's state universe.
     pub fn step_local(&self, set: &StateSet, sid: u32) -> StateSet {
         let mut next = StateSet::empty(self.num_states);
+        self.step_local_into(set, sid, &mut next);
+        next
+    }
+
+    /// [`Nfa::step_local`] into a caller-owned buffer: clears `out`, writes
+    /// the ε-closed successor set into it. `StateSet::clear` keeps the heap
+    /// words of >-inline-width universes, so frontier loops that step the
+    /// same automaton many times can reuse one buffer instead of allocating
+    /// a set per step. `out` must have been created over this automaton's
+    /// state universe.
+    pub fn step_local_into(&self, set: &StateSet, sid: u32, out: &mut StateSet) {
+        out.clear();
         for q in set {
             for &(_, t) in self.succ_slice(q, sid) {
-                next.insert(t);
+                out.insert(t);
             }
         }
-        self.epsilon_closure_inplace(next)
+        self.epsilon_close_mut(out);
     }
 
     /// ε-closes `set` in place (the by-value twin of
     /// [`Nfa::epsilon_closure`], saving the clone on the hot paths).
     fn epsilon_closure_inplace(&self, mut closure: StateSet) -> StateSet {
+        self.epsilon_close_mut(&mut closure);
+        closure
+    }
+
+    /// ε-closes the set behind the reference, in place.
+    fn epsilon_close_mut(&self, closure: &mut StateSet) {
         if !self.has_eps {
-            return closure;
+            return;
         }
         let mut stack: Vec<StateId> = closure.iter().collect();
         while let Some(q) = stack.pop() {
@@ -349,7 +367,6 @@ impl Nfa {
                 }
             }
         }
-        closure
     }
 
     // ------------------------------------------------------------------
@@ -387,27 +404,52 @@ impl Nfa {
         syms: impl IntoIterator<Item = &'a Symbol>,
     ) -> StateSet {
         let mut next = StateSet::empty(self.num_states);
+        self.step_all_into(set, syms, &mut next);
+        next
+    }
+
+    /// [`Nfa::step_all`] into a caller-owned buffer: clears `out`, writes
+    /// the ε-closed multi-symbol successor set into it. The buffer-reuse
+    /// twin for the bottom-up tree-automaton runs, same contract as
+    /// [`Nfa::step_local_into`].
+    pub fn step_all_into<'a>(
+        &self,
+        set: &StateSet,
+        syms: impl IntoIterator<Item = &'a Symbol>,
+        out: &mut StateSet,
+    ) {
+        out.clear();
         for sym in syms {
             if let Some(sid) = self.sym_id(sym) {
                 for q in set {
                     for &(_, t) in self.succ_slice(q, sid) {
-                        next.insert(t);
+                        out.insert(t);
                     }
                 }
             }
         }
-        self.epsilon_closure_inplace(next)
+        self.epsilon_close_mut(out);
     }
 
     /// The set of states reachable from `set` by reading `word`
     /// (the extended transition relation `Δ*`).
     pub fn delta_star(&self, set: &StateSet, word: &[Symbol]) -> StateSet {
         let mut current = self.epsilon_closure(set);
+        let mut next = StateSet::empty(self.num_states);
         for sym in word {
             if current.is_empty() {
                 break;
             }
-            current = self.step(&current, sym);
+            match self.sym_id(sym) {
+                Some(sid) => {
+                    self.step_local_into(&current, sid, &mut next);
+                    std::mem::swap(&mut current, &mut next);
+                }
+                None => {
+                    current.clear();
+                    break;
+                }
+            }
         }
         current
     }
@@ -495,20 +537,22 @@ impl Nfa {
         let mut seen: FxHashSet<StateSet> = FxHashSet::default();
         queue.push_back((start.clone(), Vec::new()));
         seen.insert(start);
+        // One scratch frontier reused across every (set, symbol) expansion;
+        // only fresh subsets are cloned out of it into the queue.
+        let mut next = StateSet::empty(self.num_states);
         while let Some((set, word)) = queue.pop_front() {
             if set.intersects(&finals) {
                 return Some(word);
             }
             for &(sym, sid) in &syms {
-                let next = self.step_local(&set, sid);
-                if next.is_empty() {
+                self.step_local_into(&set, sid, &mut next);
+                if next.is_empty() || seen.contains(&next) {
                     continue;
                 }
-                if seen.insert(next.clone()) {
-                    let mut w = word.clone();
-                    w.push(sym);
-                    queue.push_back((next, w));
-                }
+                seen.insert(next.clone());
+                let mut w = word.clone();
+                w.push(sym);
+                queue.push_back((next.clone(), w));
             }
         }
         None
@@ -532,13 +576,14 @@ impl Nfa {
                     }
                 }
             }
+            let mut next = StateSet::empty(self.num_states);
             for (set, word) in frontier {
                 for &(sym, sid) in &syms {
-                    let next = self.step_local(&set, sid);
+                    self.step_local_into(&set, sid, &mut next);
                     if !next.is_empty() {
                         let mut w = word.clone();
                         w.push(sym);
-                        next_frontier.push((next, w));
+                        next_frontier.push((next.clone(), w));
                     }
                 }
             }

@@ -316,7 +316,7 @@ fn suffix_rejects_somewhere(d: &Dfa, q: StateId, suffixes: &Nfa) -> bool {
     let mut queue = VecDeque::from([start]);
     while let Some((sset, dq)) = queue.pop_front() {
         let suffix_ends_here = sset.intersects(&s_finals);
-        let accepts = dq.map(|t| d.is_final(t)).unwrap_or(false);
+        let accepts = dq.is_some_and(|t| d.is_final(t));
         if suffix_ends_here && !accepts {
             return true;
         }

@@ -472,7 +472,7 @@ impl Parser {
     }
 
     fn here(&self) -> usize {
-        self.tokens.get(self.pos).map(|(_, p)| *p).unwrap_or(self.input_len)
+        self.tokens.get(self.pos).map_or(self.input_len, |(_, p)| *p)
     }
 
     fn parse(mut self) -> Result<Regex, AutomataError> {

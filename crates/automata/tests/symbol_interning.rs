@@ -38,7 +38,7 @@ fn text_pool() -> Vec<String> {
         "#k0", "#s12", "f$a",
     ]
     .iter()
-    .map(|s| s.to_string())
+    .map(ToString::to_string)
     .collect();
     let mut rng = Rng(0x5eed_cafe);
     for _ in 0..200 {
@@ -246,7 +246,7 @@ fn interning_survives_a_panicking_interleaving() {
             })
         })
         .collect();
-    let panicked = handles.into_iter().map(|h| h.join()).filter(Result::is_err).count();
+    let panicked = handles.into_iter().map(std::thread::JoinHandle::join).filter(Result::is_err).count();
     assert_eq!(panicked, THREADS / 2, "exactly the even threads panic");
     // Symbol creation still works after the panicking interleaving, through
     // both the infallible and the fallible entry points, with stable ids.

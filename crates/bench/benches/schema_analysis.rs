@@ -1,0 +1,76 @@
+//! Static analysis: the exact definability decision procedures and the
+//! diagnostic passes of `dxml-analysis` over the bench workloads.
+//!
+//! Cases (all warm — the procedures have no caches, every call does its
+//! full closure construction plus equivalence check):
+//!
+//! * `definable_dtd_warm/n=..` — [`dtd_definable`] on the table-family DTD
+//!   seen as an EDTD: the *definable* path, where the candidate closure is
+//!   equivalent and a witness schema is returned;
+//! * `definable_box_warm/n=..` — [`dtd_definable`] on the genuinely
+//!   specialised [`box_target`]: the *refuting* path, where the candidate
+//!   strictly grows and the equivalence check produces a counterexample;
+//! * `sdtd_definable_warm/n=..` — [`sdtd_definable`] on the same two
+//!   shapes (the box target is position-guided, so it is not single-type
+//!   definable either);
+//! * `analyze_design_warm/n=..` / `analyze_box_warm/n=..` — the full
+//!   diagnostic passes over the design workloads (clean corpora: the
+//!   passes must come back empty, asserted below).
+
+use dxml_analysis::{analyze_box_design, analyze_design, dtd_definable, sdtd_definable, Severity};
+use dxml_bench::{box_target, box_workload, design_workload, dtd_family, section, Session};
+use dxml_automata::RFormalism;
+
+fn main() {
+    let mut session = Session::new("schema_analysis");
+
+    section("schema_analysis: definability decision procedures");
+    for n in [4usize, 8, 12] {
+        let family = dtd_family(RFormalism::Nre, n, 7).to_edtd();
+        // The family is a plain DTD: both procedures must find witnesses.
+        let witness = dtd_definable(&family).expect("DTD languages are DTD-definable");
+        assert!(witness.to_edtd().equivalent(&family), "witness must be equivalent");
+        assert!(sdtd_definable(&family).is_some(), "DTD languages are SDTD-definable");
+        session.bench(&format!("definable_dtd_warm/n={n}"), 15, || {
+            dtd_definable(&family).is_some()
+        });
+        session.bench(&format!("sdtd_definable_warm/n={n}"), 15, || {
+            sdtd_definable(&family).is_some()
+        });
+    }
+    for n in [2usize, 4, 6] {
+        let target = box_target(n);
+        // Position-guided specialisation: refutable in both classes.
+        assert!(dtd_definable(&target).is_none(), "box targets are not DTD-definable");
+        assert!(sdtd_definable(&target).is_none(), "box targets are not SDTD-definable");
+        session.bench(&format!("definable_box_warm/n={n}"), 15, || {
+            dtd_definable(&target).is_none()
+        });
+    }
+
+    section("schema_analysis: diagnostic passes over the design workloads");
+    for n in [8usize, 16, 32] {
+        let (problem, doc) = design_workload(n, 3, 7);
+        let report = analyze_design(&problem, &doc);
+        assert!(
+            !report.iter().any(|d| d.severity == Severity::Error),
+            "the bench design corpus must stay error-free: {report:?}"
+        );
+        session.bench(&format!("analyze_design_warm/n={n}"), 15, || {
+            analyze_design(&problem, &doc).len()
+        });
+    }
+    for n in [4usize, 8, 16] {
+        let (problem, doc) = box_workload(n);
+        let report = analyze_box_design(&problem, &doc);
+        assert!(
+            !report.iter().any(|d| d.severity == Severity::Error),
+            "the bench box corpus must stay error-free: {report:?}"
+        );
+        session.bench(&format!("analyze_box_warm/n={n}"), 15, || {
+            analyze_box_design(&problem, &doc).len()
+        });
+    }
+
+    session.finish();
+}

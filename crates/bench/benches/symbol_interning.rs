@@ -56,7 +56,7 @@ impl SeedNfa {
         self.trans
             .iter()
             .flat_map(|m| m.keys())
-            .filter_map(|k| k.clone())
+            .filter_map(Clone::clone)
             .collect()
     }
 

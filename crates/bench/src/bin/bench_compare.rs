@@ -211,6 +211,8 @@ mod tests {
         assert!(is_gated("subset_construction_interned/n=32"));
         assert!(is_gated("membership_bitset/n=32"));
         assert!(is_gated("outputs_over_bitset/n=16"));
+        assert!(is_gated("definable_dtd_warm/n=12"));
+        assert!(is_gated("analyze_box_warm/n=16"));
         assert!(!is_gated("typecheck_cold/n=16"));
         assert!(!is_gated("subset_construction_strings/n=32"));
         assert!(!is_gated("membership_btreeset/n=32"));

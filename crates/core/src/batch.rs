@@ -22,8 +22,7 @@ pub fn validate_batch<S: AsRef<str> + Sync>(
 ) -> Vec<Result<(), SchemaError>> {
     let validator = StreamValidator::new(sdtd);
     let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
+        .map_or(1, std::num::NonZeroUsize::get)
         .min(documents.len());
     if workers <= 1 {
         return documents.iter().map(|d| validator.validate(d.as_ref())).collect();

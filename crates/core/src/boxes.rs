@@ -192,8 +192,7 @@ fn build_fun_artifacts(
     duta: &Duta,
 ) -> BTreeMap<Symbol, FunArtifacts> {
     let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
+        .map_or(1, std::num::NonZeroUsize::get)
         .min(fun_schemas.len());
     if workers <= 1 {
         return fun_schemas

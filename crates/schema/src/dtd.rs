@@ -9,9 +9,10 @@
 //! The module implements validation, the vertical automaton `dual(τ)`
 //! (Definition 4), the *bound-state* marking and the *reduced* property
 //! (Definition 5) with the reduction algorithm, language emptiness,
-//! equivalence (Proposition 4.1), conversion to [`REdtd`], and the closure
-//! characterisation of Lemma 3.12 (closure under subtree substitution) as a
-//! testing utility.
+//! equivalence (Proposition 4.1) and conversion to [`REdtd`]. The closure
+//! characterisation of Lemma 3.12 (closure under subtree substitution) is
+//! *decided* — not sampled — by `dxml-analysis::dtd_definable`, with the
+//! brute-force closure search living in that crate's property tests.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -342,28 +343,6 @@ impl RDtd {
         dxml_tree::uta::equivalent(&self.to_nuta(), &other.to_nuta())
     }
 
-    /// Tests whether exchanging the subtrees rooted at two equally-labelled
-    /// nodes of two valid trees stays in the language — the closure property
-    /// of Lemma 3.12 that characterises DTD-definable languages. Used by
-    /// property tests.
-    pub fn closed_under_subtree_substitution_sample(&self, t1: &XTree, t2: &XTree) -> bool {
-        if !self.accepts(t1) || !self.accepts(t2) {
-            return true;
-        }
-        for x1 in t1.document_order() {
-            for x2 in t2.document_order() {
-                if t1.label(x1) != t2.label(x2) {
-                    continue;
-                }
-                let swapped1 = t1.with_subtree_replaced(x1, &t2.subtree(x2));
-                let swapped2 = t2.with_subtree_replaced(x2, &t1.subtree(x1));
-                if !self.accepts(&swapped1) || !self.accepts(&swapped2) {
-                    return false;
-                }
-            }
-        }
-        true
-    }
 }
 
 impl fmt::Debug for RDtd {
@@ -508,20 +487,6 @@ mod tests {
         let dtd = eurostat_dtd();
         let sample = dtd.sample_tree().expect("non-empty language");
         assert!(dtd.accepts(&sample));
-    }
-
-    #[test]
-    fn closure_under_subtree_substitution() {
-        let dtd = eurostat_dtd();
-        let t1 = parse_term(
-            "eurostat(averages(Good index(value year)) nationalIndex(country Good index(value year)))",
-        )
-        .unwrap();
-        let t2 = parse_term(
-            "eurostat(averages(Good index(value year) Good index(value year)) nationalIndex(country Good value year))",
-        )
-        .unwrap();
-        assert!(dtd.closed_under_subtree_substitution_sample(&t1, &t2));
     }
 
     #[test]

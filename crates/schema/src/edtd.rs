@@ -194,7 +194,7 @@ impl REdtd {
         }
         // Every node is typable, but the root types miss the start name.
         let admitted: Vec<String> =
-            possible[tree.root()].iter().map(|s| s.to_string()).collect();
+            possible[tree.root()].iter().map(ToString::to_string).collect();
         Err(SchemaError::Structural(format!(
             "the root admits specialised types [{}] but not the start `{}`",
             admitted.join(", "),

@@ -51,8 +51,8 @@ impl fmt::Display for SchemaError {
                 write!(f, "root element is `{found}` but the schema requires `{expected}`")
             }
             SchemaError::InvalidContent { path, children, expected } => {
-                let path_s: Vec<String> = path.iter().map(|s| s.to_string()).collect();
-                let ch: Vec<String> = children.iter().map(|s| s.to_string()).collect();
+                let path_s: Vec<String> = path.iter().map(ToString::to_string).collect();
+                let ch: Vec<String> = children.iter().map(ToString::to_string).collect();
                 write!(
                     f,
                     "content of node /{} is [{}], which does not match {expected}",

@@ -166,8 +166,7 @@ fn is_pcdata_only(spec: &str) -> bool {
     inner
         .strip_prefix('(')
         .and_then(|s| s.strip_suffix(')'))
-        .map(|s| s.trim() == "#PCDATA")
-        .unwrap_or(false)
+        .is_some_and(|s| s.trim() == "#PCDATA")
 }
 
 #[cfg(test)]
@@ -231,7 +230,7 @@ mod tests {
             let input = format!("s -> {rhs}");
             match parse_dtd(RFormalism::Nre, &input) {
                 Err(SchemaError::Parse { line: 1, message }) => {
-                    assert!(!message.is_empty(), "error for `{rhs}` must explain itself")
+                    assert!(!message.is_empty(), "error for `{rhs}` must explain itself");
                 }
                 other => panic!("`{input}` must not parse, got {other:?}"),
             }

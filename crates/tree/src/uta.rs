@@ -132,11 +132,13 @@ impl Nuta {
     /// Whether `content` accepts some word `w1…wk` with `wi ∈ child_sets[i]`.
     fn content_accepts_over_sets(content: &Nfa, child_sets: &[&BTreeSet<Symbol>]) -> bool {
         let mut current = content.start_closure();
+        let mut next = StateSet::empty(content.num_states());
         for set in child_sets {
-            current = content.step_all(&current, set.iter());
-            if current.is_empty() {
+            content.step_all_into(&current, set.iter(), &mut next);
+            if next.is_empty() {
                 return false;
             }
+            std::mem::swap(&mut current, &mut next);
         }
         current.iter().any(|q| content.is_final(q))
     }
@@ -152,7 +154,7 @@ impl Nuta {
                 tree.children(node).iter().map(|&c| &possible[c]).collect();
             let mut states = BTreeSet::new();
             // Only the states with a rule for this label can type the node.
-            for q in self.by_label.get(label).map(Vec::as_slice).unwrap_or(&[]) {
+            for q in self.by_label.get(label).map_or(&[][..], Vec::as_slice) {
                 let content = self.rule(q, label).expect("by_label lists only ruled states");
                 if Self::content_accepts_over_sets(content, &child_sets) {
                     states.insert(*q);
@@ -383,7 +385,7 @@ impl Duta {
 
         // Seed: the start configuration of each label (its output is the
         // subset assigned to a leaf with that label).
-        for (label, b) in building.iter_mut() {
+        for (label, b) in &mut building {
             let start_config: Vec<StateSet> =
                 b.nfas.iter().map(Nfa::start_closure).collect();
             b.configs.push(start_config.clone());
@@ -403,7 +405,12 @@ impl Duta {
         loop {
             let mut changed = false;
             let num_subsets = subsets.len();
-            for (label, b) in building.iter_mut() {
+            for (label, b) in &mut building {
+                // Per-component scratch frontiers reused across every
+                // (config, letter) expansion of this label; only genuinely
+                // new configurations are cloned out of them.
+                let mut scratch: Vec<StateSet> =
+                    b.nfas.iter().map(|nfa| StateSet::empty(nfa.num_states())).collect();
                 let mut config_id = 0;
                 while config_id < b.configs.len() {
                     for letter in 0..num_subsets {
@@ -416,24 +423,22 @@ impl Duta {
                         changed = true;
                         // Advance every component by "any state in the letter
                         // subset".
-                        let current = b.configs[config_id].clone();
-                        let next: Vec<StateSet> = b
-                            .nfas
-                            .iter()
-                            .zip(&current)
-                            .map(|(nfa, comp)| nfa.step_all(comp, &subsets[letter]))
-                            .collect();
-                        let next_id = match b.config_index.get(&next) {
+                        for (slot, (nfa, comp)) in
+                            scratch.iter_mut().zip(b.nfas.iter().zip(&b.configs[config_id]))
+                        {
+                            nfa.step_all_into(comp, &subsets[letter], slot);
+                        }
+                        let next_id = match b.config_index.get(&scratch) {
                             Some(&i) => i,
                             None => {
                                 let i = b.configs.len();
-                                b.configs.push(next.clone());
-                                b.config_index.insert(next.clone(), i);
+                                b.configs.push(scratch.clone());
+                                b.config_index.insert(scratch.clone(), i);
                                 let mut path = b.config_paths[config_id].clone();
                                 path.push(letter);
                                 b.config_paths.push(path);
                                 b.trans.push(Vec::new());
-                                let out = config_output(b, &next);
+                                let out = config_output(b, &scratch);
                                 let idx = *subset_index.entry(out.clone()).or_insert_with(|| {
                                     let children: Vec<XTree> = b.config_paths[i]
                                         .iter()
@@ -640,7 +645,9 @@ impl Duta {
             .collect();
         let finals = word_lang.finals_set();
         let start = (machine.start, word_lang.start_closure());
-        // One BFS state: (machine configuration, NFA frontier bitset).
+        // One BFS state: (machine configuration, NFA frontier bitset). The
+        // frontiers here are content-model sized (inline bitsets), so the
+        // step allocates nothing and a reuse buffer would only add clones.
         type Pair = (usize, StateSet);
         let mut outputs: BTreeMap<usize, Vec<Symbol>> = BTreeMap::new();
         let mut seen: FxHashSet<Pair> = FxHashSet::from_iter([start.clone()]);

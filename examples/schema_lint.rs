@@ -1,0 +1,132 @@
+//! Schema lint: the `dxml-analysis` diagnostic passes over the repo's
+//! schema corpus, with rustc-style output.
+//!
+//! Two parts:
+//!
+//! 1. a **showcase** over a deliberately flawed design, demonstrating every
+//!    diagnostic family (structural, content-model, definability advisory,
+//!    design-level) — its findings never affect the exit code;
+//! 2. the **corpus gate**: every schema and design the examples and bench
+//!    workloads use is linted, and the process exits non-zero if any
+//!    diagnostic of `error` severity survives — the CI entry point.
+//!
+//! ```sh
+//! cargo run --example schema_lint
+//! ```
+
+use std::process::ExitCode;
+
+use dxml::analysis::{analyze_box_design, analyze_design, analyze_schema, AnySchema};
+use dxml::automata::{RFormalism, Regex, RSpec};
+use dxml::core::{DesignProblem, DistributedDoc};
+use dxml::schema::{RDtd, REdtd};
+use dxml::{Diagnostic, Severity};
+
+/// Prints a report under a corpus-entry header; returns the error count.
+fn render(entry: &str, report: &[Diagnostic]) -> usize {
+    if report.is_empty() {
+        println!("{entry}: clean");
+        return 0;
+    }
+    println!("{entry}:");
+    for d in report {
+        println!("{d}");
+    }
+    report.iter().filter(|d| d.severity == Severity::Error).count()
+}
+
+/// A design with one of everything: an unsatisfiable element, an
+/// unreachable one, a non-one-unambiguous content model, a shadowed
+/// function name, a never-docked function, a schema-less call and a
+/// secretly-DTD-definable EDTD target in the box variant.
+fn showcase() {
+    println!("== showcase: a deliberately flawed design ==");
+    let mut target = RDtd::parse(
+        RFormalism::Nre,
+        "store -> item*, f?\n\
+         item -> (sku | sku), price\n\
+         loop -> loop\n\
+         orphan -> price",
+    )
+    .expect("showcase DTD parses");
+    target.add_element("f");
+    let mut fschema = RDtd::new(RFormalism::Nre, "item");
+    fschema.set_rule("item", RSpec::Nre(Regex::parse("sku, price").unwrap()));
+    let problem = DesignProblem::new(target)
+        .with_function("f", fschema.clone())
+        .with_function("audit", fschema);
+    let doc = DistributedDoc::parse("store(item(sku price) f ghost)", ["f", "ghost"])
+        .expect("showcase document parses");
+    let report = analyze_design(&problem, &doc);
+    for d in &report {
+        println!("{d}");
+    }
+
+    println!("\n== showcase: an EDTD that is secretly a DTD ==");
+    let mut e = REdtd::new(RFormalism::Nre, "s", "s");
+    e.add_specialization("x", "a");
+    e.add_specialization("y", "a");
+    e.set_rule("s", RSpec::Nre(Regex::parse("x y*").unwrap()));
+    e.set_rule("x", RSpec::Nre(Regex::parse("b").unwrap()));
+    e.set_rule("y", RSpec::Nre(Regex::parse("b").unwrap()));
+    for d in analyze_schema(AnySchema::Edtd(&e)) {
+        println!("{d}");
+    }
+}
+
+/// Lints every schema and design of the example/bench corpus; returns the
+/// number of error-severity diagnostics.
+fn corpus_gate() -> usize {
+    println!("\n== corpus gate ==");
+    let mut errors = 0;
+
+    // The Figure 3 Eurostat type driving the paper examples.
+    let eurostat = RDtd::parse_w3c(
+        RFormalism::Dre,
+        r#"<!ELEMENT eurostat (averages, nationalIndex*)>
+           <!ELEMENT averages (Good, index+)+>
+           <!ELEMENT nationalIndex (country, Good, (index | (value, year)))>
+           <!ELEMENT index (value, year)>
+           <!ELEMENT country (#PCDATA)>
+           <!ELEMENT Good (#PCDATA)>
+           <!ELEMENT value (#PCDATA)>
+           <!ELEMENT year (#PCDATA)>"#,
+    )
+    .expect("Figure 3 parses as a dRE-DTD");
+    errors += render("eurostat (Figure 3)", &analyze_schema(AnySchema::Dtd(&eurostat)));
+
+    // The one-c specialised target of the box-design example.
+    let mut one_c = REdtd::new(RFormalism::Nre, "s", "s");
+    one_c.add_specialization("ab", "a");
+    one_c.add_specialization("ac", "a");
+    one_c.set_rule("s", RSpec::Nre(Regex::parse("ab* ac ab*").unwrap()));
+    one_c.set_rule("ab", RSpec::Nre(Regex::parse("b").unwrap()));
+    one_c.set_rule("ac", RSpec::Nre(Regex::parse("c").unwrap()));
+    errors += render("one-c target (box_design)", &analyze_schema(AnySchema::Edtd(&one_c)));
+
+    // The seeded bench families, one schema per formalism.
+    for formalism in RFormalism::ALL {
+        let dtd = dxml_bench::dtd_family(formalism, 12, 7);
+        let entry = format!("bench dtd_family({formalism}, n=12)");
+        errors += render(&entry, &analyze_schema(AnySchema::Dtd(&dtd)));
+    }
+
+    // The bench design workloads, both kinds.
+    let (problem, doc) = dxml_bench::design_workload(12, 3, 7);
+    errors += render("bench design_workload(n=12)", &analyze_design(&problem, &doc));
+    let (problem, doc) = dxml_bench::box_workload(6);
+    errors += render("bench box_workload(n=6)", &analyze_box_design(&problem, &doc));
+
+    errors
+}
+
+fn main() -> ExitCode {
+    showcase();
+    let errors = corpus_gate();
+    if errors > 0 {
+        println!("\nschema lint: {errors} error-severity diagnostic(s) in the corpus");
+        return ExitCode::FAILURE;
+    }
+    println!("\nschema lint: corpus clean (no error-severity diagnostics)");
+    ExitCode::SUCCESS
+}

@@ -8,9 +8,13 @@
 //! * [`schema`] — R-DTDs, R-SDTDs and R-EDTDs.
 //! * [`core`] — distributed documents, design problems and typing
 //!   verification.
+//! * [`analysis`] — static analysis: exact DTD/SDTD-definability decision
+//!   procedures (Lemmas 3.12 and 3.5) and the `DXnnn` diagnostic passes
+//!   over schemas and designs.
 
 #![forbid(unsafe_code)]
 
+pub use dxml_analysis as analysis;
 pub use dxml_automata as automata;
 pub use dxml_core as core;
 pub use dxml_schema as schema;
@@ -18,6 +22,10 @@ pub use dxml_tree as tree;
 
 // The working set of the design layer, re-exported at the crate root so
 // downstream code can `use dxml::{DesignProblem, BoxDesignProblem, …}`.
+pub use dxml_analysis::{
+    analyze_box_design, analyze_design, analyze_schema, dtd_definable, sdtd_definable, AnySchema,
+    Diagnostic, Severity,
+};
 pub use dxml_automata::BoxLang;
 pub use dxml_core::{BoxDesignProblem, BoxVerdict, DesignProblem, DistributedDoc, TypingVerdict};
 pub use dxml_schema::{RDtd, REdtd, RSdtd};

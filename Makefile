@@ -38,18 +38,22 @@ bench:
 
 # Run every bench target once (release profile): exercises the real bench
 # code paths and their assertions, and emits machine-readable
-# BENCH_<name>.json timing files (DXML_BENCH_DIR overrides the destination).
-# Fails when a bench target stops emitting its timing file.
+# BENCH_<name>.json timing files (DXML_BENCH_DIR overrides the destination)
+# plus TELEMETRY_<name>.json engine-counter sidecars (collection is enabled
+# here — smoke mode measures nothing, so the gate costs nothing). Fails when
+# a bench target stops emitting either file.
 bench-smoke:
 	@test -n "$(BENCH_TARGETS)" || { \
 		echo "bench-smoke: no bench targets found in crates/bench/Cargo.toml" >&2; exit 1; }
-	@rm -f $(foreach b,$(BENCH_TARGETS),"$(CURDIR)/BENCH_$(b).json")
-	DXML_BENCH_SMOKE=1 DXML_BENCH_DIR=$(CURDIR) $(CARGO) bench -q
+	@rm -f $(foreach b,$(BENCH_TARGETS),"$(CURDIR)/BENCH_$(b).json" "$(CURDIR)/TELEMETRY_$(b).json")
+	DXML_BENCH_SMOKE=1 DXML_TELEMETRY=1 DXML_BENCH_DIR=$(CURDIR) $(CARGO) bench -q
 	@for b in $(BENCH_TARGETS); do \
 		test -f "$(CURDIR)/BENCH_$$b.json" || { \
 			echo "bench-smoke: BENCH_$$b.json was not emitted" >&2; exit 1; }; \
+		test -f "$(CURDIR)/TELEMETRY_$$b.json" || { \
+			echo "bench-smoke: TELEMETRY_$$b.json was not emitted" >&2; exit 1; }; \
 	done
-	@echo "bench-smoke: all $(words $(BENCH_TARGETS)) timing files emitted"
+	@echo "bench-smoke: all $(words $(BENCH_TARGETS)) timing files and telemetry sidecars emitted"
 
 # Where the committed perf baselines live (full non-smoke runs; refresh
 # with `make bench-baselines` on the reference machine and commit).
@@ -64,6 +68,7 @@ bench-baselines:
 	@mkdir -p $(BASELINE_DIR)
 	@rm -f $(foreach b,$(BENCH_TARGETS),"$(BASELINE_DIR)/BENCH_$(b).json")
 	DXML_BENCH_DIR=$(CURDIR)/$(BASELINE_DIR) $(CARGO) bench -q
+	@rm -f $(BASELINE_DIR)/TELEMETRY_*.json
 	@for b in $(BENCH_TARGETS); do \
 		test -f "$(BASELINE_DIR)/BENCH_$$b.json" || { \
 			echo "bench-baselines: BENCH_$$b.json was not regenerated" >&2; exit 1; }; \

@@ -21,6 +21,8 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 
+use dxml_telemetry as telemetry;
+
 use crate::hash::FxHashMap;
 use crate::nfa::{Nfa, StateId};
 use crate::stateset::StateSet;
@@ -210,12 +212,16 @@ impl Dfa {
         let mut dfa = Dfa::new(1, 0);
         index.insert(start_set.clone(), 0);
         let mut queue = VecDeque::from([start_set]);
+        // Telemetry is flushed once at the end from local tallies, so the
+        // loop itself carries no per-step atomic traffic.
+        let mut steps: u64 = 0;
         while let Some(set) = queue.pop_front() {
             let id = index[&set];
             if set.intersects(&finals) {
                 dfa.set_final(id);
             }
             for (sym, &sid) in syms.iter().zip(&sids) {
+                steps += 1;
                 let next = nfa.step_local(&set, sid);
                 if next.is_empty() {
                     continue;
@@ -232,6 +238,10 @@ impl Dfa {
                 dfa.set_transition(id, *sym, next_id);
             }
         }
+        telemetry::count(telemetry::Metric::SubsetConstructions, 1);
+        telemetry::count(telemetry::Metric::SubsetStates, dfa.num_states as u64);
+        telemetry::count(telemetry::Metric::SubsetTransitions, steps);
+        telemetry::observe(telemetry::Hist::SubsetDfaStates, dfa.num_states as u64);
         dfa
     }
 

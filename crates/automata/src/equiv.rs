@@ -11,6 +11,8 @@
 
 use std::collections::VecDeque;
 
+use dxml_telemetry as telemetry;
+
 use crate::dfa::Dfa;
 use crate::hash::{FxHashMap, FxHashSet};
 use crate::nfa::Nfa;
@@ -123,11 +125,19 @@ fn distinguishing_word(
         word.reverse();
         word
     };
+    // Telemetry tallies are kept local and flushed once on exit, keeping
+    // the BFS loop free of atomic traffic.
+    let mut popped: u64 = 0;
+    let mut edges: u64 = 0;
+    let mut witness = None;
     while let Some((p, q)) = queue.pop_front() {
+        popped += 1;
         if bad(a.is_final(p), b.is_final(q)) {
-            return Some(reconstruct((p, q), &parent));
+            witness = Some(reconstruct((p, q), &parent));
+            break;
         }
         for &(sym, sa, sb) in &ids {
+            edges += 1;
             let (tp, tq) = match (a.delta_local(p, sa), b.delta_local(q, sb)) {
                 (Some(tp), Some(tq)) => (tp, tq),
                 _ => continue,
@@ -138,7 +148,11 @@ fn distinguishing_word(
             }
         }
     }
-    None
+    telemetry::count(telemetry::Metric::EquivBfsRuns, 1);
+    telemetry::count(telemetry::Metric::EquivBfsStates, popped);
+    telemetry::count(telemetry::Metric::EquivBfsTransitions, edges);
+    telemetry::observe(telemetry::Hist::EquivBfsExplored, popped);
+    witness
 }
 
 #[cfg(test)]

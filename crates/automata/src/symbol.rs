@@ -65,7 +65,9 @@ mod intern {
     //! cache-line writes.
 
     use std::sync::atomic::{AtomicU32, Ordering};
-    use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+    use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError, TryLockError};
+
+    use dxml_telemetry::{count, Metric};
 
     use crate::hash::{fx_hash_str, FxHashMap};
 
@@ -146,12 +148,26 @@ mod intern {
         result.unwrap_or_else(PoisonError::into_inner)
     }
 
+    /// Takes an interner lock, counting `interner.shard_contention` when a
+    /// `try_lock` probe finds it already held. Poison is recovered exactly
+    /// as in [`recover`] — see there for why that is sound.
+    fn lock_counted<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+        match mutex.try_lock() {
+            Ok(guard) => guard,
+            Err(TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+            Err(TryLockError::WouldBlock) => {
+                count(Metric::InternShardContention, 1);
+                recover(mutex.lock())
+            }
+        }
+    }
+
     /// Interns `text`, returning its stable process-wide id, or
     /// [`InternerFull`] once the [`MAX_SYMBOLS`] cap is reached.
     pub(super) fn try_intern(text: &str) -> Result<u32, InternerFull> {
         let interner = global();
         let shard = &interner.shards[(fx_hash_str(text) as usize) % SHARDS];
-        if let Some(&id) = recover(shard.lock()).get(text) {
+        if let Some(&id) = lock_counted(shard).get(text) {
             return Ok(id);
         }
         // Miss: resolve the base id *outside* any lock (the base may hash to
@@ -161,7 +177,7 @@ mod intern {
             Some(idx) => Some(try_intern(&text[..idx])?),
             None => None,
         };
-        let mut lookup = recover(shard.lock());
+        let mut lookup = lock_counted(shard);
         if let Some(&id) = lookup.get(text) {
             return Ok(id);
         }
@@ -175,6 +191,14 @@ mod intern {
             })
             .map_err(|_| InternerFull)?;
         let leaked: &'static str = Box::leak(text.to_owned().into_boxed_str());
+        count(Metric::SymbolsInterned, 1);
+        // Leaked text plus the id→record slot and the lookup-map entry.
+        count(
+            Metric::InternTableBytes,
+            (leaked.len()
+                + std::mem::size_of::<OnceLock<Record>>()
+                + std::mem::size_of::<(&str, u32)>()) as u64,
+        );
         let chunk = interner.chunks[id as usize >> CHUNK_BITS]
             .get_or_init(|| (0..CHUNK_SIZE).map(|_| OnceLock::new()).collect());
         let slot_is_fresh = chunk[id as usize & CHUNK_MASK]
@@ -210,7 +234,7 @@ mod intern {
     /// The id of `base~index`, through the specialisation link cache.
     pub(super) fn specialize(base: u32, index: usize) -> u32 {
         let interner = global();
-        let mut spec = recover(interner.spec.lock());
+        let mut spec = lock_counted(&interner.spec);
         if let Some(&id) = spec.get(&(base, index)) {
             return id;
         }

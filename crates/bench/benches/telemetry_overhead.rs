@@ -1,0 +1,102 @@
+//! Disabled-path overhead of the telemetry layer.
+//!
+//! The instrumentation is compiled into every hot path unconditionally; the
+//! contract is that with the gate off each record operation collapses to a
+//! relaxed atomic load plus one predictable branch. This target pins that
+//! contract the same way the other bench targets pin theirs: the `*_warm`
+//! cases run table-family workloads with collection explicitly **off** and
+//! gate against the committed `baselines/BENCH_telemetry_overhead.json`
+//! through `bench_compare` — a disabled-path regression beyond the usual 2×
+//! threshold fails `make bench-compare` exactly like a regression in the
+//! engine itself.
+//!
+//! The `enabled_*` cases rerun the same workloads with collection on. They
+//! are deliberately *not* gated (no `warm` in the name): they document the
+//! enabled-path cost in the timing files without constraining it.
+
+use dxml_bench::{design_workload, section, Session};
+use dxml_schema::{RSdtd, StreamValidator};
+use dxml_telemetry as telemetry;
+
+/// A wide streaming corpus: `n` flat records under one root.
+fn stream_workload(n: usize) -> (StreamValidator, String) {
+    let sdtd = RSdtd::parse(dxml_automata::RFormalism::Nre, "s -> r*\nr -> a, b?").unwrap();
+    let mut doc = String::from("<s>");
+    for i in 0..n {
+        doc.push_str(if i % 2 == 0 { "<r><a/></r>" } else { "<r><a/><b/></r>" });
+    }
+    doc.push_str("</s>");
+    (StreamValidator::new(&sdtd), doc)
+}
+
+fn main() {
+    let mut session = Session::new("telemetry_overhead");
+
+    // The gated section: collection OFF — these medians are the committed
+    // disabled-path baseline of the whole instrumentation layer.
+    telemetry::set_enabled(false);
+    section("telemetry off: instrumented hot paths at baseline speed");
+    for n in [8usize, 16] {
+        let (problem, doc) = design_workload(n, 2, 11);
+        // Warm the problem caches once so the gated cases measure the
+        // instrumented steady state, not the one-off determinisation.
+        assert!(problem.verify_local(&doc).unwrap().is_valid());
+        session.bench(&format!("verify_local_off_warm/n={n}"), 10, || {
+            assert!(problem.verify_local(&doc).unwrap().is_valid());
+        });
+        session.bench(&format!("typecheck_off_warm/n={n}"), 10, || {
+            assert!(problem.typecheck(&doc).unwrap().is_valid());
+        });
+    }
+    for n in [256usize, 1024] {
+        let (validator, doc) = stream_workload(n);
+        session.bench(&format!("stream_off_warm/n={n}"), 10, || {
+            assert!(validator.validate(&doc).is_ok());
+        });
+    }
+    // The record path itself, disabled: must be branch-cheap.
+    session.bench("record_off_warm/count+observe", 20, || {
+        for _ in 0..10_000 {
+            telemetry::count(telemetry::Metric::StreamEvents, 1);
+            telemetry::observe(telemetry::Hist::StreamDocEvents, 42);
+        }
+    });
+    let off_snapshot = telemetry::Snapshot::take();
+    assert_eq!(
+        off_snapshot.nonzero_metrics(),
+        0,
+        "disabled-path cases must not record anything"
+    );
+
+    // The comparison section: collection ON — reported, not gated.
+    telemetry::set_enabled(true);
+    section("telemetry on: the same workloads with collection enabled");
+    for n in [8usize, 16] {
+        let (problem, doc) = design_workload(n, 2, 11);
+        assert!(problem.verify_local(&doc).unwrap().is_valid());
+        session.bench(&format!("enabled_verify_local/n={n}"), 10, || {
+            assert!(problem.verify_local(&doc).unwrap().is_valid());
+        });
+    }
+    for n in [256usize, 1024] {
+        let (validator, doc) = stream_workload(n);
+        session.bench(&format!("enabled_streaming/n={n}"), 10, || {
+            assert!(validator.validate(&doc).is_ok());
+        });
+    }
+    session.bench("enabled_record/count+observe", 20, || {
+        for _ in 0..10_000 {
+            telemetry::count(telemetry::Metric::StreamEvents, 1);
+            telemetry::observe(telemetry::Hist::StreamDocEvents, 42);
+        }
+    });
+    let on_snapshot = telemetry::Snapshot::take();
+    assert!(
+        on_snapshot.nonzero_metrics() >= 5,
+        "enabled cases must actually record (got {} non-zero metrics)",
+        on_snapshot.nonzero_metrics()
+    );
+    println!("\n{}", on_snapshot.render());
+
+    session.finish();
+}

@@ -9,14 +9,18 @@
 //!
 //! Each bench target drives a [`Session`], which collects the results and
 //! writes a machine-readable `BENCH_<name>.json` timing file on
-//! [`Session::finish`] — the perf trajectory of the repo is built from
-//! these files. Two environment variables control the harness:
+//! [`Session::finish`], plus a `TELEMETRY_<name>.json` sidecar
+//! snapshotting the engine's [`dxml_telemetry`] counters and histograms
+//! for the run. Environment variables controlling the harness:
 //!
 //! * `DXML_BENCH_SMOKE=1` — run every case for a single iteration (the
 //!   `make bench-smoke` CI entry point: exercises the real code paths and
 //!   assertions without the timing cost);
 //! * `DXML_BENCH_DIR=<dir>` — where to write the JSON files (default: the
-//!   current directory).
+//!   current directory);
+//! * `DXML_TELEMETRY=1` — enable telemetry collection so the sidecars
+//!   carry real data (`make bench-smoke` sets it; timing runs leave it
+//!   unset so the gated medians measure the disabled path).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -229,7 +233,12 @@ pub fn section(title: &str) {
 // ----------------------------------------------------------------------
 
 /// A bench run that collects every [`BenchResult`] and writes a
-/// machine-readable `BENCH_<name>.json` file on [`Session::finish`].
+/// machine-readable `BENCH_<name>.json` file on [`Session::finish`],
+/// together with a `TELEMETRY_<name>.json` sidecar snapshotting the
+/// process-global [`dxml_telemetry`] registry. The sidecar carries real
+/// data only when collection is on (`DXML_TELEMETRY=1`, as `make
+/// bench-smoke` sets it); in timing runs it stays all-zero so the gated
+/// medians measure the disabled path.
 pub struct Session {
     name: String,
     results: Vec<BenchResult>,
@@ -237,8 +246,11 @@ pub struct Session {
 
 impl Session {
     /// Starts a session for the bench target `name` (the file stem of the
-    /// emitted `BENCH_<name>.json`).
+    /// emitted `BENCH_<name>.json`). Zeroes the telemetry registry so the
+    /// sidecar reflects this target's run alone (each bench target is its
+    /// own process).
     pub fn new(name: &str) -> Session {
+        dxml_telemetry::reset();
         Session { name: name.to_string(), results: Vec::new() }
     }
 
@@ -284,14 +296,18 @@ impl Session {
         self.write_to(std::path::Path::new(&dir));
     }
 
-    /// Writes `BENCH_<name>.json` into `dir` (created if missing).
+    /// Writes `BENCH_<name>.json` and the `TELEMETRY_<name>.json` sidecar
+    /// into `dir` (created if missing).
     pub fn write_to(self, dir: &std::path::Path) {
         std::fs::create_dir_all(dir)
             .unwrap_or_else(|e| panic!("cannot create bench output dir {}: {e}", dir.display()));
         let path = dir.join(format!("BENCH_{}.json", self.name));
         std::fs::write(&path, self.to_json())
             .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
-        println!("\ntimings written to {}", path.display());
+        let sidecar = dir.join(format!("TELEMETRY_{}.json", self.name));
+        std::fs::write(&sidecar, dxml_telemetry::Snapshot::take().to_json())
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", sidecar.display()));
+        println!("\ntimings written to {} (telemetry sidecar alongside)", path.display());
     }
 }
 
@@ -405,5 +421,19 @@ mod tests {
         let written = std::fs::read_to_string(&path).unwrap();
         assert!(written.contains("\"bench\": \"unit_file\""));
         std::fs::remove_file(path).unwrap();
+        // The telemetry sidecar rides along, valid JSON with every metric
+        // name present (all-zero here — collection is off in unit tests).
+        let sidecar = dir.join("TELEMETRY_unit_file.json");
+        let telemetry = std::fs::read_to_string(&sidecar).unwrap();
+        assert!(telemetry.contains("\"counters\""));
+        assert!(telemetry.contains("\"stream.docs\""));
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                telemetry.matches(open).count(),
+                telemetry.matches(close).count(),
+                "unbalanced {open}{close} in telemetry sidecar"
+            );
+        }
+        std::fs::remove_file(sidecar).unwrap();
     }
 }

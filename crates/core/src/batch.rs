@@ -10,6 +10,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use dxml_schema::{RSdtd, SchemaError, StreamValidator};
+use dxml_telemetry as telemetry;
 
 /// Validates every document of a batch against `sdtd` with one streaming
 /// pass each, in parallel. `verdicts[i]` is the verdict for `documents[i]`,
@@ -20,13 +21,21 @@ pub fn validate_batch<S: AsRef<str> + Sync>(
     sdtd: &RSdtd,
     documents: &[S],
 ) -> Vec<Result<(), SchemaError>> {
+    let _span = telemetry::span(telemetry::SpanKind::ValidateBatch);
     let validator = StreamValidator::new(sdtd);
     let workers = std::thread::available_parallelism()
         .map_or(1, std::num::NonZeroUsize::get)
         .min(documents.len());
+    telemetry::count(telemetry::Metric::BatchRuns, 1);
+    telemetry::count(telemetry::Metric::BatchWorkers, workers.max(1) as u64);
     if workers <= 1 {
+        telemetry::count(telemetry::Metric::BatchDocs, documents.len() as u64);
+        telemetry::observe(telemetry::Hist::BatchWorkerDocs, documents.len() as u64);
         return documents.iter().map(|d| validator.validate(d.as_ref())).collect();
     }
+    // A worker's even share of the batch; anything claimed beyond it was
+    // effectively stolen from a slower neighbour.
+    let even_share = (documents.len() / workers) as u64;
     let cursor = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
@@ -38,6 +47,10 @@ pub fn validate_batch<S: AsRef<str> + Sync>(
                         let Some(doc) = documents.get(i) else { break };
                         verdicts.push((i, validator.validate(doc.as_ref())));
                     }
+                    let taken = verdicts.len() as u64;
+                    telemetry::count(telemetry::Metric::BatchDocs, taken);
+                    telemetry::count(telemetry::Metric::BatchSteals, taken.saturating_sub(even_share));
+                    telemetry::observe(telemetry::Hist::BatchWorkerDocs, taken);
                     verdicts
                 })
             })

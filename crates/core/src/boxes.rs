@@ -47,10 +47,11 @@ use std::sync::{Arc, OnceLock};
 
 use dxml_automata::{BoxLang, Dfa, Nfa, RFormalism, RSpec, StateSet, Symbol};
 use dxml_schema::{RDtd, REdtd};
+use dxml_telemetry as telemetry;
 use dxml_tree::uta::Duta;
 use dxml_tree::{uta, NodeId, Nuta};
 
-use crate::design::{Origin, ResidualDfaCache, TypingVerdict};
+use crate::design::{CacheStats, Origin, ResidualDfaCache, TypingVerdict};
 use crate::doc::DistributedDoc;
 use crate::error::DesignError;
 
@@ -243,6 +244,8 @@ pub struct BoxTargetCache {
 
 impl BoxTargetCache {
     fn build(target: &REdtd, fun_schemas: &BTreeMap<Symbol, REdtd>) -> BoxTargetCache {
+        let _span = telemetry::span(telemetry::SpanKind::BoxTargetCacheBuild);
+        telemetry::count(telemetry::Metric::BoxTargetCacheBuilds, 1);
         let duta = target.to_nuta().determinize(&target.labels());
         let accepting = StateSet::from_iter(duta.num_states(), duta.accepting_states());
         let empty_subset = duta.empty_subset();
@@ -279,10 +282,10 @@ impl BoxTargetCache {
         dfa
     }
 
-    /// How many per-label machines have been determinised for residuals so
-    /// far (exposed so tests and benches can pin the memoisation).
-    pub fn residual_dfas_built(&self) -> usize {
-        self.machine_dfas.len()
+    /// Residual-memo misses and hits so far (backs
+    /// [`BoxDesignProblem::cache_stats`]).
+    pub(crate) fn residual_stats(&self) -> (u64, u64) {
+        self.machine_dfas.stats()
     }
 
     /// The target's specialised tree automaton, determinised (bottom-up)
@@ -486,6 +489,23 @@ impl BoxDesignProblem {
         self.target.get().is_some()
     }
 
+    /// Point-in-time statistics of this problem's caches. The extension
+    /// memo fields stay zero — box problems build their extension automata
+    /// per call and memoise only the target-derived artefacts.
+    pub fn cache_stats(&self) -> CacheStats {
+        let (residual_dfa_builds, residual_dfa_hits) = self
+            .target
+            .get()
+            .map_or((0, 0), BoxTargetCache::residual_stats);
+        CacheStats {
+            target_cache_built: self.target_cache_ready(),
+            residual_dfa_builds,
+            residual_dfa_hits,
+            ext_memo_hits: 0,
+            ext_memo_misses: 0,
+        }
+    }
+
     fn require_schemas(&self, doc: &DistributedDoc) -> Result<(), DesignError> {
         for f in doc.called_functions() {
             if !self.fun_schemas.contains_key(&f) {
@@ -578,6 +598,7 @@ impl BoxDesignProblem {
     /// a full counterexample document and the typing failure it triggers
     /// ([`REdtd::validate`]).
     pub fn typecheck(&self, doc: &DistributedDoc) -> Result<TypingVerdict, DesignError> {
+        let _span = telemetry::span(telemetry::SpanKind::Typecheck);
         let ext = self.extension_nuta(doc)?;
         match uta::included_in_duta(&ext, &self.target_cache().duta) {
             Ok(()) => Ok(TypingVerdict::Valid),
@@ -623,6 +644,7 @@ impl BoxDesignProblem {
     /// If some called function has an empty schema language no extension
     /// exists and the verdict is vacuously valid.
     pub fn verify_local(&self, doc: &DistributedDoc) -> Result<BoxVerdict, DesignError> {
+        let _span = telemetry::span(telemetry::SpanKind::VerifyLocal);
         self.require_schemas(doc)?;
         let cache = self.target_cache();
         let kernel = doc.kernel();
@@ -738,6 +760,7 @@ impl BoxDesignProblem {
         doc: &DistributedDoc,
         function: impl Into<Symbol>,
     ) -> Result<REdtd, DesignError> {
+        let _span = telemetry::span(telemetry::SpanKind::PerfectSchema);
         let f = function.into();
         let kernel = doc.kernel();
 

@@ -21,9 +21,11 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use dxml_automata::equiv::included as str_included;
+use dxml_telemetry as telemetry;
 use dxml_automata::{Dfa, Nfa, Symbol};
 use dxml_schema::{RDtd, SchemaError};
 use dxml_tree::uta::Duta;
@@ -80,6 +82,12 @@ impl ReducedFun {
 #[derive(Default)]
 pub(crate) struct ResidualDfaCache {
     memo: Mutex<BTreeMap<Symbol, Arc<Dfa>>>,
+    /// Memo misses (machines actually determinised) and hits, kept as plain
+    /// per-problem atomics so test assertions stay deterministic even when
+    /// the process-global telemetry registry is shared with other work; the
+    /// same events are mirrored into `cache.residual_dfa_builds`/`_hits`.
+    builds: AtomicU64,
+    hits: AtomicU64,
 }
 
 impl ResidualDfaCache {
@@ -88,16 +96,20 @@ impl ResidualDfaCache {
     pub(crate) fn get_or_build(&self, key: &Symbol, make: impl FnOnce() -> Dfa) -> Arc<Dfa> {
         let mut memo = self.memo.lock().expect("residual DFA memo poisoned");
         if let Some(d) = memo.get(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            telemetry::count(telemetry::Metric::ResidualDfaHits, 1);
             return Arc::clone(d);
         }
         let d = Arc::new(make());
         memo.insert(*key, Arc::clone(&d));
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        telemetry::count(telemetry::Metric::ResidualDfaBuilds, 1);
         d
     }
 
-    /// How many machines have been determinised so far (used by tests).
-    pub(crate) fn len(&self) -> usize {
-        self.memo.lock().expect("residual DFA memo poisoned").len()
+    /// Memo misses and hits so far, in that order.
+    pub(crate) fn stats(&self) -> (u64, u64) {
+        (self.builds.load(Ordering::Relaxed), self.hits.load(Ordering::Relaxed))
     }
 }
 
@@ -107,13 +119,16 @@ impl Clone for ResidualDfaCache {
             memo: Mutex::new(
                 self.memo.lock().map(|memo| memo.clone()).unwrap_or_default(),
             ),
+            builds: AtomicU64::new(self.builds.load(Ordering::Relaxed)),
+            hits: AtomicU64::new(self.hits.load(Ordering::Relaxed)),
         }
     }
 }
 
 impl fmt::Debug for ResidualDfaCache {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "ResidualDfaCache({} machines)", self.len())
+        let machines = self.memo.lock().map_or(0, |memo| memo.len());
+        write!(f, "ResidualDfaCache({machines} machines)")
     }
 }
 
@@ -137,6 +152,8 @@ pub struct TargetCache {
 
 impl TargetCache {
     fn build(target: &RDtd, fun_schemas: &BTreeMap<Symbol, RDtd>) -> TargetCache {
+        let _span = telemetry::span(telemetry::SpanKind::TargetCacheBuild);
+        telemetry::count(telemetry::Metric::TargetCacheBuilds, 1);
         let nuta = target.to_uta();
         let duta = nuta.determinize(target.alphabet());
         let content_nfas = target
@@ -192,11 +209,33 @@ impl TargetCache {
             .get_or_build(name, || Dfa::from_nfa(self.content_nfa(name)))
     }
 
-    /// How many content models have been determinised for residuals so far
-    /// (exposed so tests and benches can pin the memoisation).
-    pub fn residual_dfas_built(&self) -> usize {
-        self.residual_dfas.len()
+    /// Residual-memo misses and hits so far (backs
+    /// [`DesignProblem::cache_stats`]).
+    pub(crate) fn residual_stats(&self) -> (u64, u64) {
+        self.residual_dfas.stats()
     }
+}
+
+/// Point-in-time cache statistics of one design problem: how much of the
+/// lazily built machinery exists and how well the memos are doing. The same
+/// events feed the process-global [`dxml_telemetry`] counters
+/// (`cache.residual_dfa_*`, `design.ext_memo_*`); these per-problem numbers
+/// are kept separately so assertions about *this* problem stay exact no
+/// matter what other problems in the process are doing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct CacheStats {
+    /// Whether the target cache (determinised target automaton, content
+    /// NFAs, reduced function schemas) has been built.
+    pub target_cache_built: bool,
+    /// Residual-DFA memo misses: content models actually determinised.
+    pub residual_dfa_builds: u64,
+    /// Residual-DFA memo hits: determinisations served from the memo.
+    pub residual_dfa_hits: u64,
+    /// Extension-automaton FIFO memo hits.
+    pub ext_memo_hits: u64,
+    /// Extension-automaton FIFO memo misses (automaton built).
+    pub ext_memo_misses: u64,
 }
 
 /// A typing-verification instance: the target document schema `τ` plus one
@@ -217,6 +256,10 @@ pub struct DesignProblem {
     target: OnceLock<TargetCache>,
     /// FIFO memo of extension automata, keyed by the document.
     ext_cache: Mutex<Vec<(DistributedDoc, Arc<Nuta>)>>,
+    /// Extension-memo hits/misses for [`DesignProblem::cache_stats`]
+    /// (mirrored into the global `design.ext_memo_*` telemetry counters).
+    ext_hits: AtomicU64,
+    ext_misses: AtomicU64,
 }
 
 impl Clone for DesignProblem {
@@ -228,6 +271,8 @@ impl Clone for DesignProblem {
             ext_cache: Mutex::new(
                 self.ext_cache.lock().map(|entries| entries.clone()).unwrap_or_default(),
             ),
+            ext_hits: AtomicU64::new(self.ext_hits.load(Ordering::Relaxed)),
+            ext_misses: AtomicU64::new(self.ext_misses.load(Ordering::Relaxed)),
         }
     }
 }
@@ -365,6 +410,8 @@ impl DesignProblem {
             fun_schemas: BTreeMap::new(),
             target: OnceLock::new(),
             ext_cache: Mutex::new(Vec::new()),
+            ext_hits: AtomicU64::new(0),
+            ext_misses: AtomicU64::new(0),
         }
     }
 
@@ -425,6 +472,25 @@ impl DesignProblem {
         self.target.get().is_some()
     }
 
+    /// Point-in-time statistics of this problem's caches: target-cache
+    /// readiness, residual-DFA memo builds/hits and extension-memo
+    /// hits/misses. Exact for this problem regardless of other work in the
+    /// process; the same events also feed the global [`dxml_telemetry`]
+    /// counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        let (residual_dfa_builds, residual_dfa_hits) = self
+            .target
+            .get()
+            .map_or((0, 0), TargetCache::residual_stats);
+        CacheStats {
+            target_cache_built: self.target_cache_ready(),
+            residual_dfa_builds,
+            residual_dfa_hits,
+            ext_memo_hits: self.ext_hits.load(Ordering::Relaxed),
+            ext_memo_misses: self.ext_misses.load(Ordering::Relaxed),
+        }
+    }
+
     fn require_schemas(&self, doc: &DistributedDoc) -> Result<(), DesignError> {
         for f in doc.called_functions() {
             if !self.fun_schemas.contains_key(&f) {
@@ -458,9 +524,13 @@ impl DesignProblem {
         self.require_schemas(doc)?;
         if let Ok(entries) = self.ext_cache.lock() {
             if let Some((_, ext)) = entries.iter().find(|(d, _)| d == doc) {
+                self.ext_hits.fetch_add(1, Ordering::Relaxed);
+                telemetry::count(telemetry::Metric::ExtMemoHits, 1);
                 return Ok(Arc::clone(ext));
             }
         }
+        self.ext_misses.fetch_add(1, Ordering::Relaxed);
+        telemetry::count(telemetry::Metric::ExtMemoMisses, 1);
         let ext = Arc::new(self.build_extension_nuta(doc));
         if let Ok(mut entries) = self.ext_cache.lock() {
             if entries.len() >= EXT_CACHE_CAP {
@@ -526,6 +596,7 @@ impl DesignProblem {
     /// [`DesignProblem::target_cache`]); repeated calls only pay for the
     /// extension side.
     pub fn typecheck(&self, doc: &DistributedDoc) -> Result<TypingVerdict, DesignError> {
+        let _span = telemetry::span(telemetry::SpanKind::Typecheck);
         let ext = self.extension_nuta(doc)?;
         match uta::included_in_duta(&ext, self.target_cache().duta()) {
             Ok(()) => Ok(TypingVerdict::Valid),
@@ -558,6 +629,7 @@ impl DesignProblem {
     /// If some called function has an empty schema language no extension
     /// exists and the verdict is vacuously valid.
     pub fn verify_local(&self, doc: &DistributedDoc) -> Result<LocalVerdict, DesignError> {
+        let _span = telemetry::span(telemetry::SpanKind::VerifyLocal);
         self.require_schemas(doc)?;
         let kernel = doc.kernel();
         let tau = &self.doc_schema;

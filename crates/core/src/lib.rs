@@ -42,7 +42,8 @@ pub mod perfect;
 pub use batch::validate_batch;
 pub use boxes::{BoxDesignProblem, BoxTargetCache, BoxVerdict, BoxViolation};
 pub use design::{
-    DesignProblem, LocalVerdict, LocalViolation, Origin, ReducedFun, TargetCache, TypingVerdict,
+    CacheStats, DesignProblem, LocalVerdict, LocalViolation, Origin, ReducedFun, TargetCache,
+    TypingVerdict,
 };
 pub use doc::DistributedDoc;
 pub use error::DesignError;

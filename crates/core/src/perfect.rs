@@ -131,6 +131,7 @@ impl DesignProblem {
         doc: &DistributedDoc,
         function: impl Into<Symbol>,
     ) -> Result<RDtd, DesignError> {
+        let _span = dxml_telemetry::span(dxml_telemetry::SpanKind::PerfectSchema);
         let f = function.into();
         let kernel = doc.kernel();
 

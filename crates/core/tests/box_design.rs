@@ -333,13 +333,21 @@ fn box_residual_determinisations_are_memoised_per_problem() {
     let p = BoxDesignProblem::new(one_c_target);
     let doc = DistributedDoc::parse("s(a(b) f)", ["f"]).unwrap();
     let first = p.perfect_schema(&doc, "f").unwrap();
-    let built_after_first = p.target_cache().residual_dfas_built();
-    assert!(built_after_first >= 1, "the spine walk must go through the machine-DFA memo");
+    let after_first = p.cache_stats();
+    assert!(after_first.target_cache_built);
+    assert!(
+        after_first.residual_dfa_builds >= 1,
+        "the spine walk must go through the machine-DFA memo"
+    );
     let second = p.perfect_schema(&doc, "f").unwrap();
+    let after_second = p.cache_stats();
     assert_eq!(
-        p.target_cache().residual_dfas_built(),
-        built_after_first,
+        after_second.residual_dfa_builds, after_first.residual_dfa_builds,
         "a repeated synthesis must not re-determinise any Moore machine"
+    );
+    assert!(
+        after_second.residual_dfa_hits > after_first.residual_dfa_hits,
+        "the repeated synthesis must be served from the memo"
     );
     assert!(first.equivalent(&second));
 }

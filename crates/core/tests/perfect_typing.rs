@@ -158,13 +158,21 @@ fn residual_determinisations_are_memoised_per_problem() {
     let problem = DesignProblem::new(dtd("s -> a, b*\nb -> c?"));
     let doc = DistributedDoc::parse("s(a f)", ["f"]).unwrap();
     let first = problem.perfect_schema(&doc, "f").unwrap();
-    let built_after_first = problem.target_cache().residual_dfas_built();
-    assert!(built_after_first >= 1, "synthesis must go through the residual-DFA memo");
+    let after_first = problem.cache_stats();
+    assert!(after_first.target_cache_built);
+    assert!(
+        after_first.residual_dfa_builds >= 1,
+        "synthesis must go through the residual-DFA memo"
+    );
     let second = problem.perfect_schema(&doc, "f").unwrap();
+    let after_second = problem.cache_stats();
     assert_eq!(
-        problem.target_cache().residual_dfas_built(),
-        built_after_first,
+        after_second.residual_dfa_builds, after_first.residual_dfa_builds,
         "a repeated synthesis must not determinise any further residual input"
+    );
+    assert!(
+        after_second.residual_dfa_hits > after_first.residual_dfa_hits,
+        "the repeated synthesis must be served from the memo"
     );
     // The memo is an optimisation only: both syntheses agree.
     let fa = first.content(first.start()).to_nfa();

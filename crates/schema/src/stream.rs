@@ -32,6 +32,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use dxml_automata::nfa::StateId;
 use dxml_automata::{Dfa, Symbol};
+use dxml_telemetry as telemetry;
 use dxml_tree::sax::{SaxEvent, SaxParser};
 
 use crate::error::SchemaError;
@@ -125,11 +126,15 @@ impl StreamValidator {
     /// [`StreamValidator::validate`], also reporting peak depth and buffer
     /// use of the run.
     pub fn validate_with_stats(&self, input: &str) -> (Result<(), SchemaError>, StreamStats) {
+        let _span = telemetry::span(telemetry::SpanKind::ValidateStream);
         let mut parser = SaxParser::new(input);
         let mut frames: Vec<Frame> = Vec::new();
         let mut pending: Option<SchemaError> = None;
         let mut buffered = 0usize;
         let mut stats = StreamStats::default();
+        // Event tally kept local and flushed once per document, so the
+        // per-event loop carries no atomic traffic.
+        let mut events: u64 = 0;
         loop {
             let event = match parser.next_event() {
                 Ok(Some(event)) => event,
@@ -138,9 +143,11 @@ impl StreamValidator {
                 // the parse-then-validate composition.
                 Err(e) => {
                     stats.peak_depth = parser.peak_depth();
+                    flush_stream_telemetry(events, stats.peak_depth, true);
                     return (Err(SchemaError::Automata(e)), stats);
                 }
             };
+            events += 1;
             match event {
                 SaxEvent::Open(label) => {
                     enum Act {
@@ -257,8 +264,20 @@ impl StreamValidator {
             }
         }
         stats.peak_depth = parser.peak_depth();
+        flush_stream_telemetry(events, stats.peak_depth, pending.is_some());
         (pending.map_or(Ok(()), Err), stats)
     }
+}
+
+/// One document's worth of streaming telemetry, flushed at end of run.
+fn flush_stream_telemetry(events: u64, peak_depth: usize, violated: bool) {
+    telemetry::count(telemetry::Metric::StreamDocs, 1);
+    telemetry::count(telemetry::Metric::StreamEvents, events);
+    if violated {
+        telemetry::count(telemetry::Metric::StreamViolations, 1);
+    }
+    telemetry::observe(telemetry::Hist::StreamDocEvents, events);
+    telemetry::observe(telemetry::Hist::StreamDocDepth, peak_depth as u64);
 }
 
 #[cfg(test)]

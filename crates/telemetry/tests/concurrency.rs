@@ -1,0 +1,197 @@
+//! 8-thread consistency suite: counter totals are exact, histogram bucket
+//! data never tears, and concurrent snapshots are internally consistent.
+//!
+//! This file is its own test binary, so it owns the process-global gate and
+//! registry; the tests within serialize through `#[test]` + a lock-free
+//! design (each test resets the registry and quiesces its own threads).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Barrier, Mutex, MutexGuard, PoisonError};
+use std::thread;
+
+use dxml_telemetry as telemetry;
+use telemetry::{Hist, Metric, Snapshot};
+
+const THREADS: usize = 8;
+
+/// The registry is process-global, so tests in this binary must not
+/// interleave their reset/record/assert cycles.
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[test]
+fn counter_totals_are_exact_across_threads() {
+    let _guard = lock();
+    telemetry::set_enabled(true);
+    telemetry::reset();
+
+    const PER_THREAD: u64 = 10_000;
+    let barrier = Barrier::new(THREADS);
+    thread::scope(|scope| {
+        for t in 0..THREADS {
+            let barrier = &barrier;
+            scope.spawn(move || {
+                barrier.wait();
+                for i in 0..PER_THREAD {
+                    telemetry::count(Metric::StreamEvents, 1);
+                    telemetry::count(Metric::BatchDocs, (t as u64 + i) % 3);
+                }
+            });
+        }
+    });
+
+    let snap = Snapshot::take();
+    assert_eq!(
+        snap.counter(Metric::StreamEvents),
+        THREADS as u64 * PER_THREAD,
+        "relaxed increments must never lose a count"
+    );
+    // Sum of (t + i) % 3 over all threads and iterations, computed serially.
+    let expected: u64 = (0..THREADS as u64)
+        .flat_map(|t| (0..PER_THREAD).map(move |i| (t + i) % 3))
+        .sum();
+    assert_eq!(snap.counter(Metric::BatchDocs), expected);
+    telemetry::set_enabled(false);
+}
+
+#[test]
+fn histogram_buckets_and_sums_are_exact_across_threads() {
+    let _guard = lock();
+    telemetry::set_enabled(true);
+    telemetry::reset();
+
+    // Each thread observes the same deterministic value sequence; totals
+    // must come out exactly THREADS times the serial expectation.
+    let values: Vec<u64> = (0..2_000u64).map(|i| (i * i + 7) % 1_024).collect();
+    let barrier = Barrier::new(THREADS);
+    thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let barrier = &barrier;
+            let values = &values;
+            scope.spawn(move || {
+                barrier.wait();
+                for &v in values {
+                    telemetry::observe(Hist::EquivBfsExplored, v);
+                }
+            });
+        }
+    });
+
+    let snap = Snapshot::take();
+    let hs = snap.histogram(Hist::EquivBfsExplored);
+    assert_eq!(hs.count, (THREADS * values.len()) as u64);
+    let serial_sum: u64 = values.iter().sum();
+    assert_eq!(hs.sum, THREADS as u64 * serial_sum);
+    // Per-bucket counts must match a serial replay exactly.
+    let mut expected = [0u64; 65];
+    for &v in &values {
+        let k = (u64::BITS - v.leading_zeros()) as usize;
+        expected[k] += THREADS as u64;
+    }
+    assert_eq!(hs.buckets, expected);
+    telemetry::set_enabled(false);
+}
+
+#[test]
+fn snapshots_taken_mid_flight_never_tear() {
+    let _guard = lock();
+    telemetry::set_enabled(true);
+    telemetry::reset();
+
+    // Writers bump two counters in lockstep and observe into one histogram;
+    // a reader thread snapshots continuously. Every snapshot must satisfy
+    // the invariants: histogram count == bucket total (by construction),
+    // monotone counters, and no counter exceeding the final total.
+    let stop = AtomicBool::new(false);
+    const PER_THREAD: u64 = 50_000;
+    thread::scope(|scope| {
+        for _ in 0..THREADS - 1 {
+            scope.spawn(|| {
+                for i in 0..PER_THREAD {
+                    telemetry::count(Metric::SubsetStates, 1);
+                    telemetry::observe(Hist::SubsetDfaStates, i % 64);
+                }
+            });
+        }
+        scope.spawn(|| {
+            let mut last = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let snap = Snapshot::take();
+                let c = snap.counter(Metric::SubsetStates);
+                assert!(c >= last, "counters must be monotone across snapshots");
+                last = c;
+                let hs = snap.histogram(Hist::SubsetDfaStates);
+                // count is derived from buckets, so this is an identity; the
+                // load-bearing check is that it never exceeds what writers
+                // could have produced and sum stays plausible for buckets.
+                assert_eq!(hs.count, hs.buckets.iter().sum::<u64>());
+                assert!(hs.count <= (THREADS as u64 - 1) * PER_THREAD);
+                assert!(hs.sum <= (THREADS as u64 - 1) * PER_THREAD * 63);
+            }
+        });
+        // Scope joins the writers; signal the reader once they are done by
+        // spawning a watcher that flips the flag after the writers' work is
+        // observable complete.
+        scope.spawn(|| {
+            loop {
+                let done = Snapshot::take().counter(Metric::SubsetStates)
+                    == (THREADS as u64 - 1) * PER_THREAD;
+                if done {
+                    stop.store(true, Ordering::Relaxed);
+                    break;
+                }
+                thread::yield_now();
+            }
+        });
+    });
+
+    let final_snap = Snapshot::take();
+    assert_eq!(
+        final_snap.counter(Metric::SubsetStates),
+        (THREADS as u64 - 1) * PER_THREAD
+    );
+    assert_eq!(
+        final_snap.histogram(Hist::SubsetDfaStates).count,
+        (THREADS as u64 - 1) * PER_THREAD
+    );
+    telemetry::set_enabled(false);
+}
+
+#[test]
+fn spans_are_thread_local() {
+    let _guard = lock();
+    telemetry::set_enabled(true);
+    telemetry::reset();
+
+    let barrier = Barrier::new(THREADS);
+    thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let barrier = &barrier;
+            scope.spawn(move || {
+                barrier.wait();
+                for _ in 0..200 {
+                    let _outer = telemetry::span(telemetry::SpanKind::Typecheck);
+                    let _inner = telemetry::span(telemetry::SpanKind::VerifyLocal);
+                    // Depth reflects only this thread's stack, never a
+                    // neighbour's.
+                    assert_eq!(telemetry::span_depth(), 2);
+                    assert_eq!(
+                        telemetry::current_span(),
+                        Some(telemetry::SpanKind::VerifyLocal)
+                    );
+                }
+                assert_eq!(telemetry::span_depth(), 0);
+            });
+        }
+    });
+
+    let snap = Snapshot::take();
+    assert_eq!(snap.counter(Metric::SpanEntered), THREADS as u64 * 400);
+    assert_eq!(
+        snap.histogram(Hist::SpanTypecheckNs).count,
+        THREADS as u64 * 200
+    );
+    telemetry::set_enabled(false);
+}

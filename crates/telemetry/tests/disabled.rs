@@ -1,0 +1,48 @@
+//! Disabled-mode guarantee: with the gate off, record operations mutate
+//! nothing — no counter, no bucket, no span stack.
+//!
+//! This file is its own test binary (own process), so the single test can
+//! trust that nothing else flips the gate underneath it.
+
+use std::thread;
+
+use dxml_telemetry as telemetry;
+use telemetry::{Hist, Metric, Snapshot};
+
+#[test]
+fn disabled_mode_mutates_nothing() {
+    telemetry::set_enabled(false);
+    telemetry::reset();
+
+    // Hammer every record path from several threads while disabled.
+    thread::scope(|scope| {
+        for _ in 0..8 {
+            scope.spawn(|| {
+                for i in 0..5_000u64 {
+                    for m in Metric::ALL {
+                        telemetry::count(m, i % 7 + 1);
+                    }
+                    for h in Hist::ALL {
+                        telemetry::observe(h, i);
+                    }
+                    let _span = telemetry::span(telemetry::SpanKind::ValidateStream);
+                    assert_eq!(telemetry::span_depth(), 0, "disabled span must not push");
+                    assert_eq!(telemetry::current_span(), None);
+                }
+            });
+        }
+    });
+
+    let snap = Snapshot::take();
+    assert!(!snap.enabled);
+    for m in Metric::ALL {
+        assert_eq!(snap.counter(m), 0, "counter {} mutated while disabled", m.name());
+    }
+    for h in Hist::ALL {
+        let hs = snap.histogram(h);
+        assert_eq!(hs.count, 0, "histogram {} mutated while disabled", h.name());
+        assert_eq!(hs.sum, 0);
+        assert!(hs.buckets.iter().all(|&b| b == 0));
+    }
+    assert_eq!(snap.nonzero_metrics(), 0);
+}

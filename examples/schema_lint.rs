@@ -11,8 +11,14 @@
 //!    diagnostic of `error` severity survives — the CI entry point.
 //!
 //! ```sh
-//! cargo run --example schema_lint
+//! cargo run --example schema_lint            # rustc-style text report
+//! cargo run --example schema_lint -- --json  # machine-readable findings
 //! ```
+//!
+//! With `--json` the corpus-gate findings are emitted as one JSON document
+//! (`{"entries": [...], "errors": N}`) in the same machine-readable spirit
+//! as the `BENCH_*`/`TELEMETRY_*` files; the showcase prose is skipped and
+//! the exit-code contract is unchanged.
 
 use std::process::ExitCode;
 
@@ -33,6 +39,55 @@ fn render(entry: &str, report: &[Diagnostic]) -> usize {
         println!("{d}");
     }
     report.iter().filter(|d| d.severity == Severity::Error).count()
+}
+
+/// Minimal JSON string rendering (quotes, backslashes and control
+/// characters escaped), matching the bench harness's dependency-free
+/// output files.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// One corpus entry's findings as a JSON object.
+fn entry_json(entry: &str, report: &[Diagnostic]) -> String {
+    let diags: Vec<String> = report
+        .iter()
+        .map(|d| {
+            let suggestion = d
+                .suggestion
+                .as_deref()
+                .map_or_else(|| "null".to_string(), json_string);
+            format!(
+                r#"      {{"code":{},"severity":{},"location":{},"message":{},"suggestion":{}}}"#,
+                json_string(d.code),
+                json_string(&d.severity.to_string()),
+                json_string(&d.location),
+                json_string(&d.message),
+                suggestion
+            )
+        })
+        .collect();
+    let body = if diags.is_empty() {
+        "[]".to_string()
+    } else {
+        format!("[\n{}\n    ]", diags.join(",\n"))
+    };
+    format!(
+        "    {{\"entry\":{},\"diagnostics\":{}}}",
+        json_string(entry),
+        body
+    )
 }
 
 /// A design with one of everything: an unsatisfiable element, an
@@ -75,10 +130,9 @@ fn showcase() {
 }
 
 /// Lints every schema and design of the example/bench corpus; returns the
-/// number of error-severity diagnostics.
-fn corpus_gate() -> usize {
-    println!("\n== corpus gate ==");
-    let mut errors = 0;
+/// findings per corpus entry, in corpus order.
+fn corpus_findings() -> Vec<(String, Vec<Diagnostic>)> {
+    let mut entries = Vec::new();
 
     // The Figure 3 Eurostat type driving the paper examples.
     let eurostat = RDtd::parse_w3c(
@@ -93,7 +147,7 @@ fn corpus_gate() -> usize {
            <!ELEMENT year (#PCDATA)>"#,
     )
     .expect("Figure 3 parses as a dRE-DTD");
-    errors += render("eurostat (Figure 3)", &analyze_schema(AnySchema::Dtd(&eurostat)));
+    entries.push(("eurostat (Figure 3)".to_string(), analyze_schema(AnySchema::Dtd(&eurostat))));
 
     // The one-c specialised target of the box-design example.
     let mut one_c = REdtd::new(RFormalism::Nre, "s", "s");
@@ -102,27 +156,54 @@ fn corpus_gate() -> usize {
     one_c.set_rule("s", RSpec::Nre(Regex::parse("ab* ac ab*").unwrap()));
     one_c.set_rule("ab", RSpec::Nre(Regex::parse("b").unwrap()));
     one_c.set_rule("ac", RSpec::Nre(Regex::parse("c").unwrap()));
-    errors += render("one-c target (box_design)", &analyze_schema(AnySchema::Edtd(&one_c)));
+    entries.push(("one-c target (box_design)".to_string(), analyze_schema(AnySchema::Edtd(&one_c))));
 
     // The seeded bench families, one schema per formalism.
     for formalism in RFormalism::ALL {
         let dtd = dxml_bench::dtd_family(formalism, 12, 7);
         let entry = format!("bench dtd_family({formalism}, n=12)");
-        errors += render(&entry, &analyze_schema(AnySchema::Dtd(&dtd)));
+        entries.push((entry, analyze_schema(AnySchema::Dtd(&dtd))));
     }
 
     // The bench design workloads, both kinds.
     let (problem, doc) = dxml_bench::design_workload(12, 3, 7);
-    errors += render("bench design_workload(n=12)", &analyze_design(&problem, &doc));
+    entries.push(("bench design_workload(n=12)".to_string(), analyze_design(&problem, &doc)));
     let (problem, doc) = dxml_bench::box_workload(6);
-    errors += render("bench box_workload(n=6)", &analyze_box_design(&problem, &doc));
+    entries.push(("bench box_workload(n=6)".to_string(), analyze_box_design(&problem, &doc)));
 
-    errors
+    entries
+}
+
+/// Error-severity count across all findings.
+fn error_count(entries: &[(String, Vec<Diagnostic>)]) -> usize {
+    entries
+        .iter()
+        .flat_map(|(_, report)| report)
+        .filter(|d| d.severity == Severity::Error)
+        .count()
 }
 
 fn main() -> ExitCode {
+    let json = std::env::args().skip(1).any(|a| a == "--json");
+    if json {
+        let entries = corpus_findings();
+        let errors = error_count(&entries);
+        let rendered: Vec<String> =
+            entries.iter().map(|(entry, report)| entry_json(entry, report)).collect();
+        println!(
+            "{{\n  \"entries\": [\n{}\n  ],\n  \"errors\": {errors}\n}}",
+            rendered.join(",\n")
+        );
+        return if errors > 0 { ExitCode::FAILURE } else { ExitCode::SUCCESS };
+    }
+
     showcase();
-    let errors = corpus_gate();
+    println!("\n== corpus gate ==");
+    let entries = corpus_findings();
+    let mut errors = 0;
+    for (entry, report) in &entries {
+        errors += render(entry, report);
+    }
     if errors > 0 {
         println!("\nschema lint: {errors} error-severity diagnostic(s) in the corpus");
         return ExitCode::FAILURE;

@@ -11,6 +11,8 @@
 //! * [`analysis`] — static analysis: exact DTD/SDTD-definability decision
 //!   procedures (Lemmas 3.12 and 3.5) and the `DXnnn` diagnostic passes
 //!   over schemas and designs.
+//! * [`telemetry`] — zero-dependency counters, histograms and span tracing
+//!   over the whole engine (off by default; `DXML_TELEMETRY=1` enables).
 
 #![forbid(unsafe_code)]
 
@@ -18,6 +20,7 @@ pub use dxml_analysis as analysis;
 pub use dxml_automata as automata;
 pub use dxml_core as core;
 pub use dxml_schema as schema;
+pub use dxml_telemetry as telemetry;
 pub use dxml_tree as tree;
 
 // The working set of the design layer, re-exported at the crate root so

@@ -9,7 +9,7 @@ CARGO ?= cargo
 BENCH_TARGETS := $(shell sed -n 's/^name = "\([a-z0-9_]*\)"$$/\1/p' \
                  crates/bench/Cargo.toml | grep -v '^dxml')
 
-.PHONY: all build test clippy doc fmt-check bench bench-smoke bench-baselines bench-compare examples lint-schemas verify
+.PHONY: all build test clippy doc fmt-check bench bench-smoke bench-baselines bench-compare fuzz-smoke examples lint-schemas verify
 
 all: verify
 
@@ -52,6 +52,10 @@ bench-smoke:
 			echo "bench-smoke: BENCH_$$b.json was not emitted" >&2; exit 1; }; \
 		test -f "$(CURDIR)/TELEMETRY_$$b.json" || { \
 			echo "bench-smoke: TELEMETRY_$$b.json was not emitted" >&2; exit 1; }; \
+		for m in limits.budget_trips limits.deadline_trips limits.cancellations; do \
+			grep -q "\"$$m\"" "$(CURDIR)/TELEMETRY_$$b.json" || { \
+				echo "bench-smoke: TELEMETRY_$$b.json is missing the $$m counter" >&2; exit 1; }; \
+		done; \
 	done
 	@echo "bench-smoke: all $(words $(BENCH_TARGETS)) timing files and telemetry sidecars emitted"
 
@@ -90,6 +94,18 @@ bench-compare:
 	DXML_BENCH_DIR=$(CURDIR)/target/bench-current $(CARGO) bench -q
 	$(CARGO) run -q --release -p dxml-bench --bin bench_compare -- \
 		$(BASELINE_DIR) target/bench-current $(BENCH_COMPARE_THRESHOLD)
+
+# Timeout-wrapped fault-injection suite: the governance tests drive budget
+# trips, expired deadlines, cooperative cancellations and injected worker
+# panics end to end against adversarial (exponential) inputs. The timeout
+# turns a hung governed loop — the exact failure mode budgets exist to
+# prevent — into a hard failure instead of a stuck CI job.
+FUZZ_SMOKE_TIMEOUT ?= 300
+
+fuzz-smoke:
+	timeout $(FUZZ_SMOKE_TIMEOUT) $(CARGO) test -q --release -p dxml-automata --test budget_loops
+	timeout $(FUZZ_SMOKE_TIMEOUT) $(CARGO) test -q --release -p dxml-core --test governance
+	@echo "fuzz-smoke: governance fault suite passed within $(FUZZ_SMOKE_TIMEOUT)s per binary"
 
 examples:
 	$(CARGO) run -q --release --example quickstart

@@ -23,7 +23,9 @@ use std::fmt;
 
 use dxml_telemetry as telemetry;
 
+use crate::error::AutomataError;
 use crate::hash::FxHashMap;
+use crate::limits::Budget;
 use crate::nfa::{Nfa, StateId};
 use crate::stateset::StateSet;
 use crate::symbol::{Alphabet, Symbol, Word};
@@ -198,6 +200,17 @@ impl Dfa {
 
     /// Subset construction: builds the DFA of reachable state sets of `nfa`.
     pub fn from_nfa(nfa: &Nfa) -> Dfa {
+        Dfa::from_nfa_with_budget(nfa, &Budget::unlimited())
+            .expect("the unlimited budget never trips")
+    }
+
+    /// [`Dfa::from_nfa`] under a [`Budget`]: the worst case is exponential
+    /// (2^n subset states), so every `(state set, symbol)` expansion counts
+    /// one step and every discovered subset state counts against the state
+    /// quota. With the unlimited budget the construction is byte-identical
+    /// to [`Dfa::from_nfa`].
+    pub fn from_nfa_with_budget(nfa: &Nfa, budget: &Budget) -> Result<Dfa, AutomataError> {
+        budget.check_interrupts()?;
         // Scan symbols in text order (canonical state numbering), step
         // through the NFA's local ids.
         let syms = {
@@ -211,6 +224,7 @@ impl Dfa {
         let mut index: FxHashMap<StateSet, StateId> = FxHashMap::default();
         let mut dfa = Dfa::new(1, 0);
         index.insert(start_set.clone(), 0);
+        budget.grow_states(1)?;
         let mut queue = VecDeque::from([start_set]);
         // Telemetry is flushed once at the end from local tallies, so the
         // loop itself carries no per-step atomic traffic.
@@ -222,6 +236,7 @@ impl Dfa {
             }
             for (sym, &sid) in syms.iter().zip(&sids) {
                 steps += 1;
+                budget.step()?;
                 let next = nfa.step_local(&set, sid);
                 if next.is_empty() {
                     continue;
@@ -229,6 +244,7 @@ impl Dfa {
                 let next_id = match index.get(&next) {
                     Some(&i) => i,
                     None => {
+                        budget.grow_states(1)?;
                         let i = dfa.add_state();
                         index.insert(next.clone(), i);
                         queue.push_back(next);
@@ -242,7 +258,7 @@ impl Dfa {
         telemetry::count(telemetry::Metric::SubsetStates, dfa.num_states as u64);
         telemetry::count(telemetry::Metric::SubsetTransitions, steps);
         telemetry::observe(telemetry::Hist::SubsetDfaStates, dfa.num_states as u64);
-        dfa
+        Ok(dfa)
     }
 
     /// Completes the transition function over `alphabet` by adding a

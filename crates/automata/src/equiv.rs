@@ -14,7 +14,9 @@ use std::collections::VecDeque;
 use dxml_telemetry as telemetry;
 
 use crate::dfa::Dfa;
+use crate::error::AutomataError;
 use crate::hash::{FxHashMap, FxHashSet};
+use crate::limits::Budget;
 use crate::nfa::Nfa;
 use crate::symbol::{Alphabet, Symbol, Word};
 
@@ -39,28 +41,56 @@ impl Counterexample {
 
 /// Checks `[a] ⊆ [b]`; on failure returns a shortest word in `[a] − [b]`.
 pub fn included(a: &Nfa, b: &Nfa) -> Result<(), Counterexample> {
+    included_with_budget(a, b, &Budget::unlimited())
+        .expect("the unlimited budget never trips")
+}
+
+/// Governed variant of [`included`]. The outer `Result` reports resource
+/// governance (`BudgetExceeded`); the inner one is the inclusion verdict.
+pub fn included_with_budget(
+    a: &Nfa,
+    b: &Nfa,
+    budget: &Budget,
+) -> Result<Result<(), Counterexample>, AutomataError> {
+    budget.check_interrupts()?;
     let alphabet = a.alphabet().union(&b.alphabet());
-    let da = Dfa::from_nfa(a).complete(&alphabet);
-    let db = Dfa::from_nfa(b).complete(&alphabet);
-    if let Some(word) = distinguishing_word(&da, &db, &alphabet, |fa, fb| fa && !fb) {
-        Err(Counterexample { word, in_first: true })
-    } else {
-        Ok(())
-    }
+    let da = Dfa::from_nfa_with_budget(a, budget)?.complete(&alphabet);
+    let db = Dfa::from_nfa_with_budget(b, budget)?.complete(&alphabet);
+    Ok(
+        if let Some(word) = distinguishing_word(&da, &db, &alphabet, |fa, fb| fa && !fb, budget)? {
+            Err(Counterexample { word, in_first: true })
+        } else {
+            Ok(())
+        },
+    )
 }
 
 /// Checks `[a] = [b]`; on failure returns a shortest distinguishing word
 /// together with the side it belongs to.
 pub fn equivalent(a: &Nfa, b: &Nfa) -> Result<(), Counterexample> {
+    equivalent_with_budget(a, b, &Budget::unlimited())
+        .expect("the unlimited budget never trips")
+}
+
+/// Governed variant of [`equivalent`]. The outer `Result` reports resource
+/// governance (`BudgetExceeded`); the inner one is the equivalence verdict.
+pub fn equivalent_with_budget(
+    a: &Nfa,
+    b: &Nfa,
+    budget: &Budget,
+) -> Result<Result<(), Counterexample>, AutomataError> {
+    budget.check_interrupts()?;
     let alphabet = a.alphabet().union(&b.alphabet());
-    let da = Dfa::from_nfa(a).complete(&alphabet);
-    let db = Dfa::from_nfa(b).complete(&alphabet);
-    if let Some(word) = distinguishing_word(&da, &db, &alphabet, |fa, fb| fa != fb) {
-        let in_first = a.accepts(&word);
-        Err(Counterexample { word, in_first })
-    } else {
-        Ok(())
-    }
+    let da = Dfa::from_nfa_with_budget(a, budget)?.complete(&alphabet);
+    let db = Dfa::from_nfa_with_budget(b, budget)?.complete(&alphabet);
+    Ok(
+        if let Some(word) = distinguishing_word(&da, &db, &alphabet, |fa, fb| fa != fb, budget)? {
+            let in_first = a.accepts(&word);
+            Err(Counterexample { word, in_first })
+        } else {
+            Ok(())
+        },
+    )
 }
 
 /// Convenience boolean wrappers.
@@ -98,7 +128,8 @@ fn distinguishing_word(
     b: &Dfa,
     alphabet: &Alphabet,
     bad: impl Fn(bool, bool) -> bool,
-) -> Option<Word> {
+    budget: &Budget,
+) -> Result<Option<Word>, AutomataError> {
     // Resolve each symbol against both local indices once; the BFS then
     // moves on integer ids only. Scanning in text order keeps the witness
     // lexicographically least among the shortest.
@@ -129,11 +160,15 @@ fn distinguishing_word(
     // the BFS loop free of atomic traffic.
     let mut popped: u64 = 0;
     let mut edges: u64 = 0;
-    let mut witness = None;
+    let mut witness = Ok(None);
     while let Some((p, q)) = queue.pop_front() {
         popped += 1;
+        if let Err(trip) = budget.step() {
+            witness = Err(trip);
+            break;
+        }
         if bad(a.is_final(p), b.is_final(q)) {
-            witness = Some(reconstruct((p, q), &parent));
+            witness = Ok(Some(reconstruct((p, q), &parent)));
             break;
         }
         for &(sym, sa, sb) in &ids {

@@ -28,6 +28,19 @@ pub enum AutomataError {
         /// The hard capacity of the intern table (`Symbol::MAX_SYMBOLS`).
         limit: usize,
     },
+    /// A governed operation exceeded its [`Budget`](crate::limits::Budget):
+    /// a quota tripped, the wall-clock deadline passed, or a cooperative
+    /// cancellation was raised. Surfaced by the `*_with_budget` entry
+    /// points; the unlimited default budget never produces it.
+    BudgetExceeded {
+        /// The resource dimension that tripped.
+        resource: crate::limits::Resource,
+        /// The configured limit (milliseconds for deadlines; 0 for
+        /// cancellations, which have no numeric limit).
+        limit: u64,
+        /// The amount spent when the trip was detected.
+        spent: u64,
+    },
 }
 
 impl fmt::Display for AutomataError {
@@ -44,6 +57,13 @@ impl fmt::Display for AutomataError {
             AutomataError::SymbolTableFull { limit } => {
                 write!(f, "symbol intern table is full ({limit} distinct names); rejecting new name")
             }
+            AutomataError::BudgetExceeded { resource, limit, spent } => match resource {
+                crate::limits::Resource::Cancelled => write!(f, "operation cancelled"),
+                crate::limits::Resource::Deadline => {
+                    write!(f, "deadline exceeded after {spent} ms (budget {limit} ms)")
+                }
+                _ => write!(f, "budget exceeded: {spent} {resource} spent of {limit} allowed"),
+            },
         }
     }
 }

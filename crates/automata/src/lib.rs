@@ -24,6 +24,11 @@
 //! * [`RSpec`] — a content model in any of the four formalisms
 //!   (`nFA`, `dFA`, `nRE`, `dRE`) behind a uniform API, mirroring the paper's
 //!   parameter `R`;
+//! * [`limits`] — resource governance: the clonable [`Budget`] handle
+//!   (step/state/node quotas, depth limits, wall-clock deadlines,
+//!   cooperative cancellation) threaded through every worst-case-exponential
+//!   loop by the `*_with_budget` entry points, plus the deterministic
+//!   fault-injection harness in [`limits::faults`];
 //! * [`StateSet`] — fixed-width dense bitset state sets, the frontier
 //!   representation of every subset construction and membership loop in the
 //!   workspace.
@@ -41,6 +46,7 @@ pub mod dre;
 pub mod equiv;
 pub mod error;
 pub mod hash;
+pub mod limits;
 pub mod nfa;
 pub mod quotient;
 pub mod regex;
@@ -53,6 +59,7 @@ pub use dfa::Dfa;
 pub use equiv::{equivalent, included, Counterexample};
 pub use error::AutomataError;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use limits::{Budget, CancelHandle, Resource};
 pub use nfa::Nfa;
 pub use regex::Regex;
 pub use rspec::{RFormalism, RSpec};

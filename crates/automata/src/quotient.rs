@@ -31,7 +31,9 @@
 use std::collections::VecDeque;
 
 use crate::dfa::Dfa;
+use crate::error::AutomataError;
 use crate::hash::{FxHashMap, FxHashSet};
+use crate::limits::Budget;
 use crate::nfa::{Nfa, StateId};
 use crate::stateset::StateSet;
 use crate::symbol::Alphabet;
@@ -41,7 +43,8 @@ impl Nfa {
     /// [self] }`.
     pub fn left_quotient(&self, prefixes: &Nfa) -> Nfa {
         let d = Dfa::from_nfa(self);
-        let entry = states_reachable_via(&d, prefixes);
+        let entry = states_reachable_via(&d, prefixes, &Budget::unlimited())
+            .expect("the unlimited budget never trips");
         // The quotient automaton is `d` with a fresh start state that can
         // silently be in any state some prefix reaches.
         let mut out = d.to_nfa();
@@ -65,7 +68,9 @@ impl Nfa {
             out.unset_final(f);
         }
         for q in 0..d.num_states() {
-            if suffix_reaches_final(&d, q, suffixes) {
+            let reaches = suffix_reaches_final(&d, q, suffixes, &Budget::unlimited())
+                .expect("the unlimited budget never trips");
+            if reaches {
                 out.set_final(q);
             }
         }
@@ -130,6 +135,20 @@ impl Dfa {
     /// determinise each content model once per problem and take residuals by
     /// many different contexts.
     pub fn universal_context_residual(&self, prefixes: &Nfa, suffixes: &Nfa) -> Nfa {
+        self.universal_context_residual_with_budget(prefixes, suffixes, &Budget::unlimited())
+            .expect("the unlimited budget never trips")
+    }
+
+    /// Governed variant of [`Dfa::universal_context_residual`]: the
+    /// set-simulation and the context reachability walks charge the budget
+    /// and abort with [`AutomataError::BudgetExceeded`] when it trips.
+    pub fn universal_context_residual_with_budget(
+        &self,
+        prefixes: &Nfa,
+        suffixes: &Nfa,
+        budget: &Budget,
+    ) -> Result<Nfa, AutomataError> {
+        budget.check_interrupts()?;
         let sigma = self
             .alphabet()
             .union(&prefixes.alphabet())
@@ -138,9 +157,9 @@ impl Dfa {
         let ids = d.resolve_alphabet(&sigma);
         // States the target DFA can be in after reading any realizable
         // prefix. `w` must be good from *all* of them simultaneously.
-        let entry = states_reachable_via(&d, prefixes);
+        let entry = states_reachable_via(&d, prefixes, budget)?;
         // States from which every realizable suffix still accepts.
-        let safe = states_where_all_suffixes_accept(&d, suffixes);
+        let safe = states_where_all_suffixes_accept(&d, suffixes, budget)?;
         // Deterministic set-simulation: track the set of states the entry
         // set evolves into; accept iff it is entirely safe. The empty entry
         // set (no realizable prefix) is vacuously safe, yielding Σ*.
@@ -150,11 +169,13 @@ impl Dfa {
         index.insert(entry, 0);
         let mut out = Nfa::new(1, 0);
         let mut queue = VecDeque::from([0usize]);
+        budget.grow_states(1)?;
         while let Some(id) = queue.pop_front() {
             if sets[id].iter().all(|q| safe.contains(q)) {
                 out.set_final(id);
             }
             for &(sym, sid) in &ids {
+                budget.step()?;
                 let sid = sid.expect("completed DFA mentions every alphabet symbol");
                 let next = StateSet::from_iter(
                     n,
@@ -163,6 +184,7 @@ impl Dfa {
                 let next_id = match index.get(&next) {
                     Some(&i) => i,
                     None => {
+                        budget.grow_states(1)?;
                         let i = out.add_state();
                         sets.push(next.clone());
                         index.insert(next, i);
@@ -173,7 +195,7 @@ impl Dfa {
                 out.add_transition(id, sym, next_id);
             }
         }
-        out.trim()
+        Ok(out.trim())
     }
 
     /// [`Nfa::uniform_context_residual`] against an already-determinised
@@ -184,7 +206,25 @@ impl Dfa {
     ///
     /// Panics if `contexts` has fewer than two entries (no gap to fill).
     pub fn uniform_context_residual(&self, contexts: &[Nfa]) -> Nfa {
+        self.uniform_context_residual_with_budget(contexts, &Budget::unlimited())
+            .expect("the unlimited budget never trips")
+    }
+
+    /// Governed variant of [`Dfa::uniform_context_residual`]: the
+    /// transformation-monoid enumeration and the context reachability walks
+    /// charge the budget and abort with [`AutomataError::BudgetExceeded`]
+    /// when it trips.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `contexts` has fewer than two entries (no gap to fill).
+    pub fn uniform_context_residual_with_budget(
+        &self,
+        contexts: &[Nfa],
+        budget: &Budget,
+    ) -> Result<Nfa, AutomataError> {
         assert!(contexts.len() >= 2, "uniform_context_residual needs at least two contexts");
+        budget.check_interrupts()?;
         let mut sigma = self.alphabet();
         for c in contexts {
             sigma = sigma.union(&c.alphabet());
@@ -195,13 +235,17 @@ impl Dfa {
         // Per inner context: the set-valued reachability map
         // q ↦ {δ*(q, u) : u ∈ [Cᵢ]} (the last context acts as a suffix
         // filter instead).
-        let inner: Vec<Vec<StateSet>> = contexts[..contexts.len() - 1]
-            .iter()
-            .map(|c| (0..n).map(|q| states_reachable_via_from(&d, q, c)).collect())
-            .collect();
+        let mut inner: Vec<Vec<StateSet>> = Vec::with_capacity(contexts.len() - 1);
+        for c in &contexts[..contexts.len() - 1] {
+            let mut maps = Vec::with_capacity(n);
+            for q in 0..n {
+                maps.push(states_reachable_via_from(&d, q, c, budget)?);
+            }
+            inner.push(maps);
+        }
         // After the final `w`, every possible state must accept under *all*
         // words of the last context.
-        let safe = states_where_all_suffixes_accept(&d, &contexts[contexts.len() - 1]);
+        let safe = states_where_all_suffixes_accept(&d, &contexts[contexts.len() - 1], budget)?;
         let accepts = |t: &[StateId]| -> bool {
             // Propagate the set of possible states through u₀ w u₁ w ⋯ w,
             // alternating context reachability and the transformation `t`.
@@ -222,11 +266,13 @@ impl Dfa {
         index.insert(identity, 0);
         let mut out = Nfa::new(1, 0);
         let mut queue = VecDeque::from([0usize]);
+        budget.grow_states(1)?;
         while let Some(id) = queue.pop_front() {
             if accepts(&trans[id]) {
                 out.set_final(id);
             }
             for &(sym, sid) in &ids {
+                budget.step()?;
                 let sid = sid.expect("completed DFA mentions every alphabet symbol");
                 let next: Vec<StateId> = trans[id]
                     .iter()
@@ -235,6 +281,7 @@ impl Dfa {
                 let next_id = match index.get(&next) {
                     Some(&i) => i,
                     None => {
+                        budget.grow_states(1)?;
                         let i = out.add_state();
                         trans.push(next.clone());
                         index.insert(next, i);
@@ -245,19 +292,28 @@ impl Dfa {
                 out.add_transition(id, sym, next_id);
             }
         }
-        out.trim()
+        Ok(out.trim())
     }
 }
 
 /// The set `{ δ*(q₀, u) : u ∈ [prefixes] }` of states of `d` reachable by
 /// reading some word of `[prefixes]` from the start state.
-fn states_reachable_via(d: &Dfa, prefixes: &Nfa) -> StateSet {
-    states_reachable_via_from(d, d.start(), prefixes)
+fn states_reachable_via(
+    d: &Dfa,
+    prefixes: &Nfa,
+    budget: &Budget,
+) -> Result<StateSet, AutomataError> {
+    states_reachable_via_from(d, d.start(), prefixes, budget)
 }
 
 /// The set `{ δ*(q, u) : u ∈ [lang] }` of states of `d` reachable by
 /// reading some word of `[lang]` from the state `q`.
-fn states_reachable_via_from(d: &Dfa, q: StateId, prefixes: &Nfa) -> StateSet {
+fn states_reachable_via_from(
+    d: &Dfa,
+    q: StateId,
+    prefixes: &Nfa,
+    budget: &Budget,
+) -> Result<StateSet, AutomataError> {
     // The product only moves on symbols both machines know; resolve the
     // local ids of the shared alphabet once.
     let ids = shared_ids(d, prefixes);
@@ -268,6 +324,7 @@ fn states_reachable_via_from(d: &Dfa, q: StateId, prefixes: &Nfa) -> StateSet {
     let mut queue = VecDeque::from([start]);
     let mut out = StateSet::empty(d.num_states());
     while let Some((pset, q)) = queue.pop_front() {
+        budget.step()?;
         if pset.intersects(&p_finals) {
             out.insert(q);
         }
@@ -286,21 +343,33 @@ fn states_reachable_via_from(d: &Dfa, q: StateId, prefixes: &Nfa) -> StateSet {
             }
         }
     }
-    out
+    Ok(out)
 }
 
 /// The set of states `q` of `d` such that **every** word of `[suffixes]`
 /// read from `q` ends in an accepting state (missing transitions count as
 /// rejection). States outside the set admit some suffix that rejects.
-fn states_where_all_suffixes_accept(d: &Dfa, suffixes: &Nfa) -> StateSet {
-    StateSet::from_iter(
-        d.num_states(),
-        (0..d.num_states()).filter(|&q| !suffix_rejects_somewhere(d, q, suffixes)),
-    )
+fn states_where_all_suffixes_accept(
+    d: &Dfa,
+    suffixes: &Nfa,
+    budget: &Budget,
+) -> Result<StateSet, AutomataError> {
+    let mut out = StateSet::empty(d.num_states());
+    for q in 0..d.num_states() {
+        if !suffix_rejects_somewhere(d, q, suffixes, budget)? {
+            out.insert(q);
+        }
+    }
+    Ok(out)
 }
 
 /// Whether some word of `[suffixes]` read from `q` fails to accept in `d`.
-fn suffix_rejects_somewhere(d: &Dfa, q: StateId, suffixes: &Nfa) -> bool {
+fn suffix_rejects_somewhere(
+    d: &Dfa,
+    q: StateId,
+    suffixes: &Nfa,
+    budget: &Budget,
+) -> Result<bool, AutomataError> {
     // Unlike the reachability walks, a suffix symbol *unknown* to `d` must
     // still be explored: a missing transition counts as rejection, so the
     // id list covers the whole suffix alphabet with an optional `d` side.
@@ -315,10 +384,11 @@ fn suffix_rejects_somewhere(d: &Dfa, q: StateId, suffixes: &Nfa) -> bool {
     let mut seen: FxHashSet<(StateSet, Option<StateId>)> = FxHashSet::from_iter([start.clone()]);
     let mut queue = VecDeque::from([start]);
     while let Some((sset, dq)) = queue.pop_front() {
+        budget.step()?;
         let suffix_ends_here = sset.intersects(&s_finals);
         let accepts = dq.is_some_and(|t| d.is_final(t));
         if suffix_ends_here && !accepts {
-            return true;
+            return Ok(true);
         }
         for &(dsid, ssid) in &ids {
             let snext = suffixes.step_local(&sset, ssid);
@@ -332,12 +402,17 @@ fn suffix_rejects_somewhere(d: &Dfa, q: StateId, suffixes: &Nfa) -> bool {
             }
         }
     }
-    false
+    Ok(false)
 }
 
 /// Whether some word of `[suffixes]` read from `q` reaches an accepting
 /// state of `d`.
-fn suffix_reaches_final(d: &Dfa, q: StateId, suffixes: &Nfa) -> bool {
+fn suffix_reaches_final(
+    d: &Dfa,
+    q: StateId,
+    suffixes: &Nfa,
+    budget: &Budget,
+) -> Result<bool, AutomataError> {
     let ids = shared_ids(d, suffixes);
     let s_finals = suffixes.finals_set();
     let s0 = suffixes.start_closure();
@@ -345,8 +420,9 @@ fn suffix_reaches_final(d: &Dfa, q: StateId, suffixes: &Nfa) -> bool {
     let mut seen: FxHashSet<(StateSet, StateId)> = FxHashSet::from_iter([start.clone()]);
     let mut queue = VecDeque::from([start]);
     while let Some((sset, dq)) = queue.pop_front() {
+        budget.step()?;
         if sset.intersects(&s_finals) && d.is_final(dq) {
-            return true;
+            return Ok(true);
         }
         for &(dsid, ssid) in &ids {
             let snext = suffixes.step_local(&sset, ssid);
@@ -363,7 +439,7 @@ fn suffix_reaches_final(d: &Dfa, q: StateId, suffixes: &Nfa) -> bool {
             }
         }
     }
-    false
+    Ok(false)
 }
 
 /// The `(dfa local id, nfa local id)` pairs of the symbols both automata

@@ -1,0 +1,126 @@
+//! Unlimited-path overhead of the resource-governance layer.
+//!
+//! Budget checks are compiled into every governed hot loop unconditionally;
+//! the contract is that with the default unlimited budget each check
+//! collapses to one `Option` discriminant branch — no atomics, no clock.
+//! The `*_warm` cases run the ungoverned public APIs (which delegate to the
+//! governed implementations with the unlimited budget) and gate against the
+//! committed `baselines/BENCH_governance_overhead.json` through
+//! `bench_compare` — an unlimited-path regression beyond the usual 2×
+//! threshold fails `make bench-compare` exactly like a regression in the
+//! engine itself.
+//!
+//! The `governed_*` cases rerun the same workloads under a generous finite
+//! budget (relaxed `fetch_add` per step). They are deliberately *not* gated
+//! (no `warm` in the name): they document the governed-path cost in the
+//! timing files without constraining it. The `trip_*` cases pin that tiny
+//! budgets abort promptly instead of running to completion.
+
+use std::time::Duration;
+
+use dxml_automata::limits::faults;
+use dxml_automata::{AutomataError, Budget, Dfa, Regex, Resource};
+use dxml_bench::{design_workload, section, Session};
+use dxml_core::DesignError;
+use dxml_schema::{RSdtd, StreamValidator};
+
+/// A wide streaming corpus: `n` flat records under one root.
+fn stream_workload(n: usize) -> (RSdtd, StreamValidator, String) {
+    let sdtd = RSdtd::parse(dxml_automata::RFormalism::Nre, "s -> r*\nr -> a, b?").unwrap();
+    let mut doc = String::from("<s>");
+    for i in 0..n {
+        doc.push_str(if i % 2 == 0 { "<r><a/></r>" } else { "<r><a/><b/></r>" });
+    }
+    doc.push_str("</s>");
+    let validator = StreamValidator::new(&sdtd);
+    (sdtd, validator, doc)
+}
+
+/// A budget none of the workloads below can exhaust.
+fn generous() -> Budget {
+    Budget::unlimited()
+        .with_step_quota(u64::MAX / 2)
+        .with_state_quota(u64::MAX / 2)
+        .with_node_quota(u64::MAX / 2)
+        .with_deadline(Duration::from_secs(3600))
+}
+
+fn main() {
+    let mut session = Session::new("governance_overhead");
+
+    // The gated section: the ungoverned APIs, i.e. the unlimited budget.
+    // These medians are the committed unlimited-path baseline.
+    section("unlimited budget: governed hot loops at baseline speed");
+    for n in [8usize, 16] {
+        let (problem, doc) = design_workload(n, 2, 11);
+        // Warm the problem caches once so the gated cases measure the
+        // governed steady state, not the one-off determinisation.
+        assert!(problem.verify_local(&doc).unwrap().is_valid());
+        session.bench(&format!("verify_local_warm/n={n}"), 10, || {
+            assert!(problem.verify_local(&doc).unwrap().is_valid());
+        });
+        session.bench(&format!("typecheck_warm/n={n}"), 10, || {
+            assert!(problem.typecheck(&doc).unwrap().is_valid());
+        });
+    }
+    for n in [256usize, 1024] {
+        let (_, validator, doc) = stream_workload(n);
+        session.bench(&format!("stream_warm/n={n}"), 10, || {
+            assert!(validator.validate(&doc).is_ok());
+        });
+    }
+    // The cold determinisation path, unlimited.
+    let blowup = Regex::parse("(a|b)* a (a|b) (a|b) (a|b) (a|b) (a|b) (a|b) (a|b)")
+        .unwrap()
+        .to_nfa();
+    session.bench("determinize_warm/2^8", 10, || {
+        assert!(Dfa::from_nfa(&blowup).num_states() >= 256);
+    });
+
+    // The comparison section: the same workloads under a finite budget —
+    // reported, not gated.
+    section("finite budget: the same workloads, counters armed");
+    for n in [8usize, 16] {
+        let (problem, doc) = design_workload(n, 2, 11);
+        assert!(problem.verify_local(&doc).unwrap().is_valid());
+        let budget = generous();
+        session.bench(&format!("governed_verify_local/n={n}"), 10, || {
+            assert!(problem.verify_local_with_budget(&doc, &budget).unwrap().is_valid());
+        });
+        let budget = generous();
+        session.bench(&format!("governed_typecheck/n={n}"), 10, || {
+            assert!(problem.typecheck_with_budget(&doc, &budget).unwrap().is_valid());
+        });
+    }
+    for n in [256usize, 1024] {
+        let (sdtd, _, doc) = stream_workload(n);
+        let validator = StreamValidator::new(&sdtd);
+        let budget = generous();
+        session.bench(&format!("governed_stream/n={n}"), 10, || {
+            assert!(validator.validate_with_budget(&doc, &budget).is_ok());
+        });
+    }
+    let budget = generous();
+    session.bench("governed_determinize/2^8", 10, || {
+        assert!(Dfa::from_nfa_with_budget(&blowup, &budget).unwrap().num_states() >= 256);
+    });
+
+    // Trips must be prompt: a tiny budget aborts the blowup construction
+    // long before it would finish, and the error is typed.
+    section("fault injection: tiny budgets abort promptly");
+    session.bench("trip_determinize/steps=64", 20, || {
+        assert!(matches!(
+            Dfa::from_nfa_with_budget(&blowup, &faults::budget_tripping_after(64)),
+            Err(AutomataError::BudgetExceeded { resource: Resource::Steps, .. })
+        ));
+    });
+    let (problem, doc) = design_workload(8, 2, 11);
+    session.bench("trip_typecheck/expired_deadline", 20, || {
+        assert!(matches!(
+            problem.typecheck_with_budget(&doc, &faults::expired_deadline()),
+            Err(DesignError::BudgetExceeded { resource: Resource::Deadline, .. })
+        ));
+    });
+
+    session.finish();
+}

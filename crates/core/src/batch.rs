@@ -6,9 +6,20 @@
 //! handed out through an atomic cursor so one pathological document does not
 //! serialise the rest behind it, and the verdicts are returned in the input
 //! order regardless of completion order.
+//!
+//! # Fault isolation
+//!
+//! Each document is validated under [`std::panic::catch_unwind`]: a panic
+//! while validating one document becomes a [`SchemaError::Structural`]
+//! verdict *for that document* and the rest of the batch completes normally.
+//! Only a panic outside the per-document region (a broken invariant of the
+//! harness itself) propagates to the caller.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use dxml_automata::limits::faults;
+use dxml_automata::Budget;
 use dxml_schema::{RSdtd, SchemaError, StreamValidator};
 use dxml_telemetry as telemetry;
 
@@ -16,10 +27,24 @@ use dxml_telemetry as telemetry;
 /// pass each, in parallel. `verdicts[i]` is the verdict for `documents[i]`,
 /// identical to what [`RSdtd::validate_stream`] returns for it alone.
 ///
-/// A panic in any worker propagates to the caller.
+/// A panic while validating one document yields an error verdict for that
+/// document only; the rest of the batch completes.
 pub fn validate_batch<S: AsRef<str> + Sync>(
     sdtd: &RSdtd,
     documents: &[S],
+) -> Vec<Result<(), SchemaError>> {
+    validate_batch_with_budget(sdtd, documents, &Budget::unlimited())
+}
+
+/// Governed variant of [`validate_batch`]: all workers share the same budget
+/// (quotas are pooled across the batch, a deadline or cancellation stops
+/// every worker at its next check), and each verdict surfaces
+/// [`SchemaError::BudgetExceeded`] once the budget trips. Documents
+/// validated before the trip keep their real verdicts.
+pub fn validate_batch_with_budget<S: AsRef<str> + Sync>(
+    sdtd: &RSdtd,
+    documents: &[S],
+    budget: &Budget,
 ) -> Vec<Result<(), SchemaError>> {
     let _span = telemetry::span(telemetry::SpanKind::ValidateBatch);
     let validator = StreamValidator::new(sdtd);
@@ -31,7 +56,11 @@ pub fn validate_batch<S: AsRef<str> + Sync>(
     if workers <= 1 {
         telemetry::count(telemetry::Metric::BatchDocs, documents.len() as u64);
         telemetry::observe(telemetry::Hist::BatchWorkerDocs, documents.len() as u64);
-        return documents.iter().map(|d| validator.validate(d.as_ref())).collect();
+        return documents
+            .iter()
+            .enumerate()
+            .map(|(i, d)| validate_one(&validator, i, d.as_ref(), budget))
+            .collect();
     }
     // A worker's even share of the batch; anything claimed beyond it was
     // effectively stolen from a slower neighbour.
@@ -45,7 +74,7 @@ pub fn validate_batch<S: AsRef<str> + Sync>(
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(doc) = documents.get(i) else { break };
-                        verdicts.push((i, validator.validate(doc.as_ref())));
+                        verdicts.push((i, validate_one(&validator, i, doc.as_ref(), budget)));
                     }
                     let taken = verdicts.len() as u64;
                     telemetry::count(telemetry::Metric::BatchDocs, taken);
@@ -57,11 +86,33 @@ pub fn validate_batch<S: AsRef<str> + Sync>(
             .collect();
         let mut out: Vec<Result<(), SchemaError>> = vec![Ok(()); documents.len()];
         for handle in handles {
+            // The per-document region is unwind-isolated, so a worker join
+            // only fails on a harness bug — that one still propagates.
             for (i, verdict) in handle.join().expect("batch validation worker panicked") {
                 out[i] = verdict;
             }
         }
         out
+    })
+}
+
+/// Validates one document behind an unwind barrier: a panic (including an
+/// injected one from [`faults::arm_worker_panic`]) is converted into an
+/// error verdict for this document alone.
+fn validate_one(
+    validator: &StreamValidator,
+    index: usize,
+    doc: &str,
+    budget: &Budget,
+) -> Result<(), SchemaError> {
+    catch_unwind(AssertUnwindSafe(|| {
+        faults::maybe_inject_worker_panic(index);
+        validator.validate_with_budget(doc, budget)
+    }))
+    .unwrap_or_else(|_| {
+        Err(SchemaError::Structural(format!(
+            "validation of document {index} panicked; verdict unavailable"
+        )))
     })
 }
 

@@ -45,7 +45,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
-use dxml_automata::{BoxLang, Dfa, Nfa, RFormalism, RSpec, StateSet, Symbol};
+use dxml_automata::{AutomataError, BoxLang, Budget, Dfa, Nfa, RFormalism, RSpec, StateSet, Symbol};
 use dxml_schema::{RDtd, REdtd};
 use dxml_telemetry as telemetry;
 use dxml_tree::uta::Duta;
@@ -111,7 +111,7 @@ struct FunArtifacts {
 }
 
 impl FunArtifacts {
-    fn build(schema: &REdtd, duta: &Duta) -> FunArtifacts {
+    fn build(schema: &REdtd, duta: &Duta, budget: &Budget) -> Result<FunArtifacts, AutomataError> {
         let nuta = schema.to_nuta();
         let inhabited = nuta.inhabited_witnesses();
         let restrict =
@@ -159,8 +159,10 @@ impl FunArtifacts {
             loop {
                 let mut changed = false;
                 for spec in &realizable {
+                    budget.step()?;
                     let word_lang = contents[spec].expand_symbols(&slots);
-                    let outs = duta.outputs_over(&label_of(spec), &word_lang, letter_of);
+                    let outs =
+                        duta.outputs_over_with_budget(&label_of(spec), &word_lang, letter_of, budget)?;
                     let entry = d.get_mut(spec).expect("d covers every realizable name");
                     let slot = slots.get_mut(spec).expect("slots covers every realizable name");
                     for &o in outs.keys() {
@@ -176,7 +178,7 @@ impl FunArtifacts {
             }
         }
         let forest_states = forest_restricted.expand_symbols(&slots).trim();
-        FunArtifacts { forest_states, forest_empty, unknown }
+        Ok(FunArtifacts { forest_states, forest_empty, unknown })
     }
 }
 
@@ -187,18 +189,24 @@ impl FunArtifacts {
 /// on many-function designs. Work is handed out through an atomic cursor so
 /// an expensive schema does not serialise the cheap ones behind it, and the
 /// results land in a `BTreeMap`, making the output independent of
-/// completion order. A panic in any worker propagates to the caller.
+/// completion order.
+///
+/// A budget trip in one worker stops that worker after its current build;
+/// the shared budget makes every sibling trip at its own next check, and the
+/// first trip is what the caller sees. A genuine panic in a worker is
+/// re-raised on the calling thread with its original payload.
 fn build_fun_artifacts(
     fun_schemas: &BTreeMap<Symbol, REdtd>,
     duta: &Duta,
-) -> BTreeMap<Symbol, FunArtifacts> {
+    budget: &Budget,
+) -> Result<BTreeMap<Symbol, FunArtifacts>, AutomataError> {
     let workers = std::thread::available_parallelism()
         .map_or(1, std::num::NonZeroUsize::get)
         .min(fun_schemas.len());
     if workers <= 1 {
         return fun_schemas
             .iter()
-            .map(|(f, schema)| (*f, FunArtifacts::build(schema, duta)))
+            .map(|(f, schema)| FunArtifacts::build(schema, duta, budget).map(|a| (*f, a)))
             .collect();
     }
     let entries: Vec<(&Symbol, &REdtd)> = fun_schemas.iter().collect();
@@ -211,16 +219,39 @@ fn build_fun_artifacts(
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(&(f, schema)) = entries.get(i) else { break };
-                        built.push((*f, FunArtifacts::build(schema, duta)));
+                        let artifacts = FunArtifacts::build(schema, duta, budget);
+                        let tripped = artifacts.is_err();
+                        built.push((*f, artifacts));
+                        if tripped {
+                            break;
+                        }
                     }
                     built
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("function-artifact worker panicked"))
-            .collect()
+        let mut out = BTreeMap::new();
+        let mut first_trip: Option<AutomataError> = None;
+        for handle in handles {
+            match handle.join() {
+                Ok(built) => {
+                    for (f, artifacts) in built {
+                        match artifacts {
+                            Ok(a) => {
+                                out.insert(f, a);
+                            }
+                            Err(e) => {
+                                if first_trip.is_none() {
+                                    first_trip = Some(e);
+                                }
+                            }
+                        }
+                    }
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        first_trip.map_or(Ok(out), Err)
     })
 }
 
@@ -244,19 +275,31 @@ pub struct BoxTargetCache {
 
 impl BoxTargetCache {
     fn build(target: &REdtd, fun_schemas: &BTreeMap<Symbol, REdtd>) -> BoxTargetCache {
+        BoxTargetCache::build_with(target, fun_schemas, &Budget::unlimited())
+            .expect("the unlimited budget never trips")
+    }
+
+    /// Governed cache build: the target determinisation and every
+    /// per-function `D`-fixpoint charge `budget`. A trip aborts the build
+    /// and caches nothing.
+    fn build_with(
+        target: &REdtd,
+        fun_schemas: &BTreeMap<Symbol, REdtd>,
+        budget: &Budget,
+    ) -> Result<BoxTargetCache, AutomataError> {
         let _span = telemetry::span(telemetry::SpanKind::BoxTargetCacheBuild);
         telemetry::count(telemetry::Metric::BoxTargetCacheBuilds, 1);
-        let duta = target.to_nuta().determinize(&target.labels());
+        let duta = target.to_nuta().determinize_with_budget(&target.labels(), budget)?;
         let accepting = StateSet::from_iter(duta.num_states(), duta.accepting_states());
         let empty_subset = duta.empty_subset();
-        let funs = build_fun_artifacts(fun_schemas, &duta);
-        BoxTargetCache {
+        let funs = build_fun_artifacts(fun_schemas, &duta, budget)?;
+        Ok(BoxTargetCache {
             duta,
             accepting,
             empty_subset,
             funs,
             machine_dfas: ResidualDfaCache::default(),
-        }
+        })
     }
 
     /// The determinised skeleton of `label`'s Moore machine (transitions
@@ -483,6 +526,20 @@ impl BoxDesignProblem {
         self.target.get_or_init(|| BoxTargetCache::build(&self.doc_schema, &self.fun_schemas))
     }
 
+    /// Governed variant of [`BoxDesignProblem::target_cache`]: the cold
+    /// build (determinisation plus per-function fixpoints) charges `budget`,
+    /// and a trip propagates *without* initialising the cache cell — the
+    /// cell is only set from a fully built cache, so a tripped build leaves
+    /// the problem exactly as it was and a retry with a larger budget
+    /// rebuilds cleanly.
+    pub fn target_cache_with_budget(&self, budget: &Budget) -> Result<&BoxTargetCache, DesignError> {
+        if let Some(cache) = self.target.get() {
+            return Ok(cache);
+        }
+        let built = BoxTargetCache::build_with(&self.doc_schema, &self.fun_schemas, budget)?;
+        Ok(self.target.get_or_init(|| built))
+    }
+
     /// Whether the cache has been built (used by tests and benches to pin
     /// that repeated decisions do not re-determinise).
     pub fn target_cache_ready(&self) -> bool {
@@ -598,9 +655,25 @@ impl BoxDesignProblem {
     /// a full counterexample document and the typing failure it triggers
     /// ([`REdtd::validate`]).
     pub fn typecheck(&self, doc: &DistributedDoc) -> Result<TypingVerdict, DesignError> {
+        self.typecheck_with_budget(doc, &Budget::unlimited())
+    }
+
+    /// Governed variant of [`BoxDesignProblem::typecheck`]: the cache build,
+    /// the extension determinisation and the product walk all charge
+    /// `budget`, and a trip surfaces as [`DesignError::BudgetExceeded`]
+    /// without poisoning the problem's caches.
+    pub fn typecheck_with_budget(
+        &self,
+        doc: &DistributedDoc,
+        budget: &Budget,
+    ) -> Result<TypingVerdict, DesignError> {
         let _span = telemetry::span(telemetry::SpanKind::Typecheck);
+        budget.check_interrupts().map_err(DesignError::from)?;
         let ext = self.extension_nuta(doc)?;
-        match uta::included_in_duta(&ext, &self.target_cache().duta) {
+        let cache = self.target_cache_with_budget(budget)?;
+        match uta::included_in_duta_with_budget(&ext, &cache.duta, budget)
+            .map_err(DesignError::from)?
+        {
             Ok(()) => Ok(TypingVerdict::Valid),
             Err(counterexample) => match self.doc_schema.validate(&counterexample) {
                 Err(violation) => Ok(TypingVerdict::Invalid { counterexample, violation }),
@@ -644,9 +717,21 @@ impl BoxDesignProblem {
     /// If some called function has an empty schema language no extension
     /// exists and the verdict is vacuously valid.
     pub fn verify_local(&self, doc: &DistributedDoc) -> Result<BoxVerdict, DesignError> {
+        self.verify_local_with_budget(doc, &Budget::unlimited())
+    }
+
+    /// Governed variant of [`BoxDesignProblem::verify_local`]: the cache
+    /// build and every per-node Moore-machine image charge `budget`, and a
+    /// trip surfaces as [`DesignError::BudgetExceeded`].
+    pub fn verify_local_with_budget(
+        &self,
+        doc: &DistributedDoc,
+        budget: &Budget,
+    ) -> Result<BoxVerdict, DesignError> {
         let _span = telemetry::span(telemetry::SpanKind::VerifyLocal);
+        budget.check_interrupts().map_err(DesignError::from)?;
         self.require_schemas(doc)?;
-        let cache = self.target_cache();
+        let cache = self.target_cache_with_budget(budget)?;
         let kernel = doc.kernel();
         let called = doc.called_functions();
 
@@ -687,7 +772,10 @@ impl BoxDesignProblem {
                 };
                 word = word.concat(&piece);
             }
-            let outs = cache.duta.outputs_over(label, &word, letter_of);
+            let outs = cache
+                .duta
+                .outputs_over_with_budget(label, &word, letter_of, budget)
+                .map_err(DesignError::from)?;
             // A realizable child word with no typing at all is already a
             // violation — the surrounding kernel always completes it to a
             // full extension (all gap languages are non-empty), and the
@@ -760,7 +848,28 @@ impl BoxDesignProblem {
         doc: &DistributedDoc,
         function: impl Into<Symbol>,
     ) -> Result<REdtd, DesignError> {
+        self.perfect_schema_with_budget(doc, function, &Budget::unlimited())
+    }
+
+    /// Governed variant of [`BoxDesignProblem::perfect_schema`]: the cache
+    /// build, the achievable-set pass, the spine residuals and the
+    /// confirming typecheck oracle all charge `budget`, and a trip surfaces
+    /// as [`DesignError::BudgetExceeded`] with the problem's caches left
+    /// unpoisoned (a retry with a larger budget agrees with the ungoverned
+    /// result).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`BoxDesignProblem::perfect_schema`] reports, plus
+    /// [`DesignError::BudgetExceeded`].
+    pub fn perfect_schema_with_budget(
+        &self,
+        doc: &DistributedDoc,
+        function: impl Into<Symbol>,
+        budget: &Budget,
+    ) -> Result<REdtd, DesignError> {
         let _span = telemetry::span(telemetry::SpanKind::PerfectSchema);
+        budget.check_interrupts().map_err(DesignError::from)?;
         let f = function.into();
         let kernel = doc.kernel();
 
@@ -784,7 +893,7 @@ impl BoxDesignProblem {
                 detail: "its docking points sit under several distinct parents".into(),
             });
         }
-        let cache = self.target_cache();
+        let cache = self.target_cache_with_budget(budget)?;
         let mut forced_empty = false;
         for g in doc.called_functions() {
             if g == f {
@@ -838,7 +947,12 @@ impl BoxDesignProblem {
             }
             achievable[node] = StateSet::from_iter(
                 universe,
-                cache.duta.outputs_over(label, &word, letter_of).keys().copied(),
+                cache
+                    .duta
+                    .outputs_over_with_budget(label, &word, letter_of, budget)
+                    .map_err(DesignError::from)?
+                    .keys()
+                    .copied(),
             );
         }
 
@@ -877,7 +991,9 @@ impl BoxDesignProblem {
                     .expect("spine child is a child of its spine parent");
                 let prefix = segment(&children[..position]);
                 let suffix = segment(&children[position + 1..]);
-                let residual = admissible_children.universal_context_residual(&prefix, &suffix);
+                let residual = admissible_children
+                    .universal_context_residual_with_budget(&prefix, &suffix, budget)
+                    .map_err(DesignError::from)?;
                 safe = StateSet::from_iter(
                     universe,
                     (0..universe).filter(|&j| residual.accepts(&[state_sym(j)])),
@@ -895,17 +1011,22 @@ impl BoxDesignProblem {
                 }
                 contexts.push(segment(&children[prev..]));
                 gap = if positions.len() == 1 {
-                    admissible_children.universal_context_residual(&contexts[0], &contexts[1])
+                    admissible_children.universal_context_residual_with_budget(
+                        &contexts[0],
+                        &contexts[1],
+                        budget,
+                    )
                 } else {
-                    admissible_children.uniform_context_residual(&contexts)
-                };
+                    admissible_children.uniform_context_residual_with_budget(&contexts, budget)
+                }
+                .map_err(DesignError::from)?;
             }
         }
         let gap = if forced_empty { Nfa::empty() } else { gap };
 
         let schema = self.build_perfect(&gap, cache);
         let candidate = self.clone().with_function(f, schema.clone());
-        match candidate.typecheck(doc)? {
+        match candidate.typecheck_with_budget(doc, budget)? {
             TypingVerdict::Valid => Ok(schema),
             TypingVerdict::Invalid { counterexample, .. } => {
                 if positions.len() > 1 {

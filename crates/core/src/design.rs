@@ -22,11 +22,11 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
-use dxml_automata::equiv::included as str_included;
+use dxml_automata::equiv::included_with_budget as str_included_with_budget;
 use dxml_telemetry as telemetry;
-use dxml_automata::{Dfa, Nfa, Symbol};
+use dxml_automata::{AutomataError, Budget, Dfa, Nfa, Symbol};
 use dxml_schema::{RDtd, SchemaError};
 use dxml_tree::uta::Duta;
 use dxml_tree::{uta, Nuta, XTree};
@@ -94,17 +94,32 @@ impl ResidualDfaCache {
     /// The determinisation of the machine identified by `key`, built by
     /// `make` on first use and shared afterwards.
     pub(crate) fn get_or_build(&self, key: &Symbol, make: impl FnOnce() -> Dfa) -> Arc<Dfa> {
-        let mut memo = self.memo.lock().expect("residual DFA memo poisoned");
+        self.get_or_try_build(key, || Ok::<Dfa, AutomataError>(make()))
+            .expect("an infallible build cannot fail")
+    }
+
+    /// Fallible twin of [`ResidualDfaCache::get_or_build`]: a `make` that
+    /// errors (a budget trip) inserts nothing, so the memo stays clean and a
+    /// retry with a larger budget rebuilds from scratch. A `make` that
+    /// *panicked* on an earlier call poisons the mutex; the memo data is
+    /// only ever mutated after a successful build, so the poison is benign
+    /// and recovered from.
+    pub(crate) fn get_or_try_build<E>(
+        &self,
+        key: &Symbol,
+        make: impl FnOnce() -> Result<Dfa, E>,
+    ) -> Result<Arc<Dfa>, E> {
+        let mut memo = self.memo.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(d) = memo.get(key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             telemetry::count(telemetry::Metric::ResidualDfaHits, 1);
-            return Arc::clone(d);
+            return Ok(Arc::clone(d));
         }
-        let d = Arc::new(make());
+        let d = Arc::new(make()?);
         memo.insert(*key, Arc::clone(&d));
         self.builds.fetch_add(1, Ordering::Relaxed);
         telemetry::count(telemetry::Metric::ResidualDfaBuilds, 1);
-        d
+        Ok(d)
     }
 
     /// Memo misses and hits so far, in that order.
@@ -152,10 +167,22 @@ pub struct TargetCache {
 
 impl TargetCache {
     fn build(target: &RDtd, fun_schemas: &BTreeMap<Symbol, RDtd>) -> TargetCache {
+        TargetCache::build_with(target, fun_schemas, &Budget::unlimited())
+            .expect("the unlimited budget never trips")
+    }
+
+    /// Governed cache build: the target determinisation charges `budget`
+    /// and a trip aborts the build *before* anything is cached, so a later
+    /// retry (with a larger budget or none) starts clean.
+    fn build_with(
+        target: &RDtd,
+        fun_schemas: &BTreeMap<Symbol, RDtd>,
+        budget: &Budget,
+    ) -> Result<TargetCache, AutomataError> {
         let _span = telemetry::span(telemetry::SpanKind::TargetCacheBuild);
         telemetry::count(telemetry::Metric::TargetCacheBuilds, 1);
         let nuta = target.to_uta();
-        let duta = nuta.determinize(target.alphabet());
+        let duta = nuta.determinize_with_budget(target.alphabet(), budget)?;
         let content_nfas = target
             .alphabet()
             .iter()
@@ -165,14 +192,14 @@ impl TargetCache {
             .iter()
             .map(|(f, schema)| (*f, ReducedFun::build(schema)))
             .collect();
-        TargetCache {
+        Ok(TargetCache {
             duta,
             content_nfas,
             epsilon: Nfa::epsilon(),
             productive: target.bound_names(),
             reduced_fun,
             residual_dfas: ResidualDfaCache::default(),
-        }
+        })
     }
 
     /// The target's tree automaton, determinised (bottom-up) over the
@@ -207,6 +234,18 @@ impl TargetCache {
     pub fn content_dfa(&self, name: &Symbol) -> Arc<Dfa> {
         self.residual_dfas
             .get_or_build(name, || Dfa::from_nfa(self.content_nfa(name)))
+    }
+
+    /// Governed variant of [`TargetCache::content_dfa`]: a budget trip
+    /// during the determinisation caches nothing, so retrying with a larger
+    /// budget rebuilds the machine cleanly.
+    pub fn content_dfa_with_budget(
+        &self,
+        name: &Symbol,
+        budget: &Budget,
+    ) -> Result<Arc<Dfa>, AutomataError> {
+        self.residual_dfas
+            .get_or_try_build(name, || Dfa::from_nfa_with_budget(self.content_nfa(name), budget))
     }
 
     /// Residual-memo misses and hits so far (backs
@@ -466,6 +505,19 @@ impl DesignProblem {
         self.target.get_or_init(|| TargetCache::build(&self.doc_schema, &self.fun_schemas))
     }
 
+    /// Governed variant of [`DesignProblem::target_cache`]: the cold build
+    /// charges `budget`, and a trip propagates *without* initialising the
+    /// cache cell — the cell is only set from a fully built cache, so a
+    /// tripped build leaves the problem exactly as it was and a retry (with
+    /// any budget) rebuilds from scratch.
+    pub fn target_cache_with_budget(&self, budget: &Budget) -> Result<&TargetCache, DesignError> {
+        if let Some(cache) = self.target.get() {
+            return Ok(cache);
+        }
+        let built = TargetCache::build_with(&self.doc_schema, &self.fun_schemas, budget)?;
+        Ok(self.target.get_or_init(|| built))
+    }
+
     /// Whether the target cache has already been built (used by tests and
     /// benches to pin that repeated decisions do not re-determinise).
     pub fn target_cache_ready(&self) -> bool {
@@ -596,9 +648,25 @@ impl DesignProblem {
     /// [`DesignProblem::target_cache`]); repeated calls only pay for the
     /// extension side.
     pub fn typecheck(&self, doc: &DistributedDoc) -> Result<TypingVerdict, DesignError> {
+        self.typecheck_with_budget(doc, &Budget::unlimited())
+    }
+
+    /// Governed variant of [`DesignProblem::typecheck`]: the target
+    /// determinisation (on a cold cache), the extension-side determinisation
+    /// and the product walk all charge `budget`; a trip surfaces as
+    /// [`DesignError::BudgetExceeded`] and leaves every cache rebuildable.
+    pub fn typecheck_with_budget(
+        &self,
+        doc: &DistributedDoc,
+        budget: &Budget,
+    ) -> Result<TypingVerdict, DesignError> {
         let _span = telemetry::span(telemetry::SpanKind::Typecheck);
+        budget.check_interrupts().map_err(DesignError::from)?;
         let ext = self.extension_nuta(doc)?;
-        match uta::included_in_duta(&ext, self.target_cache().duta()) {
+        let cache = self.target_cache_with_budget(budget)?;
+        match uta::included_in_duta_with_budget(&ext, cache.duta(), budget)
+            .map_err(DesignError::from)?
+        {
             Ok(()) => Ok(TypingVerdict::Valid),
             Err(counterexample) => match self.doc_schema.validate(&counterexample) {
                 Err(violation) => Ok(TypingVerdict::Invalid { counterexample, violation }),
@@ -629,11 +697,23 @@ impl DesignProblem {
     /// If some called function has an empty schema language no extension
     /// exists and the verdict is vacuously valid.
     pub fn verify_local(&self, doc: &DistributedDoc) -> Result<LocalVerdict, DesignError> {
+        self.verify_local_with_budget(doc, &Budget::unlimited())
+    }
+
+    /// Governed variant of [`DesignProblem::verify_local`]: every
+    /// string-language inclusion (and the cold target-cache build) charges
+    /// `budget`; a trip surfaces as [`DesignError::BudgetExceeded`].
+    pub fn verify_local_with_budget(
+        &self,
+        doc: &DistributedDoc,
+        budget: &Budget,
+    ) -> Result<LocalVerdict, DesignError> {
         let _span = telemetry::span(telemetry::SpanKind::VerifyLocal);
+        budget.check_interrupts().map_err(DesignError::from)?;
         self.require_schemas(doc)?;
         let kernel = doc.kernel();
         let tau = &self.doc_schema;
-        let cache = self.target_cache();
+        let cache = self.target_cache_with_budget(budget)?;
         let called = doc.called_functions();
 
         // The reduced function schemas (every surviving name realizable —
@@ -678,7 +758,9 @@ impl DesignProblem {
                 };
                 realizable = realizable.concat(&piece);
             }
-            if let Err(ce) = str_included(&realizable, cache.content_nfa(label)) {
+            let verdict = str_included_with_budget(&realizable, cache.content_nfa(label), budget)
+                .map_err(DesignError::from)?;
+            if let Err(ce) = verdict {
                 return Ok(LocalVerdict::Invalid(LocalViolation::Content {
                     element: *label,
                     counterexample: ce.word,
@@ -707,7 +789,10 @@ impl DesignProblem {
                     }));
                 }
                 let content = r.content(&name);
-                if let Err(ce) = str_included(&content.to_nfa(), cache.content_nfa(&name)) {
+                let verdict =
+                    str_included_with_budget(&content.to_nfa(), cache.content_nfa(&name), budget)
+                        .map_err(DesignError::from)?;
+                if let Err(ce) = verdict {
                     return Ok(LocalVerdict::Invalid(LocalViolation::Content {
                         element: name,
                         counterexample: ce.word,

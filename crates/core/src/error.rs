@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use dxml_automata::{AutomataError, Symbol};
+use dxml_automata::{AutomataError, Resource, Symbol};
 use dxml_schema::SchemaError;
 
 /// Errors raised while building distributed documents or design problems.
@@ -69,6 +69,21 @@ pub enum DesignError {
     Term(AutomataError),
     /// An underlying schema error.
     Schema(SchemaError),
+    /// A governed design operation exceeded its
+    /// [`Budget`](dxml_automata::Budget): a quota tripped, the wall-clock
+    /// deadline passed, or a cooperative cancellation was raised. Surfaced
+    /// by the `*_with_budget` entry points; the unlimited default budget
+    /// never produces it. A trip leaves the problem's caches unpoisoned —
+    /// retrying the same call with a larger budget (or none) succeeds.
+    BudgetExceeded {
+        /// The resource dimension that tripped.
+        resource: Resource,
+        /// The configured limit (milliseconds for deadlines; 0 for
+        /// cancellations, which have no numeric limit).
+        limit: u64,
+        /// The amount spent when the trip was detected.
+        spent: u64,
+    },
 }
 
 impl fmt::Display for DesignError {
@@ -103,6 +118,14 @@ impl fmt::Display for DesignError {
             }
             DesignError::Term(e) => write!(f, "{e}"),
             DesignError::Schema(e) => write!(f, "{e}"),
+            DesignError::BudgetExceeded { resource, limit, spent } => {
+                let e = AutomataError::BudgetExceeded {
+                    resource: *resource,
+                    limit: *limit,
+                    spent: *spent,
+                };
+                write!(f, "{e}")
+            }
         }
     }
 }
@@ -111,12 +134,24 @@ impl std::error::Error for DesignError {}
 
 impl From<AutomataError> for DesignError {
     fn from(e: AutomataError) -> Self {
-        DesignError::Term(e)
+        // Budget trips keep their typed identity across the layer boundary
+        // so callers can match on them without unwrapping `Term`.
+        match e {
+            AutomataError::BudgetExceeded { resource, limit, spent } => {
+                DesignError::BudgetExceeded { resource, limit, spent }
+            }
+            other => DesignError::Term(other),
+        }
     }
 }
 
 impl From<SchemaError> for DesignError {
     fn from(e: SchemaError) -> Self {
-        DesignError::Schema(e)
+        match e {
+            SchemaError::BudgetExceeded { resource, limit, spent } => {
+                DesignError::BudgetExceeded { resource, limit, spent }
+            }
+            other => DesignError::Schema(other),
+        }
     }
 }

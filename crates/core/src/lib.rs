@@ -22,7 +22,16 @@
 //!   string problems over the determinised specialised alphabet whose
 //!   constant parts are kernel boxes `B(fn)`;
 //! * [`validate_batch`] — a batch front end fanning one-pass streaming
-//!   SDTD validation of many documents over all cores.
+//!   SDTD validation of many documents over all cores, with per-document
+//!   panic isolation.
+//!
+//! Every decision procedure has a governed `*_with_budget` variant
+//! ([`DesignProblem::typecheck_with_budget`],
+//! [`BoxDesignProblem::perfect_schema_with_budget`],
+//! [`validate_batch_with_budget`], …) taking a
+//! [`Budget`](dxml_automata::Budget): step/state/node quotas, a depth
+//! limit, a wall-clock deadline and cooperative cancellation, surfacing
+//! [`DesignError::BudgetExceeded`] without poisoning the problem's caches.
 //!
 //! The problem-derived artefacts (determinised tree automaton, content
 //! NFAs, productive names, reduced function schemas, per-document extension
@@ -39,7 +48,7 @@ pub mod doc;
 pub mod error;
 pub mod perfect;
 
-pub use batch::validate_batch;
+pub use batch::{validate_batch, validate_batch_with_budget};
 pub use boxes::{BoxDesignProblem, BoxTargetCache, BoxVerdict, BoxViolation};
 pub use design::{
     CacheStats, DesignProblem, LocalVerdict, LocalViolation, Origin, ReducedFun, TargetCache,

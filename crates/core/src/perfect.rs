@@ -89,8 +89,8 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use dxml_automata::equiv::included as str_included;
-use dxml_automata::{Alphabet, Nfa, RFormalism, RSpec, Symbol};
+use dxml_automata::equiv::included_with_budget as str_included_with_budget;
+use dxml_automata::{Alphabet, Budget, Nfa, RFormalism, RSpec, Symbol};
 use dxml_schema::RDtd;
 use dxml_tree::NodeId;
 
@@ -131,7 +131,28 @@ impl DesignProblem {
         doc: &DistributedDoc,
         function: impl Into<Symbol>,
     ) -> Result<RDtd, DesignError> {
+        self.perfect_schema_with_budget(doc, function, &Budget::unlimited())
+    }
+
+    /// Governed variant of [`DesignProblem::perfect_schema`]: the residual
+    /// constructions, the cached determinisations and the confirming
+    /// typecheck oracle all charge `budget`, and a trip surfaces as
+    /// [`DesignError::BudgetExceeded`]. A trip leaves the problem's caches
+    /// unpoisoned: retrying the same synthesis with a larger budget (or the
+    /// unlimited default) succeeds and agrees with the ungoverned result.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`DesignProblem::perfect_schema`] reports, plus
+    /// [`DesignError::BudgetExceeded`].
+    pub fn perfect_schema_with_budget(
+        &self,
+        doc: &DistributedDoc,
+        function: impl Into<Symbol>,
+        budget: &Budget,
+    ) -> Result<RDtd, DesignError> {
         let _span = dxml_telemetry::span(dxml_telemetry::SpanKind::PerfectSchema);
+        budget.check_interrupts().map_err(DesignError::from)?;
         let f = function.into();
         let kernel = doc.kernel();
 
@@ -156,7 +177,7 @@ impl DesignProblem {
         // functions, straight from the problem cache (reduced once per
         // problem). An empty one makes the design vacuous: every schema
         // for `f` typechecks and no maximal schema exists.
-        let cache = self.target_cache();
+        let cache = self.target_cache_with_budget(budget)?;
         let mut siblings: BTreeMap<Symbol, &ReducedFun> = BTreeMap::new();
         for g in doc.called_functions() {
             if g == f {
@@ -203,18 +224,19 @@ impl DesignProblem {
             // synthesis re-enters here once per docking parent and once per
             // synthesised function, but each content model is determinised
             // at most once per problem.
-            let content = cache.content_dfa(label);
+            let content = cache.content_dfa_with_budget(label, budget).map_err(DesignError::from)?;
             let residual = if positions.len() == 1 {
-                content.universal_context_residual(&contexts[0], &contexts[1])
+                content.universal_context_residual_with_budget(&contexts[0], &contexts[1], budget)
             } else {
-                content.uniform_context_residual(&contexts)
-            };
+                content.uniform_context_residual_with_budget(&contexts, budget)
+            }
+            .map_err(DesignError::from)?;
             w = w.intersect(&residual);
             if w.is_empty() {
                 break;
             }
         }
-        self.confirm_candidate(doc, &f, &docking, &siblings, &w, cache)
+        self.confirm_candidate(doc, &f, &docking, &siblings, &w, cache, budget)
     }
 
     /// Perfect schemas for every called function of `doc`, each synthesised
@@ -292,6 +314,7 @@ impl DesignProblem {
     /// maximal languages exist (the candidate is an upper bound on every
     /// valid forest language); any other refutation is a broken invariant
     /// of the construction.
+    #[allow(clippy::too_many_arguments)] // internal: the synthesis walk's full working set
     fn confirm_candidate(
         &self,
         doc: &DistributedDoc,
@@ -300,16 +323,17 @@ impl DesignProblem {
         siblings: &BTreeMap<Symbol, &ReducedFun>,
         w: &Nfa,
         cache: &TargetCache,
+        budget: &Budget,
     ) -> Result<RDtd, DesignError> {
         let schema = self.build_perfect(w, cache);
         let candidate = self.clone().with_function(*f, schema.clone());
-        match candidate.typecheck(doc)? {
+        match candidate.typecheck_with_budget(doc, budget)? {
             TypingVerdict::Valid => Ok(schema),
             TypingVerdict::Invalid { counterexample, .. } => {
-                if self.violation_independent_of(doc, docking, siblings, cache) {
+                if self.violation_independent_of(doc, docking, siblings, cache, budget)? {
                     let empty = self.build_perfect(&Nfa::empty(), cache);
                     let check = self.clone().with_function(*f, empty.clone());
-                    match check.typecheck(doc)? {
+                    match check.typecheck_with_budget(doc, budget)? {
                         TypingVerdict::Valid => Ok(empty),
                         TypingVerdict::Invalid { counterexample, .. } => {
                             Err(DesignError::InvariantViolation {
@@ -349,11 +373,12 @@ impl DesignProblem {
         docking: &BTreeMap<NodeId, Vec<usize>>,
         siblings: &BTreeMap<Symbol, &ReducedFun>,
         cache: &TargetCache,
-    ) -> bool {
+        budget: &Budget,
+    ) -> Result<bool, DesignError> {
         let kernel = doc.kernel();
         let tau = self.doc_schema();
         if kernel.root_label() != tau.start() {
-            return true;
+            return Ok(true);
         }
         for node in kernel.document_order() {
             let label = kernel.label(node);
@@ -361,7 +386,7 @@ impl DesignProblem {
                 continue;
             }
             if !tau.alphabet().contains(label) {
-                return true;
+                return Ok(true);
             }
             if docking.contains_key(&node) {
                 continue;
@@ -369,8 +394,10 @@ impl DesignProblem {
             let realizable = kernel.children(node).iter().fold(Nfa::epsilon(), |acc, &c| {
                 acc.concat(&self.fixed_child_language(doc, c, siblings))
             });
-            if str_included(&realizable, cache.content_nfa(label)).is_err() {
-                return true;
+            let verdict = str_included_with_budget(&realizable, cache.content_nfa(label), budget)
+                .map_err(DesignError::from)?;
+            if verdict.is_err() {
+                return Ok(true);
             }
         }
         // Forests of the other functions: every reachable name must be
@@ -387,11 +414,13 @@ impl DesignProblem {
             let mut seen: BTreeSet<Symbol> = queue.iter().cloned().collect();
             while let Some(name) = queue.pop_front() {
                 if !tau.alphabet().contains(&name) {
-                    return true;
+                    return Ok(true);
                 }
                 let content = reduced.content(&name).to_nfa();
-                if str_included(&content, cache.content_nfa(&name)).is_err() {
-                    return true;
+                let verdict = str_included_with_budget(&content, cache.content_nfa(&name), budget)
+                    .map_err(DesignError::from)?;
+                if verdict.is_err() {
+                    return Ok(true);
                 }
                 for next in content.alphabet().iter() {
                     if reduced.alphabet().contains(next) && seen.insert(*next) {
@@ -400,13 +429,14 @@ impl DesignProblem {
                 }
             }
         }
-        false
+        Ok(false)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dxml_automata::equiv::included as str_included;
     use dxml_automata::symbol::word;
 
     fn dtd(rules: &str) -> RDtd {

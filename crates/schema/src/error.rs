@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use dxml_automata::{AutomataError, Symbol};
+use dxml_automata::{AutomataError, Resource, Symbol};
 
 /// Errors for schema construction, parsing and validation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,6 +40,20 @@ pub enum SchemaError {
     /// A schema violates a structural requirement (e.g. the single-type
     /// requirement of SDTDs, or determinism of dRE content models).
     Structural(String),
+    /// A governed validation exceeded its
+    /// [`Budget`](dxml_automata::Budget): a quota tripped, the wall-clock
+    /// deadline passed, or a cooperative cancellation was raised. Surfaced
+    /// by the `*_with_budget` entry points; the unlimited default budget
+    /// never produces it.
+    BudgetExceeded {
+        /// The resource dimension that tripped.
+        resource: Resource,
+        /// The configured limit (milliseconds for deadlines; 0 for
+        /// cancellations, which have no numeric limit).
+        limit: u64,
+        /// The amount spent when the trip was detected.
+        spent: u64,
+    },
 }
 
 impl fmt::Display for SchemaError {
@@ -62,6 +76,14 @@ impl fmt::Display for SchemaError {
             }
             SchemaError::UnknownElement { label } => write!(f, "element `{label}` is not declared in the schema"),
             SchemaError::Structural(msg) => write!(f, "{msg}"),
+            SchemaError::BudgetExceeded { resource, limit, spent } => {
+                let e = AutomataError::BudgetExceeded {
+                    resource: *resource,
+                    limit: *limit,
+                    spent: *spent,
+                };
+                write!(f, "{e}")
+            }
         }
     }
 }
@@ -70,6 +92,13 @@ impl std::error::Error for SchemaError {}
 
 impl From<AutomataError> for SchemaError {
     fn from(e: AutomataError) -> Self {
-        SchemaError::Automata(e)
+        // Budget trips keep their typed identity across the layer boundary
+        // so callers can match on them without unwrapping `Automata`.
+        match e {
+            AutomataError::BudgetExceeded { resource, limit, spent } => {
+                SchemaError::BudgetExceeded { resource, limit, spent }
+            }
+            other => SchemaError::Automata(other),
+        }
     }
 }

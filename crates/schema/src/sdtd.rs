@@ -183,6 +183,18 @@ impl RSdtd {
         crate::stream::StreamValidator::new(self).validate(input)
     }
 
+    /// Governed variant of [`RSdtd::validate_stream`]: charges the budget
+    /// per SAX event and per element, honours its depth limit, and surfaces
+    /// [`SchemaError::BudgetExceeded`] when a quota, the deadline or a
+    /// cancellation trips.
+    pub fn validate_stream_with_budget(
+        &self,
+        input: &str,
+        budget: &dxml_automata::Budget,
+    ) -> Result<(), SchemaError> {
+        crate::stream::StreamValidator::new(self).validate_with_budget(input, budget)
+    }
+
     /// Whether the tree belongs to the language.
     pub fn accepts(&self, tree: &XTree) -> bool {
         self.validate(tree).is_ok()

@@ -31,9 +31,9 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use dxml_automata::nfa::StateId;
-use dxml_automata::{Dfa, Symbol};
+use dxml_automata::{Budget, Dfa, Symbol};
 use dxml_telemetry as telemetry;
-use dxml_tree::sax::{SaxEvent, SaxParser};
+use dxml_tree::sax::{SaxEvent, SaxParser, DEFAULT_DEPTH_LIMIT};
 
 use crate::error::SchemaError;
 use crate::sdtd::RSdtd;
@@ -123,11 +123,30 @@ impl StreamValidator {
         self.validate_with_stats(input).0
     }
 
+    /// Governed variant of [`StreamValidator::validate`]: one budget step is
+    /// charged per SAX event, one node per element opened, and the budget's
+    /// depth limit (when set) replaces the parser's
+    /// [`DEFAULT_DEPTH_LIMIT`] — the budget trips first with a typed
+    /// [`SchemaError::BudgetExceeded`] so depth overruns are attributable to
+    /// the quota rather than to a parse error.
+    pub fn validate_with_budget(&self, input: &str, budget: &Budget) -> Result<(), SchemaError> {
+        self.validate_impl(input, budget).0
+    }
+
     /// [`StreamValidator::validate`], also reporting peak depth and buffer
     /// use of the run.
     pub fn validate_with_stats(&self, input: &str) -> (Result<(), SchemaError>, StreamStats) {
+        self.validate_impl(input, &Budget::unlimited())
+    }
+
+    fn validate_impl(&self, input: &str, budget: &Budget) -> (Result<(), SchemaError>, StreamStats) {
         let _span = telemetry::span(telemetry::SpanKind::ValidateStream);
-        let mut parser = SaxParser::new(input);
+        // The parser's own guard sits one past the budget's depth limit so a
+        // depth overrun surfaces as a typed budget trip, not a parse error.
+        let parser_limit = budget
+            .depth_limit()
+            .map_or(DEFAULT_DEPTH_LIMIT, |l| l.saturating_add(1));
+        let mut parser = SaxParser::with_depth_limit(input, parser_limit);
         let mut frames: Vec<Frame> = Vec::new();
         let mut pending: Option<SchemaError> = None;
         let mut buffered = 0usize;
@@ -135,6 +154,11 @@ impl StreamValidator {
         // Event tally kept local and flushed once per document, so the
         // per-event loop carries no atomic traffic.
         let mut events: u64 = 0;
+        // An expired deadline or a pre-raised cancellation trips before any
+        // parsing happens.
+        if let Err(trip) = budget.check_interrupts() {
+            return (Err(trip.into()), stats);
+        }
         loop {
             let event = match parser.next_event() {
                 Ok(Some(event)) => event,
@@ -148,6 +172,18 @@ impl StreamValidator {
                 }
             };
             events += 1;
+            let charge = budget.step().and_then(|()| match &event {
+                SaxEvent::Open(_) => {
+                    budget.grow_nodes(1)?;
+                    budget.check_depth(frames.len() + 1)
+                }
+                SaxEvent::Close => Ok(()),
+            });
+            if let Err(trip) = charge {
+                stats.peak_depth = parser.peak_depth();
+                flush_stream_telemetry(events, stats.peak_depth, true);
+                return (Err(trip.into()), stats);
+            }
             match event {
                 SaxEvent::Open(label) => {
                     enum Act {

@@ -53,6 +53,9 @@
 //! | `batch.docs` | documents claimed by batch workers |
 //! | `batch.steals` | documents claimed beyond a worker's even share |
 //! | `span.entered` | RAII spans entered |
+//! | `limits.budget_trips` | budget quota trips (step/state/node/depth quotas) |
+//! | `limits.deadline_trips` | wall-clock deadline trips |
+//! | `limits.cancellations` | cooperative cancellations observed by governed loops |
 //!
 //! Histograms ([`Hist`], recorded with [`observe`]; buckets are powers of
 //! two — bucket `k` counts values `v` with `2^(k-1) ≤ v < 2^k`, bucket 0

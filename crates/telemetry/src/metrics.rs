@@ -71,11 +71,17 @@ pub enum Metric {
     BatchSteals,
     /// RAII spans entered.
     SpanEntered,
+    /// Budget quota trips (step/state/node/depth quotas exceeded).
+    LimitsBudgetTrips,
+    /// Wall-clock deadline trips.
+    LimitsDeadlineTrips,
+    /// Cooperative cancellations observed by governed loops.
+    LimitsCancellations,
 }
 
 impl Metric {
     /// Every counter, in storage order.
-    pub const ALL: [Metric; 23] = [
+    pub const ALL: [Metric; 26] = [
         Metric::SymbolsInterned,
         Metric::InternTableBytes,
         Metric::InternShardContention,
@@ -99,6 +105,9 @@ impl Metric {
         Metric::BatchDocs,
         Metric::BatchSteals,
         Metric::SpanEntered,
+        Metric::LimitsBudgetTrips,
+        Metric::LimitsDeadlineTrips,
+        Metric::LimitsCancellations,
     ];
 
     /// The stable, dotted metric name (the key used in reports and the
@@ -128,6 +137,9 @@ impl Metric {
             Metric::BatchDocs => "batch.docs",
             Metric::BatchSteals => "batch.steals",
             Metric::SpanEntered => "span.entered",
+            Metric::LimitsBudgetTrips => "limits.budget_trips",
+            Metric::LimitsDeadlineTrips => "limits.deadline_trips",
+            Metric::LimitsCancellations => "limits.cancellations",
         }
     }
 }

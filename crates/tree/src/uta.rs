@@ -22,7 +22,7 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 
-use dxml_automata::{Alphabet, FxHashMap, FxHashSet, Nfa, StateSet, Symbol};
+use dxml_automata::{Alphabet, AutomataError, Budget, FxHashMap, FxHashSet, Nfa, StateSet, Symbol};
 
 use crate::tree::XTree;
 
@@ -217,6 +217,17 @@ impl Nuta {
     pub fn determinize(&self, labels: &Alphabet) -> Duta {
         Duta::from_nuta(self, labels)
     }
+
+    /// Governed variant of [`Nuta::determinize`]: the subset construction
+    /// charges the budget and aborts with [`AutomataError::BudgetExceeded`]
+    /// when it trips.
+    pub fn determinize_with_budget(
+        &self,
+        labels: &Alphabet,
+        budget: &Budget,
+    ) -> Result<Duta, AutomataError> {
+        Duta::from_nuta_with_budget(self, labels, budget)
+    }
 }
 
 impl Default for Nuta {
@@ -326,6 +337,21 @@ impl Duta {
     /// contain at least `nuta.labels()`; extra labels yield the empty subset
     /// for every node carrying them).
     pub fn from_nuta(nuta: &Nuta, labels: &Alphabet) -> Duta {
+        Duta::from_nuta_with_budget(nuta, labels, &Budget::unlimited())
+            .expect("the unlimited budget never trips")
+    }
+
+    /// Governed variant of [`Duta::from_nuta`]: every `(label, config,
+    /// subset letter)` expansion of the fixpoint charges one budget step and
+    /// every discovered subset state charges the state quota; the
+    /// construction aborts with [`AutomataError::BudgetExceeded`] when the
+    /// budget trips, leaving no partial automaton behind.
+    pub fn from_nuta_with_budget(
+        nuta: &Nuta,
+        labels: &Alphabet,
+        budget: &Budget,
+    ) -> Result<Duta, AutomataError> {
+        budget.check_interrupts()?;
         let labels = labels.union(nuta.labels());
         // Per label: the list of states with a rule and their ε-free content
         // automata.
@@ -393,11 +419,15 @@ impl Duta {
             b.config_paths.push(Vec::new());
             b.trans.push(Vec::new());
             let out = config_output(b, &start_config);
-            let idx = *subset_index.entry(out.clone()).or_insert_with(|| {
-                subsets.push(out.clone());
-                witnesses.push(XTree::leaf(*label));
-                subsets.len() - 1
-            });
+            let idx = match subset_index.entry(out.clone()) {
+                std::collections::btree_map::Entry::Occupied(e) => *e.get(),
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    budget.grow_states(1)?;
+                    subsets.push(out);
+                    witnesses.push(XTree::leaf(*label));
+                    *slot.insert(subsets.len() - 1)
+                }
+            };
             b.output.push(idx);
         }
 
@@ -421,6 +451,7 @@ impl Duta {
                             continue;
                         }
                         changed = true;
+                        budget.step()?;
                         // Advance every component by "any state in the letter
                         // subset".
                         for (slot, (nfa, comp)) in
@@ -439,15 +470,19 @@ impl Duta {
                                 b.config_paths.push(path);
                                 b.trans.push(Vec::new());
                                 let out = config_output(b, &scratch);
-                                let idx = *subset_index.entry(out.clone()).or_insert_with(|| {
-                                    let children: Vec<XTree> = b.config_paths[i]
-                                        .iter()
-                                        .map(|&l| witnesses[l].clone())
-                                        .collect();
-                                    subsets.push(out.clone());
-                                    witnesses.push(XTree::node(*label, children));
-                                    subsets.len() - 1
-                                });
+                                let idx = match subset_index.entry(out.clone()) {
+                                    std::collections::btree_map::Entry::Occupied(e) => *e.get(),
+                                    std::collections::btree_map::Entry::Vacant(slot) => {
+                                        budget.grow_states(1)?;
+                                        let children: Vec<XTree> = b.config_paths[i]
+                                            .iter()
+                                            .map(|&l| witnesses[l].clone())
+                                            .collect();
+                                        subsets.push(out);
+                                        witnesses.push(XTree::node(*label, children));
+                                        *slot.insert(subsets.len() - 1)
+                                    }
+                                };
                                 b.output.push(idx);
                                 i
                             }
@@ -473,13 +508,13 @@ impl Duta {
             })
             .collect();
 
-        Duta {
+        Ok(Duta {
             subsets,
             witnesses,
             finals_orig: nuta.finals().clone(),
             labels,
             machines,
-        }
+        })
     }
 
     /// The number of subset states.
@@ -626,9 +661,23 @@ impl Duta {
         word_lang: &Nfa,
         letter_of: impl Fn(&Symbol) -> Option<usize>,
     ) -> BTreeMap<usize, Vec<Symbol>> {
+        self.outputs_over_with_budget(label, word_lang, letter_of, &Budget::unlimited())
+            .expect("the unlimited budget never trips")
+    }
+
+    /// Governed variant of [`Duta::outputs_over`]: the product BFS charges
+    /// one budget step per popped pair and aborts with
+    /// [`AutomataError::BudgetExceeded`] when the budget trips.
+    pub fn outputs_over_with_budget(
+        &self,
+        label: &Symbol,
+        word_lang: &Nfa,
+        letter_of: impl Fn(&Symbol) -> Option<usize>,
+        budget: &Budget,
+    ) -> Result<BTreeMap<usize, Vec<Symbol>>, AutomataError> {
         let machine = match self.machines.get(label) {
             Some(m) => m,
-            None => return BTreeMap::new(),
+            None => return Ok(BTreeMap::new()),
         };
         // Resolve each alphabet symbol's subset-state letter *and* its
         // local id in the word automaton once, outside the BFS — symbols
@@ -653,6 +702,7 @@ impl Duta {
         let mut seen: FxHashSet<Pair> = FxHashSet::from_iter([start.clone()]);
         let mut queue: VecDeque<(Pair, Vec<Symbol>)> = VecDeque::from([(start, Vec::new())]);
         while let Some(((config, set), word)) = queue.pop_front() {
+            budget.step()?;
             if set.intersects(&finals) {
                 outputs.entry(machine.output[config]).or_insert_with(|| word.clone());
             }
@@ -673,7 +723,7 @@ impl Duta {
                 }
             }
         }
-        outputs
+        Ok(outputs)
     }
 }
 
@@ -702,7 +752,11 @@ impl fmt::Debug for Duta {
 /// `b`'s universe but outside `a`'s are not explored; trees using them are
 /// rejected by `a` and therefore irrelevant both as counterexamples and as
 /// subtrees of counterexamples.
-fn reachable_pairs(a: &Duta, b: &Duta) -> Vec<(usize, Option<usize>, XTree)> {
+fn reachable_pairs(
+    a: &Duta,
+    b: &Duta,
+    budget: &Budget,
+) -> Result<Vec<(usize, Option<usize>, XTree)>, AutomataError> {
     let labels = a.labels().clone();
     let mut pairs: Vec<(usize, Option<usize>, XTree)> = Vec::new();
     let mut pair_index: BTreeSet<(usize, Option<usize>)> = BTreeSet::new();
@@ -722,6 +776,7 @@ fn reachable_pairs(a: &Duta, b: &Duta) -> Vec<(usize, Option<usize>, XTree)> {
             seen.insert(start, Vec::new());
             let mut queue = VecDeque::from([start]);
             while let Some((ca, cb)) = queue.pop_front() {
+                budget.step()?;
                 let path = seen[&(ca, cb)].clone();
                 let out = (
                     ma.output[ca],
@@ -751,7 +806,7 @@ fn reachable_pairs(a: &Duta, b: &Duta) -> Vec<(usize, Option<usize>, XTree)> {
             }
         }
         if pairs.len() == snapshot_len {
-            return pairs;
+            return Ok(pairs);
         }
     }
 }
@@ -769,13 +824,26 @@ pub fn included(a: &Nuta, b: &Nuta) -> Result<(), XTree> {
 /// against the same target (typing verification, perfect-schema synthesis):
 /// the expensive determinisation of the target happens once, outside.
 pub fn included_in_duta(a: &Nuta, db: &Duta) -> Result<(), XTree> {
-    let da = a.determinize(a.labels());
-    for (ia, ib, witness) in reachable_pairs(&da, db) {
+    included_in_duta_with_budget(a, db, &Budget::unlimited())
+        .expect("the unlimited budget never trips")
+}
+
+/// Governed variant of [`included_in_duta`]. The outer `Result` reports
+/// resource governance ([`AutomataError::BudgetExceeded`]); the inner one is
+/// the inclusion verdict with its counterexample tree.
+pub fn included_in_duta_with_budget(
+    a: &Nuta,
+    db: &Duta,
+    budget: &Budget,
+) -> Result<Result<(), XTree>, AutomataError> {
+    budget.check_interrupts()?;
+    let da = a.determinize_with_budget(a.labels(), budget)?;
+    for (ia, ib, witness) in reachable_pairs(&da, db, budget)? {
         if da.is_final(ia) && !ib.is_some_and(|i| db.is_final(i)) {
-            return Err(witness);
+            return Ok(Err(witness));
         }
     }
-    Ok(())
+    Ok(Ok(()))
 }
 
 /// Checks `[a] = [b]` as tree languages; on failure returns a distinguishing
@@ -784,7 +852,9 @@ pub fn equivalent(a: &Nuta, b: &Nuta) -> Result<(), (XTree, bool)> {
     let labels = a.labels().union(b.labels());
     let da = a.determinize(&labels);
     let db = b.determinize(&labels);
-    for (ia, ib, witness) in reachable_pairs(&da, &db) {
+    let pairs = reachable_pairs(&da, &db, &Budget::unlimited())
+        .expect("the unlimited budget never trips");
+    for (ia, ib, witness) in pairs {
         // Both sides are determinised over the same universe, so the dead
         // state never arises and `ib` is always `Some`.
         let b_final = ib.is_some_and(|i| db.is_final(i));

@@ -13,6 +13,12 @@
 //!   over schemas and designs.
 //! * [`telemetry`] — zero-dependency counters, histograms and span tracing
 //!   over the whole engine (off by default; `DXML_TELEMETRY=1` enables).
+//!
+//! Every worst-case-exponential decision procedure has a governed
+//! `*_with_budget` variant taking a [`Budget`] (step/state/node quotas, a
+//! depth limit, a wall-clock deadline, cooperative cancellation via a
+//! [`CancelHandle`]); a trip surfaces as a typed `BudgetExceeded` error and
+//! leaves every cache rebuildable — see `dxml_automata::limits`.
 
 #![forbid(unsafe_code)]
 
@@ -29,6 +35,6 @@ pub use dxml_analysis::{
     analyze_box_design, analyze_design, analyze_schema, dtd_definable, sdtd_definable, AnySchema,
     Diagnostic, Severity,
 };
-pub use dxml_automata::BoxLang;
+pub use dxml_automata::{BoxLang, Budget, CancelHandle};
 pub use dxml_core::{BoxDesignProblem, BoxVerdict, DesignProblem, DistributedDoc, TypingVerdict};
 pub use dxml_schema::{RDtd, REdtd, RSdtd};

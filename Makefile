@@ -9,7 +9,7 @@ CARGO ?= cargo
 BENCH_TARGETS := $(shell sed -n 's/^name = "\([a-z0-9_]*\)"$$/\1/p' \
                  crates/bench/Cargo.toml | grep -v '^dxml')
 
-.PHONY: all build test clippy doc fmt-check bench bench-smoke bench-baselines bench-compare fuzz-smoke examples lint-schemas verify
+.PHONY: all build test clippy doc fmt-check bench bench-smoke bench-baselines bench-compare fuzz-smoke examples lint-schemas lint-repo verify
 
 all: verify
 
@@ -26,7 +26,8 @@ clippy:
 		-W clippy::semicolon_if_nothing_returned \
 		-W clippy::explicit_iter_loop \
 		-W clippy::redundant_closure_for_method_calls \
-		-W clippy::map_unwrap_or
+		-W clippy::map_unwrap_or \
+		-W clippy::missing_panics_doc
 
 # API docs must build cleanly: broken intra-doc links and missing docs are
 # errors.
@@ -105,6 +106,7 @@ FUZZ_SMOKE_TIMEOUT ?= 300
 fuzz-smoke:
 	timeout $(FUZZ_SMOKE_TIMEOUT) $(CARGO) test -q --release -p dxml-automata --test budget_loops
 	timeout $(FUZZ_SMOKE_TIMEOUT) $(CARGO) test -q --release -p dxml-core --test governance
+	timeout $(FUZZ_SMOKE_TIMEOUT) $(CARGO) test -q --release -p dxml-bench --test cost_calibration
 	@echo "fuzz-smoke: governance fault suite passed within $(FUZZ_SMOKE_TIMEOUT)s per binary"
 
 examples:
@@ -116,11 +118,19 @@ examples:
 	$(CARGO) run -q --release --example box_design
 	$(CARGO) run -q --release --example streaming_validation
 	$(CARGO) run -q --release --example schema_lint
+	$(CARGO) run -q --release --example repo_invariants
 
 # Lint the example/bench schema corpus: exits non-zero on any
-# error-severity diagnostic from the dxml-analysis passes.
+# error-severity diagnostic from the dxml-analysis passes. --costs appends
+# the static cost-analysis summary for the corpus designs.
 lint-schemas:
-	$(CARGO) run -q --release --example schema_lint
+	$(CARGO) run -q --release --example schema_lint -- --costs
+
+# Lint the repo's structural conventions (telemetry metrics wired, bench
+# targets baseline-gated and documented, *_with_budget twins, forbid
+# unsafe): exits non-zero on any violation.
+lint-repo:
+	$(CARGO) run -q --release --example repo_invariants
 
 # The tier-1 gate plus lints, docs and bench compilation.
 verify: build test clippy doc bench

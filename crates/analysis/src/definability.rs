@@ -123,6 +123,11 @@ pub fn dtd_definable(e: &REdtd) -> Option<RDtd> {
 /// so the result is single-type by construction; its language always
 /// contains the language of `e` and equals it exactly when the language is
 /// SDTD-definable.
+///
+/// # Panics
+///
+/// Only on a broken internal invariant (the construction producing a
+/// candidate that is not single-type).
 pub fn sdtd_candidate(e: &REdtd) -> RSdtd {
     let root_label = *e.label_of(e.start()).unwrap_or(e.start());
     let reduced = match reduce(e) {

@@ -10,6 +10,10 @@ use std::collections::BTreeSet;
 use dxml_automata::Symbol;
 use dxml_core::{BoxDesignProblem, DesignProblem, DistributedDoc};
 
+use crate::cost::{
+    box_design_cost, design_cost, recommended_quotas, DesignCost, ATTENTION_THRESHOLD,
+    DEFAULT_HEADROOM,
+};
 use crate::rules::{analyze_dtd, analyze_edtd};
 use crate::{sort_report, Diagnostic, Severity};
 
@@ -33,6 +37,7 @@ pub fn analyze_design(problem: &DesignProblem, doc: &DistributedDoc) -> Vec<Diag
         problem.doc_schema().language_is_empty(),
         &problem.fun_schemas().keys().copied().collect(),
     ));
+    out.extend(cost_advisories(&design_cost(problem)));
     sort_report(&mut out);
     out
 }
@@ -89,7 +94,53 @@ pub fn analyze_box_design(problem: &BoxDesignProblem, doc: &DistributedDoc) -> V
             );
         }
     }
+    out.extend(cost_advisories(&box_design_cost(problem)));
     sort_report(&mut out);
+    out
+}
+
+/// The static-cost advisories: `DX015` (the recommended budget quotas)
+/// and `DX016` (one location dominates the predicted cost). Both are
+/// threshold-gated — they fire only when the predicted upper state bound
+/// reaches [`ATTENTION_THRESHOLD`] or a rule is predicted-exponential
+/// (`DX014` territory) — so cheap designs stay diagnostic-free.
+fn cost_advisories(cost: &DesignCost) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let exponential = cost.target.exponential().next().is_some()
+        || cost.functions.iter().any(|(_, s)| s.exponential().next().is_some());
+    if cost.states.upper < ATTENTION_THRESHOLD && !exponential {
+        return out;
+    }
+    let (state_quota, step_quota) = recommended_quotas(cost, DEFAULT_HEADROOM);
+    out.push(
+        Diagnostic::new(
+            "DX015",
+            Severity::Info,
+            "design",
+            format!(
+                "predicted determinisation cost: {} subset states, {} governed steps \
+                 (determinised tree target: {} states)",
+                cost.states, cost.steps, cost.duta_states
+            ),
+        )
+        .with_suggestion(format!(
+            "run this design governed: `cost::recommend_budget` synthesises a budget \
+             with state quota {state_quota} and step quota {step_quota} \
+             (headroom {DEFAULT_HEADROOM})"
+        )),
+    );
+    if let Some(dom) = &cost.dominant {
+        out.push(Diagnostic::new(
+            "DX016",
+            Severity::Info,
+            dom.location.clone(),
+            format!(
+                "this content model dominates the design's predicted cost: {} of the \
+                 {} upper-bound subset states",
+                dom.upper, dom.total_upper
+            ),
+        ));
+    }
     out
 }
 
@@ -286,6 +337,34 @@ mod tests {
         let doc = DistributedDoc::new(kernel, ["f"]).unwrap();
         let report = analyze_box_design(&problem, &doc);
         assert!(!codes(&report).contains(&"DX012"), "{report:?}");
+    }
+
+    #[test]
+    fn cost_advisories_fire_only_above_the_attention_threshold() {
+        // A predicted-exponential rule pushes the design over the gate:
+        // DX014 on the rule, DX015 with the recommended quotas, DX016 on
+        // the dominating location.
+        let mut target = RDtd::parse(RFormalism::Nre, "s -> a?").unwrap();
+        let tail = " (a | b)".repeat(9);
+        target.set_rule("a", RSpec::Nre(Regex::parse(&format!("(a | b)* a{tail}")).unwrap()));
+        let problem = DesignProblem::new(target);
+        let mut kernel = XTree::leaf("s");
+        kernel.add_child(0, "a");
+        let doc = DistributedDoc::new(kernel, Vec::<Symbol>::new()).unwrap();
+        let report = analyze_design(&problem, &doc);
+        let c = codes(&report);
+        assert!(c.contains(&"DX014"), "{c:?}");
+        assert!(c.contains(&"DX015"), "{c:?}");
+        assert!(c.contains(&"DX016"), "{c:?}");
+        let dx15 = report.iter().find(|d| d.code == "DX015").unwrap();
+        assert_eq!(dx15.severity, Severity::Info);
+        assert!(
+            dx15.suggestion.as_deref().is_some_and(|s| s.contains("state quota")),
+            "{:?}",
+            dx15.suggestion
+        );
+        let dx16 = report.iter().find(|d| d.code == "DX016").unwrap();
+        assert!(dx16.location.contains("element `a`"), "{}", dx16.location);
     }
 
     #[test]

@@ -2,11 +2,15 @@
 //! and [`REdtd`], plus the definability advisories built on
 //! [`crate::definability`]. See the crate docs for the table of codes.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
 
-use dxml_automata::{dre, RSpec, Symbol};
+use dxml_automata::regex::Glushkov;
+use dxml_automata::symbol::Word;
+use dxml_automata::{dre, RSpec, Regex, Symbol};
 use dxml_schema::{RDtd, REdtd, RSdtd};
 
+use crate::cost::{suffix_counting, EXPONENTIAL_THRESHOLD};
 use crate::definability::{dtd_definable, sdtd_definable};
 use crate::{sort_report, Diagnostic, Severity};
 
@@ -165,8 +169,104 @@ fn structural_edtd_rules(e: &REdtd) -> Vec<Diagnostic> {
     out
 }
 
-/// Per-content-model rules: `DX004` (empty content model) and `DX005`
-/// (not one-unambiguous).
+/// A concrete witness that an expression is not one-unambiguous: after
+/// reading `word`, its final [`AmbiguityWitness::symbol`] can be matched
+/// by two distinct occurrences of that symbol in the expression — exactly
+/// the Brüggemann-Klein/Wood determinism violation, made tangible.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AmbiguityWitness {
+    /// The symbol both occurrences compete for.
+    pub symbol: Symbol,
+    /// The 1-based occurrence indices (reading order) of the two
+    /// positions competing for [`AmbiguityWitness::symbol`].
+    pub occurrences: (usize, usize),
+    /// A shortest ambiguous input: reading it up to the final symbol is
+    /// unambiguous, the final symbol has two possible matches.
+    pub word: Word,
+}
+
+impl fmt::Display for AmbiguityWitness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rendered: Vec<String> = self.word.iter().map(ToString::to_string).collect();
+        write!(
+            f,
+            "reading `{}` is ambiguous: the final `{}` can match occurrence {} or \
+             occurrence {} of `{}` in the expression",
+            rendered.join(" "),
+            self.symbol,
+            self.occurrences.0,
+            self.occurrences.1,
+            self.symbol
+        )
+    }
+}
+
+/// Two distinct positions in `set` carrying the same symbol, if any.
+fn competing_positions(g: &Glushkov, set: &BTreeSet<usize>) -> Option<(usize, usize)> {
+    let mut seen: BTreeMap<Symbol, usize> = BTreeMap::new();
+    for &p in set {
+        match seen.get(&g.position_symbols[p]) {
+            Some(&q) => return Some((q, p)),
+            None => {
+                seen.insert(g.position_symbols[p], p);
+            }
+        }
+    }
+    None
+}
+
+fn make_witness(g: &Glushkov, mut word: Word, p: usize, q: usize) -> AmbiguityWitness {
+    let symbol = g.position_symbols[p];
+    let occurrence =
+        |pos: usize| g.position_symbols[1..=pos].iter().filter(|s| **s == symbol).count();
+    word.push(symbol);
+    AmbiguityWitness { symbol, occurrences: (occurrence(p), occurrence(q)), word }
+}
+
+/// Extracts a concrete [`AmbiguityWitness`] from a non-one-unambiguous
+/// expression: a breadth-first search over the Glushkov (position)
+/// automaton finds a shortest prefix reaching a position whose first/
+/// follow set contains two competing occurrences of one symbol. Returns
+/// `None` for deterministic expressions (and for conflicts buried in
+/// unreachable positions, which cannot be exhibited by any input).
+///
+/// # Panics
+///
+/// Only on a broken internal invariant (a queued position without its
+/// reaching word).
+pub fn ambiguity_witness(re: &Regex) -> Option<AmbiguityWitness> {
+    let g = re.glushkov();
+    if let Some((p, q)) = competing_positions(&g, &g.first) {
+        return Some(make_witness(&g, Vec::new(), p, q));
+    }
+    let mut word_to: Vec<Option<Word>> = vec![None; g.position_symbols.len()];
+    let mut queue = VecDeque::new();
+    for &p in &g.first {
+        if word_to[p].is_none() {
+            word_to[p] = Some(vec![g.position_symbols[p]]);
+            queue.push_back(p);
+        }
+    }
+    while let Some(r) = queue.pop_front() {
+        let base = word_to[r].clone().expect("queued positions have words");
+        if let Some((p, q)) = competing_positions(&g, &g.follow[r]) {
+            return Some(make_witness(&g, base, p, q));
+        }
+        for &s in &g.follow[r] {
+            if word_to[s].is_none() {
+                let mut w = base.clone();
+                w.push(g.position_symbols[s]);
+                word_to[s] = Some(w);
+                queue.push_back(s);
+            }
+        }
+    }
+    None
+}
+
+/// Per-content-model rules: `DX004` (empty content model), `DX005`
+/// (not one-unambiguous, ambiguity witness attached) and `DX014`
+/// (predicted-exponential suffix-counting shape, witness family attached).
 fn content_model_rules(location: &str, spec: &RSpec) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     if spec.is_empty_language() {
@@ -181,43 +281,69 @@ fn content_model_rules(location: &str, spec: &RSpec) -> Vec<Diagnostic> {
         );
         return out; // The dRE check is noise on an empty language.
     }
-    if spec.formalism().is_deterministic() {
-        return out; // dFA / dRE are deterministic by construction.
+    if !spec.formalism().is_deterministic() {
+        match spec {
+            RSpec::Nre(re) if !dre::one_unambiguous_expr(re) => {
+                let message = match ambiguity_witness(re) {
+                    Some(w) => format!(
+                        "the content model `{re}` is not a one-unambiguous expression: {w}"
+                    ),
+                    None => {
+                        format!("the content model `{re}` is not a one-unambiguous expression")
+                    }
+                };
+                let diag = Diagnostic::new("DX005", Severity::Warning, location.to_string(), message);
+                out.push(match dre::smallest_equivalent_dre_hint(re) {
+                    Some(hint) => diag.with_suggestion(format!(
+                        "an equivalent deterministic expression exists, e.g. `{hint}`"
+                    )),
+                    None if !dre::one_unambiguous_regex_language(re) => diag.with_suggestion(
+                        "no equivalent deterministic expression exists (BKW); \
+                         W3C-DTD/XSD validators will reject this content model",
+                    ),
+                    None => diag,
+                });
+            }
+            RSpec::Nfa(nfa) if !dre::one_unambiguous_language(nfa) => {
+                out.push(
+                    Diagnostic::new(
+                        "DX005",
+                        Severity::Warning,
+                        location.to_string(),
+                        "the content model's language is not one-unambiguous",
+                    )
+                    .with_suggestion(
+                        "no deterministic expression captures it (BKW); \
+                         W3C-DTD/XSD validators cannot express this content model",
+                    ),
+                );
+            }
+            _ => {}
+        }
     }
-    match spec {
-        RSpec::Nre(re) if !dre::one_unambiguous_expr(re) => {
-            let diag = Diagnostic::new(
-                "DX005",
-                Severity::Warning,
-                location.to_string(),
-                format!("the content model `{re}` is not a one-unambiguous expression"),
-            );
-            out.push(match dre::smallest_equivalent_dre_hint(re) {
-                Some(hint) => diag.with_suggestion(format!(
-                    "an equivalent deterministic expression exists, e.g. `{hint}`"
-                )),
-                None if !dre::one_unambiguous_regex_language(re) => diag.with_suggestion(
-                    "no equivalent deterministic expression exists (BKW); \
-                     W3C-DTD/XSD validators will reject this content model",
-                ),
-                None => diag,
-            });
+    if let RSpec::Nre(re) | RSpec::Dre(re) = spec {
+        if let Some(sc) = suffix_counting(re) {
+            if sc.dfa_lower_bound >= EXPONENTIAL_THRESHOLD {
+                out.push(
+                    Diagnostic::new(
+                        "DX014",
+                        Severity::Warning,
+                        location.to_string(),
+                        format!(
+                            "the content model `{re}` is predicted-exponential: {}",
+                            sc.describe()
+                        ),
+                    )
+                    .with_suggestion(format!(
+                        "determinising this rule cannot stay below {} states; run it \
+                         governed (`cost::recommend_budget` synthesises fitting quotas) \
+                         or restructure the rule so membership does not depend on a \
+                         fixed position from the end",
+                        sc.dfa_lower_bound
+                    )),
+                );
+            }
         }
-        RSpec::Nfa(nfa) if !dre::one_unambiguous_language(nfa) => {
-            out.push(
-                Diagnostic::new(
-                    "DX005",
-                    Severity::Warning,
-                    location.to_string(),
-                    "the content model's language is not one-unambiguous",
-                )
-                .with_suggestion(
-                    "no deterministic expression captures it (BKW); \
-                     W3C-DTD/XSD validators cannot express this content model",
-                ),
-            );
-        }
-        _ => {}
     }
     out
 }
@@ -314,6 +440,59 @@ mod tests {
             "{:?}",
             dx5[0].suggestion
         );
+    }
+
+    #[test]
+    fn dx005_attaches_a_concrete_ambiguity_witness() {
+        let mut dtd = RDtd::new(RFormalism::Nre, "s");
+        dtd.set_rule("s", RSpec::Nre(Regex::parse("(a | b)* a").unwrap()));
+        let report = analyze_dtd(&dtd);
+        let dx5 = report.iter().find(|d| d.code == "DX005").expect("DX005 fires");
+        assert!(dx5.message.contains("ambiguous"), "{}", dx5.message);
+        assert!(dx5.message.contains("occurrence 1 or occurrence 2"), "{}", dx5.message);
+    }
+
+    #[test]
+    fn ambiguity_witness_is_a_shortest_ambiguous_input() {
+        // First-set conflict: the very first `a` already has two matches.
+        let w = ambiguity_witness(&Regex::parse("(a | b)* a").unwrap()).unwrap();
+        assert_eq!(w.word.len(), 1);
+        assert_eq!(w.occurrences, (1, 2));
+        // Follow-set conflict two letters in: `c (a | b)* a` is only
+        // ambiguous after reading `c` and one window letter.
+        let w = ambiguity_witness(&Regex::parse("c, (a | b)* a").unwrap()).unwrap();
+        assert!(w.word.len() >= 2, "{:?}", w.word);
+        // Deterministic expressions yield no witness.
+        assert!(ambiguity_witness(&Regex::parse("(b* a)+").unwrap()).is_none());
+        assert!(ambiguity_witness(&Regex::parse("a, b?").unwrap()).is_none());
+    }
+
+    #[test]
+    fn dx014_fires_on_the_suffix_counting_family_with_the_right_bound() {
+        // (a|b)* a (a|b)^{n-1} with n = 8: lower bound 2^8 = 256.
+        let tail = " (a | b)".repeat(7);
+        let mut dtd = RDtd::new(RFormalism::Nre, "s");
+        dtd.set_rule("s", RSpec::Nre(Regex::parse(&format!("(a | b)* a{tail}")).unwrap()));
+        let report = analyze_dtd(&dtd);
+        let dx14 = report.iter().find(|d| d.code == "DX014").expect("DX014 fires");
+        assert_eq!(dx14.severity, Severity::Warning);
+        assert!(dx14.message.contains("256"), "{}", dx14.message);
+        assert!(dx14.message.contains("rejects"), "witness family attached: {}", dx14.message);
+        assert!(
+            dx14.suggestion.as_deref().is_some_and(|s| s.contains("recommend_budget")),
+            "{:?}",
+            dx14.suggestion
+        );
+    }
+
+    #[test]
+    fn dx014_stays_silent_below_the_exponential_threshold() {
+        // Window 1 → bound 2, far below the threshold: DX005 only.
+        let mut dtd = RDtd::new(RFormalism::Nre, "s");
+        dtd.set_rule("s", RSpec::Nre(Regex::parse("(a | b)* a").unwrap()));
+        let report = analyze_dtd(&dtd);
+        assert!(codes(&report).contains(&"DX005"));
+        assert!(!codes(&report).contains(&"DX014"));
     }
 
     #[test]

@@ -88,6 +88,10 @@ impl Dfa {
 
     /// Sets the (unique) transition `from --sym--> to`, replacing any
     /// existing transition on the same symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` or `to` is not a state of the automaton.
     pub fn set_transition(&mut self, from: StateId, sym: impl Into<Symbol>, to: StateId) {
         assert!(from < self.num_states && to < self.num_states);
         let sid = self.local_id(sym.into());
@@ -99,6 +103,10 @@ impl Dfa {
     }
 
     /// Marks a state as final.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is not a state of the automaton.
     pub fn set_final(&mut self, state: StateId) {
         assert!(state < self.num_states);
         self.finals.insert(state);
@@ -199,6 +207,10 @@ impl Dfa {
     // ------------------------------------------------------------------
 
     /// Subset construction: builds the DFA of reachable state sets of `nfa`.
+    ///
+    /// # Panics
+    ///
+    /// Never in practice: the unlimited budget cannot trip.
     pub fn from_nfa(nfa: &Nfa) -> Dfa {
         Dfa::from_nfa_with_budget(nfa, &Budget::unlimited())
             .expect("the unlimited budget never trips")
@@ -209,6 +221,11 @@ impl Dfa {
     /// one step and every discovered subset state counts against the state
     /// quota. With the unlimited budget the construction is byte-identical
     /// to [`Dfa::from_nfa`].
+    ///
+    /// # Panics
+    ///
+    /// Only on a broken internal invariant (an alphabet symbol of `nfa`
+    /// without a local id).
     pub fn from_nfa_with_budget(nfa: &Nfa, budget: &Budget) -> Result<Dfa, AutomataError> {
         budget.check_interrupts()?;
         // Scan symbols in text order (canonical state numbering), step
@@ -412,6 +429,11 @@ impl Dfa {
     /// applied to the two component acceptance flags (so `&&` gives the
     /// intersection, `||` the union, `and not` the difference). Both DFAs are
     /// completed over the union of the alphabets first.
+    ///
+    /// # Panics
+    ///
+    /// Only on a broken internal invariant (a completed DFA missing a
+    /// symbol of the union alphabet).
     pub fn product(&self, other: &Dfa, accept: impl Fn(bool, bool) -> bool) -> Dfa {
         let alphabet = self.alphabet().union(&other.alphabet());
         let a = self.complete(&alphabet);

@@ -40,6 +40,10 @@ impl Counterexample {
 }
 
 /// Checks `[a] ⊆ [b]`; on failure returns a shortest word in `[a] − [b]`.
+///
+/// # Panics
+///
+/// Never in practice: the unlimited budget cannot trip.
 pub fn included(a: &Nfa, b: &Nfa) -> Result<(), Counterexample> {
     included_with_budget(a, b, &Budget::unlimited())
         .expect("the unlimited budget never trips")
@@ -67,6 +71,10 @@ pub fn included_with_budget(
 
 /// Checks `[a] = [b]`; on failure returns a shortest distinguishing word
 /// together with the side it belongs to.
+///
+/// # Panics
+///
+/// Never in practice: the unlimited budget cannot trip.
 pub fn equivalent(a: &Nfa, b: &Nfa) -> Result<(), Counterexample> {
     equivalent_with_budget(a, b, &Budget::unlimited())
         .expect("the unlimited budget never trips")

@@ -263,6 +263,11 @@ impl Budget {
     /// Makes the budget cancellable: returns the budget plus a
     /// [`CancelHandle`] that any thread may use to raise the cooperative
     /// cancellation flag.
+    ///
+    /// # Panics
+    ///
+    /// Only on a broken internal invariant (`governed()` not attaching the
+    /// shared counters).
     #[must_use]
     pub fn cancellable(mut self) -> (Budget, CancelHandle) {
         self.governed();
@@ -427,9 +432,13 @@ pub mod faults {
         panic_docs().lock().unwrap_or_else(PoisonError::into_inner).clear();
     }
 
-    /// Panics iff the injector is armed for `doc_index`. One relaxed load
-    /// when disarmed — cheap enough to sit on the batch per-document path
-    /// unconditionally.
+    /// One relaxed load when disarmed — cheap enough to sit on the batch
+    /// per-document path unconditionally.
+    ///
+    /// # Panics
+    ///
+    /// Panics iff the injector is armed for `doc_index`: the injected
+    /// fault itself.
     #[inline]
     pub fn maybe_inject_worker_panic(doc_index: usize) {
         if PANIC_ARMED.load(Ordering::Relaxed) {

@@ -50,6 +50,33 @@ use crate::symbol::{Alphabet, Symbol, Word};
 /// A state identifier; states of an [`Nfa`] are `0..nfa.num_states()`.
 pub type StateId = usize;
 
+/// Structural metrics of an [`Nfa`], extracted by [`Nfa::metrics`] in
+/// polynomial time (no determinisation).
+///
+/// These are the raw inputs of the static cost model in
+/// `dxml-analysis::cost`: every field maps directly onto a term of the
+/// subset-construction cost brackets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NfaMetrics {
+    /// Number of states `m`. The subset construction builds at most
+    /// `2^m − 1` subset states (only non-empty subsets are materialised).
+    pub states: usize,
+    /// Number of transitions, ε-transitions included.
+    pub transitions: usize,
+    /// The symbols actually appearing on transitions — exactly the
+    /// alphabet the subset construction scans once per popped subset, so
+    /// `subset transitions = subset states × alphabet.len()`.
+    pub alphabet: Alphabet,
+    /// Whether any ε-transition exists (Thompson-built NFAs have them;
+    /// Glushkov-built ones never do).
+    pub has_epsilon: bool,
+    /// Length of a shortest accepted word, or `None` for the empty
+    /// language. The subsets visited along a shortest word's run are
+    /// pairwise distinct, so the subset DFA has at least
+    /// `min_word_len + 1` states when the language is non-empty.
+    pub min_word_len: Option<usize>,
+}
+
 /// A nondeterministic finite automaton with ε-transitions.
 #[derive(Clone)]
 pub struct Nfa {
@@ -180,6 +207,10 @@ impl Nfa {
     }
 
     /// Adds a transition `from --sym--> to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` or `to` is not a state of the automaton.
     pub fn add_transition(&mut self, from: StateId, sym: impl Into<Symbol>, to: StateId) {
         assert!(from < self.num_states && to < self.num_states);
         let sid = self.local_id(sym.into());
@@ -191,6 +222,10 @@ impl Nfa {
     }
 
     /// Adds an ε-transition `from --ε--> to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` or `to` is not a state of the automaton.
     pub fn add_epsilon(&mut self, from: StateId, to: StateId) {
         assert!(from < self.num_states && to < self.num_states);
         let v = &mut self.eps[from];
@@ -201,6 +236,10 @@ impl Nfa {
     }
 
     /// Marks a state as final.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is not a state of the automaton.
     pub fn set_final(&mut self, state: StateId) {
         assert!(state < self.num_states);
         self.finals.insert(state);
@@ -212,6 +251,10 @@ impl Nfa {
     }
 
     /// Changes the start state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is not a state of the automaton.
     pub fn set_start(&mut self, state: StateId) {
         assert!(state < self.num_states);
         self.start = state;
@@ -284,6 +327,21 @@ impl Nfa {
     /// Whether the automaton has any ε-transition.
     pub fn has_epsilon(&self) -> bool {
         self.has_eps
+    }
+
+    /// Extracts the structural [`NfaMetrics`] of the automaton — everything
+    /// the static cost model (`dxml-analysis::cost`) needs to bracket a
+    /// future [`Dfa::from_nfa`](crate::dfa::Dfa::from_nfa) run, computed in
+    /// polynomial time without determinising anything (the only search is
+    /// the shortest-word BFS, linear in the transition table).
+    pub fn metrics(&self) -> NfaMetrics {
+        NfaMetrics {
+            states: self.num_states,
+            transitions: self.num_transitions(),
+            alphabet: self.alphabet(),
+            has_epsilon: self.has_eps,
+            min_word_len: self.shortest_accepted().map(|w| w.len()),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -598,6 +656,11 @@ impl Nfa {
     /// Restricts the automaton to states reachable from the start *and*
     /// co-reachable from a final state (keeping the start state even if its
     /// language is empty). The result accepts the same language.
+    ///
+    /// # Panics
+    ///
+    /// Only on a broken internal invariant (a kept state missing from the
+    /// dense remap).
     pub fn trim(&self) -> Nfa {
         let reach = self.reachable_from(&StateSet::singleton(self.num_states, self.start));
         let coreach = self.coreachable_to(&self.finals_set());
@@ -837,8 +900,12 @@ impl Nfa {
         out.trim()
     }
 
-    /// Intersection of many automata. Panics on an empty iterator (there is
-    /// no universal language without an alphabet).
+    /// Intersection of many automata.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty iterator (there is no universal language without
+    /// an alphabet).
     pub fn intersect_all<'a>(automata: impl IntoIterator<Item = &'a Nfa>) -> Nfa {
         let mut iter = automata.into_iter();
         let first = iter.next().expect("intersect_all needs at least one automaton");
@@ -919,6 +986,25 @@ mod tests {
         assert!(!a.accepts(&word_chars("ab")));
         assert!(!a.accepts(&word_chars("abaa")));
         assert!(!a.accepts(&[]));
+    }
+
+    #[test]
+    fn metrics_reflect_structure() {
+        let w = word_chars("aba");
+        let m = Nfa::literal(&w).metrics();
+        assert_eq!(m.states, 4);
+        assert_eq!(m.transitions, 3);
+        assert_eq!(m.alphabet, ab());
+        assert!(!m.has_epsilon);
+        assert_eq!(m.min_word_len, Some(3));
+
+        let empty = Nfa::empty().metrics();
+        assert_eq!(empty.min_word_len, None);
+        assert!(empty.alphabet.is_empty());
+
+        let star = Nfa::symbol("a").star().metrics();
+        assert!(star.has_epsilon);
+        assert_eq!(star.min_word_len, Some(0));
     }
 
     #[test]

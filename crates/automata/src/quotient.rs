@@ -41,6 +41,10 @@ use crate::symbol::Alphabet;
 impl Nfa {
     /// The existential left quotient `P⁻¹[self] = { w : ∃u ∈ [P], u·w ∈
     /// [self] }`.
+    ///
+    /// # Panics
+    ///
+    /// Never in practice: the unlimited budget cannot trip.
     pub fn left_quotient(&self, prefixes: &Nfa) -> Nfa {
         let d = Dfa::from_nfa(self);
         let entry = states_reachable_via(&d, prefixes, &Budget::unlimited())
@@ -58,6 +62,10 @@ impl Nfa {
 
     /// The existential right quotient `[self]·S⁻¹ = { w : ∃v ∈ [S], w·v ∈
     /// [self] }`.
+    ///
+    /// # Panics
+    ///
+    /// Never in practice: the unlimited budget cannot trip.
     pub fn right_quotient(&self, suffixes: &Nfa) -> Nfa {
         let d = Dfa::from_nfa(self);
         // `q` is final in the quotient iff some suffix leads from `q` to an
@@ -134,6 +142,10 @@ impl Dfa {
     /// This is the memoisation-friendly entry point: the synthesis loops
     /// determinise each content model once per problem and take residuals by
     /// many different contexts.
+    ///
+    /// # Panics
+    ///
+    /// Never in practice: the unlimited budget cannot trip.
     pub fn universal_context_residual(&self, prefixes: &Nfa, suffixes: &Nfa) -> Nfa {
         self.universal_context_residual_with_budget(prefixes, suffixes, &Budget::unlimited())
             .expect("the unlimited budget never trips")
@@ -142,6 +154,11 @@ impl Dfa {
     /// Governed variant of [`Dfa::universal_context_residual`]: the
     /// set-simulation and the context reachability walks charge the budget
     /// and abort with [`AutomataError::BudgetExceeded`] when it trips.
+    ///
+    /// # Panics
+    ///
+    /// Only on a broken internal invariant (a completed DFA missing an
+    /// alphabet symbol).
     pub fn universal_context_residual_with_budget(
         &self,
         prefixes: &Nfa,

@@ -64,10 +64,13 @@ impl Regex {
                 other => flat.push(other),
             }
         }
-        match flat.len() {
-            0 => Regex::Epsilon,
-            1 => flat.pop().unwrap(),
-            _ => Regex::Concat(flat),
+        match flat.pop() {
+            None => Regex::Epsilon,
+            Some(last) if flat.is_empty() => last,
+            Some(last) => {
+                flat.push(last);
+                Regex::Concat(flat)
+            }
         }
     }
 
@@ -80,10 +83,13 @@ impl Regex {
                 other => flat.push(other),
             }
         }
-        match flat.len() {
-            0 => Regex::Empty,
-            1 => flat.pop().unwrap(),
-            _ => Regex::Alt(flat),
+        match flat.pop() {
+            None => Regex::Empty,
+            Some(last) if flat.is_empty() => last,
+            Some(last) => {
+                flat.push(last);
+                Regex::Alt(flat)
+            }
         }
     }
 

@@ -57,6 +57,10 @@ enum Words {
 
 impl StateSet {
     /// The empty set over the universe `0..universe`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `universe` exceeds `u32::MAX` states.
     pub fn empty(universe: usize) -> StateSet {
         let universe = u32::try_from(universe).expect("state universe exceeds u32");
         let words = if universe as usize <= INLINE_STATES {

@@ -47,6 +47,10 @@ pub fn elem(i: usize) -> Symbol {
 /// is never empty). The same `(n, seed)` always yields the same DTD, and
 /// every content model is one-unambiguous, so the family is usable for all
 /// four formalisms `R`.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
 pub fn dtd_family(formalism: RFormalism, n: usize, seed: u64) -> RDtd {
     assert!(n >= 1, "need at least one element");
     let mut rng = SplitRng::new(seed ^ (n as u64).wrapping_mul(0x9E37_79B9));
@@ -73,6 +77,10 @@ pub fn dtd_family(formalism: RFormalism, n: usize, seed: u64) -> RDtd {
 
 /// A valid document of the `(n, seed)` DTD family, grown by repeatedly
 /// materialising the shortest content word of each element (deterministic).
+///
+/// # Panics
+///
+/// Never in practice: family languages are non-empty by construction.
 pub fn doc_for(dtd: &RDtd) -> XTree {
     dtd.sample_tree().expect("family languages are non-empty")
 }
@@ -81,6 +89,11 @@ pub fn doc_for(dtd: &RDtd) -> XTree {
 /// DTD itself; `fns` function symbols `f0…` each return forests of `e1`-trees
 /// (the content of the start symbol's first child), which keeps well-typed
 /// and ill-typed variants one rule-tweak apart.
+///
+/// # Panics
+///
+/// Never in practice: the generated kernel and schemas satisfy every
+/// constructor invariant by construction.
 pub fn design_workload(n: usize, fns: usize, seed: u64) -> (DesignProblem, DistributedDoc) {
     let target = dtd_family(RFormalism::Nre, n.max(3), seed);
     // The family rules seen from `e1`: a schema for the subtrees the
@@ -124,6 +137,10 @@ pub fn design_workload(n: usize, fns: usize, seed: u64) -> (DesignProblem, Distr
 /// the root requires its `a`-children to be typed `x1 x2 … xn`, where the
 /// specialisation `xi` of `a` demands a single `bi` leaf. No DTD can
 /// distinguish the positions, since every child carries the same label `a`.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
 pub fn box_target(n: usize) -> REdtd {
     assert!(n >= 1, "need at least one specialisation");
     let mut target = REdtd::new(RFormalism::Nre, "s", "s");
@@ -143,6 +160,11 @@ pub fn box_target(n: usize) -> REdtd {
 /// at a single call `f`, whose EDTD schema supplies exactly the missing
 /// specialised trees — so the design typechecks, and the perfect schema of
 /// `f` is non-trivial but unique.
+///
+/// # Panics
+///
+/// Never in practice: the generated kernel satisfies every constructor
+/// invariant by construction.
 pub fn box_workload(n: usize) -> (BoxDesignProblem, DistributedDoc) {
     let n = n.max(2);
     let split = n / 2;
@@ -164,6 +186,51 @@ pub fn box_workload(n: usize) -> (BoxDesignProblem, DistributedDoc) {
     let problem = BoxDesignProblem::new(box_target(n)).with_function("f", schema);
     let doc = DistributedDoc::new(kernel, ["f"]).expect("kernel invariants hold");
     (problem, doc)
+}
+
+/// The paper's Figure 3 Eurostat type, as a dRE-DTD — the realistic
+/// fixed-shape corpus member shared by the `schema_lint` example and the
+/// cost-calibration suite.
+///
+/// # Panics
+///
+/// Never in practice: the embedded W3C DTD text always parses.
+pub fn eurostat_figure3() -> RDtd {
+    RDtd::parse_w3c(
+        RFormalism::Dre,
+        r#"<!ELEMENT eurostat (averages, nationalIndex*)>
+           <!ELEMENT averages (Good, index+)+>
+           <!ELEMENT nationalIndex (country, Good, (index | (value, year)))>
+           <!ELEMENT index (value, year)>
+           <!ELEMENT country (#PCDATA)>
+           <!ELEMENT Good (#PCDATA)>
+           <!ELEMENT value (#PCDATA)>
+           <!ELEMENT year (#PCDATA)>"#,
+    )
+    .expect("Figure 3 parses as a dRE-DTD")
+}
+
+/// The adversarial suffix-counting family as a DTD: the start element's
+/// content model is `(a|b)* a (a|b)^{n-1}`, whose minimal DFA — and hence
+/// subset construction — needs at least `2^n` states. The shortest
+/// accepted child word `a b^{n-1}` exercises every rule, so
+/// [`RDtd::sample_tree`] yields a covering document: the workload the
+/// fuzz smoke-test uses to prove a `DX014`-flagged schema really trips
+/// its zero-headroom recommended budget.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn adversarial_dtd(n: usize) -> RDtd {
+    assert!(n >= 1, "the window needs at least the pivot");
+    let ab = || Regex::alt(vec![Regex::sym("a"), Regex::sym("b")]);
+    let mut parts = vec![ab().star(), Regex::sym("a")];
+    parts.extend((1..n).map(|_| ab()));
+    let mut dtd = RDtd::new(RFormalism::Nre, "s");
+    dtd.set_rule("s", RSpec::Nre(Regex::concat(parts)));
+    dtd.add_element("a");
+    dtd.add_element("b");
+    dtd
 }
 
 // ----------------------------------------------------------------------
@@ -204,6 +271,10 @@ pub fn smoke() -> bool {
 /// one-line report. The closure's result is returned from the last iteration
 /// to keep the work observable (and the call un-elided). In smoke mode
 /// ([`smoke`]) the iteration count is clamped to 1.
+///
+/// # Panics
+///
+/// Panics if `iters` is zero.
 pub fn bench<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) -> BenchResult {
     assert!(iters > 0);
     let iters = if smoke() { 1 } else { iters };
@@ -298,6 +369,10 @@ impl Session {
 
     /// Writes `BENCH_<name>.json` and the `TELEMETRY_<name>.json` sidecar
     /// into `dir` (created if missing).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the output directory or either file cannot be written.
     pub fn write_to(self, dir: &std::path::Path) {
         std::fs::create_dir_all(dir)
             .unwrap_or_else(|e| panic!("cannot create bench output dir {}: {e}", dir.display()));

@@ -1,0 +1,194 @@
+//! Differential calibration of the static cost model (`dxml-analysis`'s
+//! `cost` module) against the engine's telemetry counters.
+//!
+//! The cost model predicts, per content model, a `[lower … upper]` bracket
+//! on the `dfa.subset_states` / `dfa.subset_transitions` a determinisation
+//! will record, and per inclusion check a bracket on `equiv.bfs_states` /
+//! `equiv.bfs_transitions`. These tests run the real engine over the full
+//! bench corpus with telemetry on and assert `lower ≤ actual ≤ upper` for
+//! every schema — the calibration contract of the model. Two budget tests
+//! close the loop: `recommend_budget` must admit every corpus workload,
+//! while the zero-headroom budget must trip on the adversarial
+//! suffix-counting family it is derived from.
+//!
+//! The telemetry registry is process-global, so every test takes the same
+//! mutex and resets the counters itself.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use dxml_analysis::{
+    analyze_schema, content_model_cost, inclusion_cost, recommend_box_budget,
+    recommend_budget, recommend_budget_with_headroom, AnySchema,
+};
+use dxml_automata::{equiv, Dfa, RFormalism, RSpec};
+use dxml_bench::{adversarial_dtd, box_workload, design_workload, dtd_family, eurostat_figure3};
+use dxml_core::{DesignError, DesignProblem, DistributedDoc};
+use dxml_telemetry::{self as telemetry, Metric, Snapshot};
+
+/// Serialises the tests touching the process-global telemetry registry.
+fn telemetry_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Every content model of the bench corpus, labelled, plus the adversarial
+/// suffix-counting family at a size that is still cheap to determinise.
+fn corpus_specs() -> Vec<(String, RSpec)> {
+    let mut specs = Vec::new();
+    let mut push_all = |tag: &str, models: Vec<(String, RSpec)>| {
+        specs.extend(models.into_iter().map(|(loc, s)| (format!("{tag}: {loc}"), s)));
+    };
+    push_all("eurostat", DesignProblem::new(eurostat_figure3()).content_models());
+    for formalism in RFormalism::ALL {
+        let dtd = dtd_family(formalism, 12, 7);
+        push_all(&format!("dtd_family({formalism})"), DesignProblem::new(dtd).content_models());
+    }
+    let (problem, _) = design_workload(12, 3, 7);
+    push_all("design_workload", problem.content_models());
+    let (problem, _) = box_workload(6);
+    push_all("box_workload", problem.content_models());
+    push_all("adversarial(8)", DesignProblem::new(adversarial_dtd(8)).content_models());
+    specs
+}
+
+#[test]
+fn subset_construction_stays_within_the_predicted_bracket() {
+    let _guard = telemetry_lock();
+    telemetry::set_enabled(true);
+    let specs = corpus_specs();
+    assert!(specs.len() >= 40, "the corpus should exercise the model broadly");
+    for (loc, spec) in specs {
+        let cost = content_model_cost(&spec);
+        telemetry::reset();
+        let _dfa = Dfa::from_nfa(&spec.to_nfa());
+        let snap = Snapshot::take();
+        let states = snap.counter(Metric::SubsetStates);
+        let steps = snap.counter(Metric::SubsetTransitions);
+        assert!(
+            cost.subset_states.contains(states),
+            "{loc}: dfa.subset_states = {states} outside predicted {}",
+            cost.subset_states
+        );
+        assert!(
+            cost.subset_steps.contains(steps),
+            "{loc}: dfa.subset_transitions = {steps} outside predicted {}",
+            cost.subset_steps
+        );
+    }
+    telemetry::set_enabled(false);
+}
+
+#[test]
+fn product_bfs_stays_within_the_predicted_bracket() {
+    let _guard = telemetry_lock();
+    telemetry::set_enabled(true);
+    for (loc, spec) in corpus_specs() {
+        let nfa = spec.to_nfa();
+        let cost = inclusion_cost(&nfa, &nfa);
+        telemetry::reset();
+        assert!(equiv::included(&nfa, &nfa).is_ok(), "{loc}: self-inclusion must hold");
+        let snap = Snapshot::take();
+        let popped = snap.counter(Metric::EquivBfsStates);
+        let edges = snap.counter(Metric::EquivBfsTransitions);
+        let states_delta = snap.counter(Metric::SubsetStates);
+        // Self-inclusion determinises the same NFA twice, so the general
+        // (two-sided) subset bracket applies to the recorded total.
+        assert!(
+            cost.subset_states.contains(states_delta),
+            "{loc}: dfa.subset_states = {states_delta} outside predicted {}",
+            cost.subset_states
+        );
+        // The verdict-free brackets always apply …
+        assert!(
+            cost.bfs_states.contains(popped),
+            "{loc}: equiv.bfs_states = {popped} outside predicted {}",
+            cost.bfs_states
+        );
+        assert!(
+            cost.bfs_steps.contains(edges),
+            "{loc}: equiv.bfs_transitions = {edges} outside predicted {}",
+            cost.bfs_steps
+        );
+        // … and since the inclusion holds, so do the tighter conditional
+        // ones.
+        assert!(
+            cost.bfs_states_if_included.contains(popped),
+            "{loc}: equiv.bfs_states = {popped} outside included-bracket {}",
+            cost.bfs_states_if_included
+        );
+        assert!(
+            cost.bfs_steps_if_included.contains(edges),
+            "{loc}: equiv.bfs_transitions = {edges} outside included-bracket {}",
+            cost.bfs_steps_if_included
+        );
+    }
+    telemetry::set_enabled(false);
+}
+
+#[test]
+fn recommended_budget_admits_every_corpus_workload() {
+    let _guard = telemetry_lock();
+    let (problem, doc) = design_workload(12, 3, 7);
+    let budget = recommend_budget(&problem);
+    problem
+        .typecheck_with_budget(&doc, &budget)
+        .expect("the recommended budget admits the design-workload typecheck");
+    problem
+        .verify_local_with_budget(&doc, &budget)
+        .expect("the recommended budget admits the design-workload verification");
+
+    let (problem, doc) = box_workload(6);
+    let budget = recommend_box_budget(&problem);
+    problem
+        .typecheck_with_budget(&doc, &budget)
+        .expect("the recommended box budget admits the box-workload typecheck");
+    problem
+        .verify_local_with_budget(&doc, &budget)
+        .expect("the recommended box budget admits the box-workload verification");
+
+    let problem = DesignProblem::new(eurostat_figure3());
+    let doc = DistributedDoc::parse(
+        "eurostat(averages(Good index(value year)))",
+        std::iter::empty::<&str>(),
+    )
+    .expect("the eurostat document parses");
+    let budget = recommend_budget(&problem);
+    problem
+        .verify_local_with_budget(&doc, &budget)
+        .expect("the recommended budget admits the eurostat verification");
+}
+
+#[test]
+fn zero_headroom_budget_trips_on_the_adversarial_family() {
+    let _guard = telemetry_lock();
+    let problem = DesignProblem::new(adversarial_dtd(10));
+
+    // The lint flags the family with the proved 2^10 lower bound …
+    let report = analyze_schema(AnySchema::Dtd(problem.doc_schema()));
+    let dx014 = report
+        .iter()
+        .find(|d| d.code == "DX014")
+        .expect("the adversarial family is flagged predicted-exponential");
+    assert!(dx014.message.contains("1024"), "the 2^10 bound is named: {}", dx014.message);
+
+    // … and a budget scaled to just below that proved floor must trip on a
+    // covering document (one `s` node forces the content-model subset
+    // construction), while the default-headroom budget admits the same run.
+    let children: Vec<&str> = std::iter::once("a").chain(std::iter::repeat("b").take(9)).collect();
+    let doc = DistributedDoc::parse(
+        &format!("s({})", children.join(" ")),
+        std::iter::empty::<&str>(),
+    )
+    .expect("the covering document parses");
+    let tripping = recommend_budget_with_headroom(&problem, 0.0);
+    match problem.verify_local_with_budget(&doc, &tripping) {
+        Err(DesignError::BudgetExceeded { .. }) => {}
+        other => panic!("expected a budget trip below the proved floor, got {other:?}"),
+    }
+    let admitted = recommend_budget(&problem);
+    problem
+        .verify_local_with_budget(&doc, &admitted)
+        .expect("the default-headroom budget admits the adversarial run");
+}

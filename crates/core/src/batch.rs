@@ -41,6 +41,12 @@ pub fn validate_batch<S: AsRef<str> + Sync>(
 /// every worker at its next check), and each verdict surfaces
 /// [`SchemaError::BudgetExceeded`] once the budget trips. Documents
 /// validated before the trip keep their real verdicts.
+///
+/// # Panics
+///
+/// Panics if a validation worker itself panicked — only possible through
+/// the fault injector (`fault::arm_worker_panic`); per-document panics are
+/// otherwise caught and surfaced as verdicts.
 pub fn validate_batch_with_budget<S: AsRef<str> + Sync>(
     sdtd: &RSdtd,
     documents: &[S],

@@ -519,6 +519,27 @@ impl BoxDesignProblem {
         self.fun_schemas.get(function)
     }
 
+    /// Every content model of the problem — the target schema's rules
+    /// followed by each function schema's rules — paired with a stable
+    /// human-readable location in the style of the `dxml-analysis`
+    /// diagnostics (`target schema: specialisation `x``, `schema of
+    /// function `f`: specialisation `y``). The budget-synthesis entry
+    /// point of the box route: `dxml-analysis::cost` brackets the
+    /// determinisation cost of exactly these models to recommend
+    /// step/state quotas for the Section-7 constructions.
+    pub fn content_models(&self) -> Vec<(String, RSpec)> {
+        let mut out = Vec::new();
+        for (name, spec) in self.doc_schema.rules() {
+            out.push((format!("target schema: specialisation `{name}`"), spec.clone()));
+        }
+        for (f, schema) in &self.fun_schemas {
+            for (name, spec) in schema.rules() {
+                out.push((format!("schema of function `{f}`: specialisation `{name}`"), spec.clone()));
+            }
+        }
+        out
+    }
+
     /// The lazily built problem artefacts (determinised specialised target,
     /// per-function gap languages). The first call pays for the
     /// determinisation; later calls are free.
@@ -862,6 +883,11 @@ impl BoxDesignProblem {
     ///
     /// Everything [`BoxDesignProblem::perfect_schema`] reports, plus
     /// [`DesignError::BudgetExceeded`].
+    ///
+    /// # Panics
+    ///
+    /// Only on a broken internal invariant (an admitted function with an
+    /// empty docking set).
     pub fn perfect_schema_with_budget(
         &self,
         doc: &DistributedDoc,

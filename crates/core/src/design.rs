@@ -26,7 +26,7 @@ use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 use dxml_automata::equiv::included_with_budget as str_included_with_budget;
 use dxml_telemetry as telemetry;
-use dxml_automata::{AutomataError, Budget, Dfa, Nfa, Symbol};
+use dxml_automata::{AutomataError, Budget, Dfa, Nfa, RSpec, Symbol};
 use dxml_schema::{RDtd, SchemaError};
 use dxml_tree::uta::Duta;
 use dxml_tree::{uta, Nuta, XTree};
@@ -497,6 +497,26 @@ impl DesignProblem {
         self.fun_schemas.get(function)
     }
 
+    /// Every content model of the problem — the target schema's rules
+    /// followed by each function schema's rules — paired with a stable
+    /// human-readable location in the style of the `dxml-analysis`
+    /// diagnostics (`target schema: element `a``, `schema of function `f`:
+    /// element `b``). This is the budget-synthesis entry point: the static
+    /// cost model in `dxml-analysis::cost` brackets the determinisation
+    /// cost of exactly these models to recommend step/state quotas.
+    pub fn content_models(&self) -> Vec<(String, RSpec)> {
+        let mut out = Vec::new();
+        for (name, spec) in self.doc_schema.rules() {
+            out.push((format!("target schema: element `{name}`"), spec.clone()));
+        }
+        for (f, schema) in &self.fun_schemas {
+            for (name, spec) in schema.rules() {
+                out.push((format!("schema of function `{f}`: element `{name}`"), spec.clone()));
+            }
+        }
+        out
+    }
+
     /// The lazily built problem artefacts (determinised target automaton,
     /// content NFAs, productive names, reduced function schemas). The first
     /// call pays for the determinisation and the reductions; later calls
@@ -703,6 +723,11 @@ impl DesignProblem {
     /// Governed variant of [`DesignProblem::verify_local`]: every
     /// string-language inclusion (and the cold target-cache build) charges
     /// `budget`; a trip surfaces as [`DesignError::BudgetExceeded`].
+    ///
+    /// # Panics
+    ///
+    /// Only on a broken internal invariant (a call site surviving
+    /// `require_schemas` without a reduced schema).
     pub fn verify_local_with_budget(
         &self,
         doc: &DistributedDoc,

@@ -72,6 +72,10 @@ impl TreeGenConfig {
 }
 
 /// Generates a pseudo-random tree according to `config`.
+///
+/// # Panics
+///
+/// Panics if `config.labels` is empty.
 pub fn random_tree(rng: &mut SplitRng, config: &TreeGenConfig) -> XTree {
     assert!(!config.labels.is_empty(), "need at least one label");
     fn grow(rng: &mut SplitRng, config: &TreeGenConfig, tree: &mut XTree, node: usize, depth: usize) {

@@ -108,6 +108,10 @@ impl XTree {
 
     /// Adds a child with the given label as the new last child of `parent`,
     /// returning its node id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is not a node of the tree.
     pub fn add_child(&mut self, parent: NodeId, label: impl Into<Symbol>) -> NodeId {
         assert!(parent < self.nodes.len(), "invalid parent node");
         let id = self.nodes.len();
@@ -203,6 +207,11 @@ impl XTree {
     /// `ext_T(t1..tn)` of a kernel replaces each function node `fi` by the
     /// forest of trees directly connected to the root of `ti` (Section 2.3).
     /// Target nodes must be leaves (as function nodes are).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the root itself satisfies `is_target`: a kernel's root is
+    /// never a function node.
     pub fn replace_with_forest(
         &self,
         is_target: impl Fn(&Symbol) -> bool,

@@ -146,6 +146,11 @@ impl Nuta {
     /// The bottom-up possible-state run: for each node (indexed by
     /// [`crate::tree::NodeId`]) the set of states the automaton can assign to
     /// it.
+    ///
+    /// # Panics
+    ///
+    /// Only on a broken internal invariant (the by-label index listing a
+    /// state without a rule).
     pub fn run(&self, tree: &XTree) -> Vec<BTreeSet<Symbol>> {
         let mut possible: Vec<BTreeSet<Symbol>> = vec![BTreeSet::new(); tree.size()];
         for node in tree.bottom_up_order() {
@@ -336,6 +341,10 @@ impl Duta {
     /// Determinises `nuta` over the label universe `labels` (which should
     /// contain at least `nuta.labels()`; extra labels yield the empty subset
     /// for every node carrying them).
+    ///
+    /// # Panics
+    ///
+    /// Never in practice: the unlimited budget cannot trip.
     pub fn from_nuta(nuta: &Nuta, labels: &Alphabet) -> Duta {
         Duta::from_nuta_with_budget(nuta, labels, &Budget::unlimited())
             .expect("the unlimited budget never trips")
@@ -346,6 +355,11 @@ impl Duta {
     /// every discovered subset state charges the state quota; the
     /// construction aborts with [`AutomataError::BudgetExceeded`] when the
     /// budget trips, leaving no partial automaton behind.
+    ///
+    /// # Panics
+    ///
+    /// Only on a broken internal invariant (a ruled `(state, label)` pair
+    /// without its content automaton).
     pub fn from_nuta_with_budget(
         nuta: &Nuta,
         labels: &Alphabet,
@@ -655,6 +669,10 @@ impl Duta {
     /// reduction: the children of a kernel node form a word-with-box-gaps
     /// language over subset states, and typing verification asks which
     /// subset states the node itself can reach.
+    ///
+    /// # Panics
+    ///
+    /// Never in practice: the unlimited budget cannot trip.
     pub fn outputs_over(
         &self,
         label: &Symbol,
@@ -823,6 +841,10 @@ pub fn included(a: &Nuta, b: &Nuta) -> Result<(), XTree> {
 /// This is the entry point for callers that check many left-hand sides
 /// against the same target (typing verification, perfect-schema synthesis):
 /// the expensive determinisation of the target happens once, outside.
+///
+/// # Panics
+///
+/// Never in practice: the unlimited budget cannot trip.
 pub fn included_in_duta(a: &Nuta, db: &Duta) -> Result<(), XTree> {
     included_in_duta_with_budget(a, db, &Budget::unlimited())
         .expect("the unlimited budget never trips")
@@ -848,6 +870,10 @@ pub fn included_in_duta_with_budget(
 
 /// Checks `[a] = [b]` as tree languages; on failure returns a distinguishing
 /// tree together with the side (`true` = accepted by `a` only).
+///
+/// # Panics
+///
+/// Never in practice: the unlimited budget cannot trip.
 pub fn equivalent(a: &Nuta, b: &Nuta) -> Result<(), (XTree, bool)> {
     let labels = a.labels().union(b.labels());
     let da = a.determinize(&labels);

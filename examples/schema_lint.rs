@@ -11,84 +11,32 @@
 //!    diagnostic of `error` severity survives — the CI entry point.
 //!
 //! ```sh
-//! cargo run --example schema_lint            # rustc-style text report
-//! cargo run --example schema_lint -- --json  # machine-readable findings
+//! cargo run --example schema_lint             # rustc-style text report
+//! cargo run --example schema_lint -- --json   # machine-readable findings
+//! cargo run --example schema_lint -- --costs  # + static cost predictions
 //! ```
 //!
 //! With `--json` the corpus-gate findings are emitted as one JSON document
-//! (`{"entries": [...], "errors": N}`) in the same machine-readable spirit
-//! as the `BENCH_*`/`TELEMETRY_*` files; the showcase prose is skipped and
-//! the exit-code contract is unchanged.
+//! (`{"entries": [...], "errors": N}`, rendered by
+//! `dxml_analysis::report`) in the same machine-readable spirit as the
+//! `BENCH_*`/`TELEMETRY_*` files; the showcase prose is skipped and the
+//! exit-code contract is unchanged. `--costs` appends the static
+//! cost-analysis summary (`dxml_analysis::cost`) for the corpus designs —
+//! predicted state/step brackets, the dominating location and the
+//! recommended budget quotas — as text or, combined with `--json`, as a
+//! `"costs"` array in the same document.
 
 use std::process::ExitCode;
 
-use dxml::analysis::{analyze_box_design, analyze_design, analyze_schema, AnySchema};
+use dxml::analysis::report::{error_count, json_string, render_json, render_text};
+use dxml::analysis::{
+    analyze_box_design, analyze_design, analyze_schema, box_design_cost, design_cost,
+    recommended_quotas, AnySchema, DesignCost, DEFAULT_HEADROOM,
+};
 use dxml::automata::{RFormalism, Regex, RSpec};
 use dxml::core::{DesignProblem, DistributedDoc};
 use dxml::schema::{RDtd, REdtd};
-use dxml::{Diagnostic, Severity};
-
-/// Prints a report under a corpus-entry header; returns the error count.
-fn render(entry: &str, report: &[Diagnostic]) -> usize {
-    if report.is_empty() {
-        println!("{entry}: clean");
-        return 0;
-    }
-    println!("{entry}:");
-    for d in report {
-        println!("{d}");
-    }
-    report.iter().filter(|d| d.severity == Severity::Error).count()
-}
-
-/// Minimal JSON string rendering (quotes, backslashes and control
-/// characters escaped), matching the bench harness's dependency-free
-/// output files.
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-/// One corpus entry's findings as a JSON object.
-fn entry_json(entry: &str, report: &[Diagnostic]) -> String {
-    let diags: Vec<String> = report
-        .iter()
-        .map(|d| {
-            let suggestion = d
-                .suggestion
-                .as_deref()
-                .map_or_else(|| "null".to_string(), json_string);
-            format!(
-                r#"      {{"code":{},"severity":{},"location":{},"message":{},"suggestion":{}}}"#,
-                json_string(d.code),
-                json_string(&d.severity.to_string()),
-                json_string(&d.location),
-                json_string(&d.message),
-                suggestion
-            )
-        })
-        .collect();
-    let body = if diags.is_empty() {
-        "[]".to_string()
-    } else {
-        format!("[\n{}\n    ]", diags.join(",\n"))
-    };
-    format!(
-        "    {{\"entry\":{},\"diagnostics\":{}}}",
-        json_string(entry),
-        body
-    )
-}
+use dxml::Diagnostic;
 
 /// A design with one of everything: an unsatisfiable element, an
 /// unreachable one, a non-one-unambiguous content model, a shadowed
@@ -127,6 +75,12 @@ fn showcase() {
     for d in analyze_schema(AnySchema::Edtd(&e)) {
         println!("{d}");
     }
+
+    println!("\n== showcase: a predicted-exponential content model ==");
+    let adversarial = dxml_bench::adversarial_dtd(10);
+    for d in analyze_schema(AnySchema::Dtd(&adversarial)) {
+        println!("{d}");
+    }
 }
 
 /// Lints every schema and design of the example/bench corpus; returns the
@@ -135,18 +89,7 @@ fn corpus_findings() -> Vec<(String, Vec<Diagnostic>)> {
     let mut entries = Vec::new();
 
     // The Figure 3 Eurostat type driving the paper examples.
-    let eurostat = RDtd::parse_w3c(
-        RFormalism::Dre,
-        r#"<!ELEMENT eurostat (averages, nationalIndex*)>
-           <!ELEMENT averages (Good, index+)+>
-           <!ELEMENT nationalIndex (country, Good, (index | (value, year)))>
-           <!ELEMENT index (value, year)>
-           <!ELEMENT country (#PCDATA)>
-           <!ELEMENT Good (#PCDATA)>
-           <!ELEMENT value (#PCDATA)>
-           <!ELEMENT year (#PCDATA)>"#,
-    )
-    .expect("Figure 3 parses as a dRE-DTD");
+    let eurostat = dxml_bench::eurostat_figure3();
     entries.push(("eurostat (Figure 3)".to_string(), analyze_schema(AnySchema::Dtd(&eurostat))));
 
     // The one-c specialised target of the box-design example.
@@ -174,35 +117,100 @@ fn corpus_findings() -> Vec<(String, Vec<Diagnostic>)> {
     entries
 }
 
-/// Error-severity count across all findings.
-fn error_count(entries: &[(String, Vec<Diagnostic>)]) -> usize {
-    entries
+/// The corpus designs' composed cost models, plus the adversarial family
+/// as the worked example of a predicted-exponential design.
+fn corpus_costs() -> Vec<(String, DesignCost)> {
+    let mut out = Vec::new();
+    let (problem, _) = dxml_bench::design_workload(12, 3, 7);
+    out.push(("bench design_workload(n=12)".to_string(), design_cost(&problem)));
+    let (problem, _) = dxml_bench::box_workload(6);
+    out.push(("bench box_workload(n=6)".to_string(), box_design_cost(&problem)));
+    out.push((
+        "eurostat (Figure 3)".to_string(),
+        design_cost(&DesignProblem::new(dxml_bench::eurostat_figure3())),
+    ));
+    out.push((
+        "adversarial_dtd(n=10)".to_string(),
+        design_cost(&DesignProblem::new(dxml_bench::adversarial_dtd(10))),
+    ));
+    out
+}
+
+fn render_costs_text(costs: &[(String, DesignCost)]) {
+    println!("\n== static cost analysis ==");
+    for (entry, cost) in costs {
+        let (state_quota, step_quota) = recommended_quotas(cost, DEFAULT_HEADROOM);
+        println!("{entry}:");
+        println!("  subset states: {}   governed steps: {}", cost.states, cost.steps);
+        println!("  determinised tree target: {} states", cost.duta_states);
+        println!("  recommended budget: state quota {state_quota}, step quota {step_quota}");
+        for (loc, sc) in cost.target.exponential() {
+            println!("  predicted-exponential: {loc} — at least {} states", sc.dfa_lower_bound);
+        }
+        if let Some(dom) = &cost.dominant {
+            println!(
+                "  dominated by {} ({} of {} upper-bound states)",
+                dom.location, dom.upper, dom.total_upper
+            );
+        }
+    }
+}
+
+fn costs_json(costs: &[(String, DesignCost)]) -> String {
+    let rendered: Vec<String> = costs
         .iter()
-        .flat_map(|(_, report)| report)
-        .filter(|d| d.severity == Severity::Error)
-        .count()
+        .map(|(entry, cost)| {
+            let (state_quota, step_quota) = recommended_quotas(cost, DEFAULT_HEADROOM);
+            let dominant = cost.dominant.as_ref().map_or_else(
+                || "null".to_string(),
+                |d| json_string(&d.location),
+            );
+            format!(
+                "    {{\"entry\":{},\"states_lower\":{},\"states_upper\":{},\
+                 \"steps_lower\":{},\"steps_upper\":{},\"state_quota\":{},\
+                 \"step_quota\":{},\"dominant\":{}}}",
+                json_string(entry),
+                cost.states.lower,
+                cost.states.upper,
+                cost.steps.lower,
+                cost.steps.upper,
+                state_quota,
+                step_quota,
+                dominant
+            )
+        })
+        .collect();
+    format!("[\n{}\n  ]", rendered.join(",\n"))
 }
 
 fn main() -> ExitCode {
-    let json = std::env::args().skip(1).any(|a| a == "--json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let costs = args.iter().any(|a| a == "--costs");
+
     if json {
         let entries = corpus_findings();
         let errors = error_count(&entries);
-        let rendered: Vec<String> =
-            entries.iter().map(|(entry, report)| entry_json(entry, report)).collect();
-        println!(
-            "{{\n  \"entries\": [\n{}\n  ],\n  \"errors\": {errors}\n}}",
-            rendered.join(",\n")
-        );
+        let mut doc = render_json(&entries);
+        if costs {
+            // Splice the costs array into the same document, keeping it a
+            // single JSON value.
+            let closing = doc.rfind("\n}").expect("render_json emits an object");
+            let costs_part = format!(",\n  \"costs\": {}\n}}", costs_json(&corpus_costs()));
+            doc.truncate(closing);
+            doc.push_str(&costs_part);
+        }
+        println!("{doc}");
         return if errors > 0 { ExitCode::FAILURE } else { ExitCode::SUCCESS };
     }
 
     showcase();
     println!("\n== corpus gate ==");
     let entries = corpus_findings();
-    let mut errors = 0;
-    for (entry, report) in &entries {
-        errors += render(entry, report);
+    print!("{}", render_text(&entries));
+    let errors = error_count(&entries);
+    if costs {
+        render_costs_text(&corpus_costs());
     }
     if errors > 0 {
         println!("\nschema lint: {errors} error-severity diagnostic(s) in the corpus");

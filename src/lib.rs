@@ -32,8 +32,9 @@ pub use dxml_tree as tree;
 // The working set of the design layer, re-exported at the crate root so
 // downstream code can `use dxml::{DesignProblem, BoxDesignProblem, …}`.
 pub use dxml_analysis::{
-    analyze_box_design, analyze_design, analyze_schema, dtd_definable, sdtd_definable, AnySchema,
-    Diagnostic, Severity,
+    analyze_box_design, analyze_design, analyze_schema, box_design_cost, design_cost,
+    dtd_definable, recommend_box_budget, recommend_budget, recommend_budget_with_headroom,
+    sdtd_definable, AnySchema, Bounds, DesignCost, Diagnostic, Severity, SuffixCounting,
 };
 pub use dxml_automata::{BoxLang, Budget, CancelHandle};
 pub use dxml_core::{BoxDesignProblem, BoxVerdict, DesignProblem, DistributedDoc, TypingVerdict};
